@@ -1,0 +1,130 @@
+"""Shared fixtures for the experiment benches.
+
+Every bench regenerates one table of the paper.  The heavy artefacts —
+per-car captures, analysis contexts and full reverse-engineering reports —
+are built lazily and cached for the whole pytest session so that e.g. the
+Tab. 6, Tab. 7 and Tab. 11 benches reuse the same fleet run.
+
+Bench output (the reproduced table rows) is written to
+``benchmarks/results/<name>.txt`` so the numbers survive the run and can be
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core import AnalysisContext, DPReverser, GpConfig, ReverseReport, check_formula
+from repro.cps import Capture, DataCollector
+from repro.tools import make_tool_for_car
+from repro.vehicle import CAR_SPECS, build_car
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_capture_cache: Dict[str, Tuple[object, Capture]] = {}
+_context_cache: Dict[str, AnalysisContext] = {}
+_report_cache: Dict[str, ReverseReport] = {}
+
+
+def _collect(key: str):
+    if key not in _capture_cache:
+        car = build_car(key)
+        tool = make_tool_for_car(key, car)
+        capture = DataCollector(tool, read_duration_s=30.0).collect()
+        _capture_cache[key] = (car, capture)
+    return _capture_cache[key]
+
+
+def _analyze(key: str) -> AnalysisContext:
+    if key not in _context_cache:
+        __, capture = _collect(key)
+        _context_cache[key] = DPReverser(GpConfig(seed=2)).analyze(capture)
+    return _context_cache[key]
+
+
+def _reverse(key: str) -> ReverseReport:
+    if key not in _report_cache:
+        context = _analyze(key)
+        _report_cache[key] = DPReverser(GpConfig(seed=2)).infer(context)
+    return _report_cache[key]
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    """Lazy access to per-car (vehicle, capture, context, report)."""
+
+    class Fleet:
+        keys = list(CAR_SPECS)
+
+        @staticmethod
+        def capture(key: str):
+            return _collect(key)
+
+        @staticmethod
+        def context(key: str) -> AnalysisContext:
+            return _analyze(key)
+
+        @staticmethod
+        def report(key: str) -> ReverseReport:
+            return _reverse(key)
+
+        @staticmethod
+        def ground_truth(key: str):
+            car, __ = _collect(key)
+            truth = {}
+            for ecu in car.ecus:
+                for point in ecu.uds_data_points.values():
+                    truth[f"uds:{point.did:04X}"] = (
+                        point.name, point.formula, point.is_enum,
+                    )
+                for group in ecu.kwp_groups.values():
+                    for index, m in enumerate(group.measurements):
+                        truth[f"kwp:{group.local_id:02X}/{index}"] = (
+                            m.name, m.formula, m.is_enum,
+                        )
+            return truth
+
+    return Fleet()
+
+
+_initialised_reports = set()
+
+
+@pytest.fixture()
+def report_file(request):
+    """Append the reproduced table rows to benchmarks/results/<module>.txt.
+
+    The file is truncated the first time a module writes to it in a
+    session, so parametrised tests accumulate into one table.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = request.module.__name__.replace("test_", "")
+    path = RESULTS_DIR / f"{name}.txt"
+    lines = []
+
+    def write(text: str = "") -> None:
+        lines.append(text)
+
+    yield write
+    mode = "a" if path in _initialised_reports else "w"
+    _initialised_reports.add(path)
+    with path.open(mode) as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def verify_car(fleet, key: str):
+    """Score one car's report against ground truth (Tab. 6 style row)."""
+    report = fleet.report(key)
+    truth = fleet.ground_truth(key)
+    correct = 0
+    wrong = []
+    for esv in report.formula_esvs:
+        name, formula, __ = truth[esv.identifier]
+        if check_formula(esv.formula, formula, esv.samples):
+            correct += 1
+        else:
+            wrong.append(name)
+    return report, correct, wrong

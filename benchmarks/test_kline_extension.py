@@ -1,0 +1,49 @@
+"""Extension experiment — the pipeline generalises to K-Line KWP 2000.
+
+Tab. 1 lists ISO 14230 (K-Line) as KWP 2000's other carrier; the paper's
+prototype only captured CAN.  This bench drives a K-Line vehicle, de-frames
+the sniffed byte stream, and shows DP-Reverser recovering every measuring
+block with the same machinery — demonstrating that only the
+payload-assembly stage is carrier specific.
+"""
+
+import pytest
+
+from repro.core import DPReverser, GpConfig, check_formula
+from repro.tools import KLineDiagnosticSession, build_kline_vehicle
+
+
+def test_kline_pipeline(benchmark, report_file):
+    vehicle = build_kline_vehicle()
+    session = KLineDiagnosticSession(vehicle)
+    capture, messages = session.collect(duration_per_ecu_s=30.0)
+
+    def run():
+        reverser = DPReverser(GpConfig(seed=2))
+        return reverser.infer(reverser.analyze(capture, messages=messages))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    truth = {}
+    for ecu in vehicle.ecus.values():
+        for group in ecu.kwp_groups.values():
+            for index, measurement in enumerate(group.measurements):
+                truth[f"kwp:{group.local_id:02X}/{index}"] = (
+                    measurement.name,
+                    measurement.formula,
+                )
+
+    correct = 0
+    for esv in report.formula_esvs:
+        name, formula = truth[esv.identifier]
+        ok = check_formula(esv.formula, formula, esv.samples)
+        correct += ok
+
+    report_file(
+        f"K-Line KWP 2000: {len(vehicle.bus.capture)} wire bytes, "
+        f"{len(messages)} messages; reversed {len(report.formula_esvs)}/"
+        f"{len(truth)} ESVs, {correct} correct"
+    )
+    assert len(report.formula_esvs) == len(truth)
+    assert correct == len(truth)
+    assert report.transport == "kline"

@@ -1,0 +1,66 @@
+"""§4.6 (Q6) — professional tools vs telematics apps, on real vehicles.
+
+Paper: on the VW Passat the AUTEL 919 reads 203 ESVs across 18 ECUs while
+the best app reaches none of them; on the Toyota Corolla the tool reads
+242 ESVs that no app request touches.  The bench replays CANHunter-style
+app-derived requests against the corresponding fleet cars (K = Passat,
+L = Corolla) and counts what they reach.
+"""
+
+import pytest
+
+from repro.apps import (
+    build_corpus,
+    compare_with_tool,
+    extract_corpus_requests,
+    extract_requests,
+)
+from repro.vehicle import CAR_SPECS, build_car
+
+#: (fleet car, the paper's app for it)
+PAIRS = [("K", "Carly for VAG"), ("L", "Carly for Toyota")]
+
+
+def test_q6_tool_vs_app_coverage(benchmark, report_file):
+    apps = build_corpus()
+
+    def run():
+        results = {}
+        obd_app = next(a for a in apps if a.name == "ChevroSys Scan Free")
+        obd_requests = extract_requests(obd_app)
+        for key, app_name in PAIRS:
+            car = build_car(key)
+            results[key] = compare_with_tool(car, obd_requests)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_file("Q6 - professional tool vs telematics-app coverage")
+    for key, comparison in results.items():
+        report_file(
+            f"  {CAR_SPECS[key].model}: tool reads {comparison.tool_esvs} "
+            f"proprietary ESVs on {comparison.tool_ecus} ECUs; app requests "
+            f"({comparison.app_requests_tried}) reach "
+            f"{comparison.app_reachable_esvs} of them (+"
+            f"{comparison.app_obd_esvs} legislated OBD-II values) "
+            f"(paper: tool 203/242 ESVs, apps 0 proprietary)"
+        )
+        # The paper's finding: the proprietary surface is invisible to apps.
+        assert comparison.app_reachable_esvs == 0
+        assert comparison.tool_esvs > 0
+
+
+def test_q6_request_protocol_mix(benchmark, report_file):
+    """Most apps only speak OBD-II — §4.6's explanation for Tab. 12."""
+    apps = build_corpus()
+
+    def run():
+        per_protocol = {}
+        for app_name, requests in extract_corpus_requests(apps).items():
+            for request in requests:
+                per_protocol.setdefault(request.protocol, set()).add(app_name)
+        return {protocol: len(names) for protocol, names in per_protocol.items()}
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_file(f"Apps sending requests per protocol: {counts}")
+    assert counts.get("UDS", 0) <= 5  # only the Carly family + partial tools
+    assert counts.get("OBD-II", 0) >= 20

@@ -1,0 +1,79 @@
+"""§4.4 / §5 comparison — READ+LibreCAN vs DP-Reverser on diagnostic traffic.
+
+The related-work baseline (READ's bit-flip segmentation + LibreCAN's
+correlation matching) is built for periodic broadcast frames.  This bench
+shows both halves of the paper's argument:
+
+1. on *broadcast* traffic the baseline works (validating our
+   re-implementation);
+2. on *diagnostic* traffic (multi-frame ISO-TP) its extracted fields are
+   artefacts of transport framing and match nothing, while DP-Reverser
+   recovers every ESV from the same capture.
+"""
+
+import pytest
+
+from repro.core.read_baseline import librecan_match, read_analysis
+from repro.vehicle.broadcast import BroadcastEmitter, default_broadcast_vehicle
+
+
+def test_read_on_broadcast_traffic(benchmark, report_file):
+    specs = default_broadcast_vehicle()
+    log = BroadcastEmitter(specs).run(30.0)
+
+    def run():
+        results = {}
+        for spec in specs:
+            frames = list(log.with_id(spec.can_id))
+            results[spec.can_id] = read_analysis(frames)
+        return results
+
+    fields_per_id = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_file("READ on broadcast CAN traffic (its native target):")
+    recovered_signals = 0
+    for spec in specs:
+        fields = fields_per_id[spec.can_id]
+        physical = [f for f in fields if f.kind == "physical"]
+        recovered_signals += len(physical)
+        report_file(
+            f"  id {spec.can_id:#05x}: true signals {len(spec.signals)}, "
+            f"READ fields {[(f.start_bit, f.length, f.kind) for f in fields]}"
+        )
+    # READ recovers roughly one physical field per true signal.
+    total_true = sum(len(s.signals) for s in specs)
+    assert recovered_signals >= total_true - 2
+
+
+def test_librecan_on_diagnostic_traffic(benchmark, report_file, fleet):
+    """LibreCAN phase-1 on DP-Reverser's input: nothing usable comes out."""
+    car, capture = fleet.capture("A")
+    truth = fleet.ground_truth("A")
+    context = fleet.context("A")
+
+    def run():
+        # Build per-label reference series (what LibreCAN would poll via
+        # OBD-II) from the tool's screen.
+        references = {
+            label: [(s.timestamp, s.value) for s in series.numeric_samples]
+            for label, series in context.series.items()
+            if series.is_numeric
+        }
+        matched_labels = set()
+        for can_id in capture.can_log.ids():
+            frames = list(capture.can_log.with_id(can_id))
+            if len(frames) < 10:
+                continue
+            fields = read_analysis(frames)
+            for match in librecan_match(frames, fields, references):
+                matched_labels.add(match.reference)
+        return matched_labels
+
+    matched = benchmark.pedantic(run, rounds=1, iterations=1)
+    dp_matched = len(context.matches)
+    report_file(
+        f"Car A diagnostic capture: LibreCAN matched {len(matched)} labels; "
+        f"DP-Reverser matched {dp_matched} ESVs from the same frames"
+    )
+    # The baseline extracts at most a stray coincidence; DP-Reverser gets all.
+    assert len(matched) <= dp_matched // 4
+    assert dp_matched >= 28

@@ -1,0 +1,70 @@
+"""Tab. 12 — formulas extractable from telematics apps.
+
+Paper (§4.6): of 160 apps, only 3 (the Carly family) contain UDS/KWP 2000
+formulas; a set of OBD-II apps contain only the public SAE formulas; 13
+apps hide their formulas from intraprocedural taint analysis; the rest do
+DTC-style processing with no formulas at all.
+"""
+
+import pytest
+
+from repro.apps import (
+    N_COMPLEX_APPS,
+    TABLE12_FORMULA_APPS,
+    TOTAL_APPS,
+    analyze_corpus,
+    build_corpus,
+)
+
+
+def test_table12_apps(benchmark, report_file):
+    apps = build_corpus()
+
+    analysis = benchmark.pedantic(
+        lambda: analyze_corpus(apps), rounds=1, iterations=1
+    )
+
+    report_file("Table 12 - telematics apps containing formulas")
+    for name, expected in TABLE12_FORMULA_APPS.items():
+        got = analysis.per_app[name]
+        for protocol, count in expected.items():
+            report_file(f"  {name}: {protocol} {got.get(protocol, 0)} (paper {count})")
+        assert got == expected, name
+
+    uds_kwp_apps = {
+        name
+        for name, counts in analysis.per_app.items()
+        if counts.get("UDS") or counts.get("KWP 2000")
+    }
+    report_file(f"Apps with UDS/KWP formulas: {len(uds_kwp_apps)} (paper: 3)")
+    assert uds_kwp_apps == {"Carly for VAG", "Carly for Mercedes", "Carly for Toyota"}
+
+    complex_leaks = [
+        name
+        for name, counts in analysis.per_app.items()
+        if name.startswith("Complex") and counts
+    ]
+    report_file(
+        f"Complex apps defeating the analysis: {N_COMPLEX_APPS} "
+        f"(formulas leaked from {len(complex_leaks)})"
+    )
+    assert complex_leaks == []
+
+    assert len(apps) == TOTAL_APPS
+    report_file(f"Corpus size: {len(apps)} apps (paper: 160)")
+
+
+def test_table12_extraction_throughput(benchmark, report_file):
+    """Microbenchmark: Alg. 1 over the biggest app (Carly for Mercedes)."""
+    apps = build_corpus()
+    carly = next(a for a in apps if a.name == "Carly for Mercedes")
+    from repro.apps import FormulaExtractor
+
+    formulas = benchmark.pedantic(
+        lambda: FormulaExtractor().extract(carly), rounds=1, iterations=1
+    )
+    report_file(
+        f"Carly for Mercedes: {len(formulas)} formulas from "
+        f"{carly.statement_count()} IR statements"
+    )
+    assert len(formulas) == 1624 + 468

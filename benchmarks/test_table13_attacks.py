@@ -1,0 +1,47 @@
+"""Tab. 13 / §9.3 — attack replay on running vehicles.
+
+Paper: reverse-engineered diagnostic messages injected into BMW i3, Lexus
+NX300, Toyota Corolla and Kia all trigger their actions while the vehicle
+is running (reads, component control, routine starts, ECU resets).
+"""
+
+import pytest
+
+from repro.attacks import replay_from_report, run_table13
+from repro.vehicle import CAR_SPECS, build_car
+
+#: The paper's four attack targets: BMW i3, Lexus NX300, Toyota Corolla, Kia.
+ATTACK_CARS = ("G", "D", "L", "N")
+
+
+@pytest.mark.parametrize("key", ATTACK_CARS)
+def test_table13_attack_set(benchmark, report_file, key):
+    car = build_car(key)
+
+    results = benchmark.pedantic(lambda: run_table13(car), rounds=1, iterations=1)
+
+    report_file(f"Car {key} ({CAR_SPECS[key].model}):")
+    for result in results:
+        status = "OK" if result.success else "FAILED"
+        report_file(
+            f"  [{status}] {result.description}: {result.messages[0]} -> "
+            f"{result.observed_effect}"
+        )
+    assert results
+    assert all(r.success for r in results)
+
+
+def test_table13_replay_recovered_ecrs(benchmark, report_file, fleet):
+    """End to end: what DP-Reverser recovered from Car D's capture is
+    injected verbatim into a *fresh* Car D and actuates the components."""
+    report = fleet.report("D")
+    fresh = build_car("D")
+
+    results = benchmark.pedantic(
+        lambda: replay_from_report(fresh, report), rounds=1, iterations=1
+    )
+    report_file(f"Replayed {len(results)} recovered ECR procedures on fresh Car D")
+    for result in results:
+        report_file(f"  {result.description}: {result.observed_effect}")
+    assert len(results) == CAR_SPECS["D"].ecrs
+    assert all(r.success for r in results)

@@ -1,0 +1,72 @@
+"""Tab. 4 — precision of the OCR engine per diagnostic tool.
+
+Paper: 500 pictures per tool; 97.6 % fully-correct for AUTEL 919 and
+85.0 % for LAUNCH X431 (the AUTEL's larger, higher-resolution screen).
+"""
+
+import pytest
+
+from repro.cps import Camera, OcrEngine
+from repro.simtime import SimClock
+from repro.tools import TOOL_PROFILES
+from repro.tools.ui import ScreenBuilder
+
+N_PICTURES = 500
+
+PAPER = {"AUTEL 919": 0.976, "LAUNCH X431": 0.850}
+
+
+def make_frames(count):
+    camera = Camera(SimClock())
+    frames = []
+    for index in range(count):
+        builder = ScreenBuilder("live", "Engine - Data Stream")
+        builder.add_pair("Engine Speed", f"{800 + index}.0 rpm")
+        builder.add_pair("Coolant Temperature", f"{60 + index % 40}.5 degC")
+        builder.add_pair("Battery Voltage", f"{12 + (index % 20) / 10:.2f} V")
+        frames.append(camera.capture(builder.screen))
+        camera.clock.advance(0.5)
+    return frames
+
+
+@pytest.mark.parametrize("tool_name", ["AUTEL 919", "LAUNCH X431"])
+def test_table4_ocr_precision(benchmark, report_file, tool_name):
+    profile = TOOL_PROFILES[tool_name]
+    frames = make_frames(N_PICTURES)
+    ocr = OcrEngine(profile.ocr_error_rate, seed=41)
+
+    def read_all():
+        engine = OcrEngine(profile.ocr_error_rate, seed=41)
+        for frame in frames:
+            engine.read_frame(frame)
+        return engine
+
+    engine = benchmark.pedantic(read_all, rounds=1, iterations=1)
+    correct = engine.frames_read - engine.frames_corrupted
+    precision = engine.observed_precision
+
+    report_file(f"Table 4 - OCR precision ({tool_name})")
+    report_file(f"  #Total Pics : {engine.frames_read}")
+    report_file(f"  #Correct    : {correct}")
+    report_file(f"  Precision   : {precision:.1%} (paper: {PAPER[tool_name]:.1%})")
+
+    assert engine.frames_read == N_PICTURES
+    assert precision == pytest.approx(PAPER[tool_name], abs=0.03)
+
+
+def test_table4_ranking(benchmark, report_file):
+    """The AUTEL's better screen must yield strictly higher OCR precision."""
+    frames = make_frames(N_PICTURES)
+
+    def run():
+        precisions = {}
+        for name in ("AUTEL 919", "LAUNCH X431"):
+            engine = OcrEngine(TOOL_PROFILES[name].ocr_error_rate, seed=17)
+            for frame in frames:
+                engine.read_frame(frame)
+            precisions[name] = engine.observed_precision
+        return precisions
+
+    precisions = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_file(f"Ranking: {precisions}")
+    assert precisions["AUTEL 919"] > precisions["LAUNCH X431"]

@@ -1,0 +1,52 @@
+"""Tab. 7 — validating recovered formulas against the vehicle dashboard.
+
+Paper: for Cars F, K, L and R one ESV is also shown on the instrument
+cluster; combining sniffed messages with the inferred formula must predict
+the dashboard value.  The paper's four rows (with their exact formulas) are
+pinned into the fleet, so this bench also checks the recovered formula has
+the right *shape* family.
+"""
+
+import pytest
+
+from conftest import verify_car
+
+#: car -> (dashboard label, paper's recovered formula)
+TABLE7 = {
+    "F": ("Engine Speed", "Y = X"),
+    "K": ("Engine Speed", "Y = X0*X1/5"),
+    "L": ("Coolant Temperature", "Y = 0.5X"),
+    "R": ("Engine Speed", "Y = 64.1X0 + 0.241X1"),
+}
+
+
+@pytest.mark.parametrize("key", sorted(TABLE7))
+def test_table7_dashboard_validation(benchmark, report_file, fleet, key):
+    label, paper_formula = TABLE7[key]
+
+    def run():
+        report = fleet.report(key)
+        car, __ = fleet.capture(key)
+        return report, car
+
+    report, car = benchmark.pedantic(run, rounds=1, iterations=1)
+    esv = report.esv_by_label(label)
+    assert esv is not None, f"{label} not reversed on Car {key}"
+    assert esv.formula is not None
+
+    # Ground truth: the dashboard shows formula(raw) for the same ESV.
+    truth = fleet.ground_truth(key)[esv.identifier][1]
+    matches = sum(
+        1
+        for sample in esv.samples
+        if abs(esv.formula(sample) - truth(sample))
+        <= max(1.0, 0.05 * abs(truth(sample)))
+    )
+    agreement = matches / len(esv.samples)
+
+    report_file(
+        f"Car {key}: {label}: inferred {esv.formula.description} "
+        f"(paper: {paper_formula}) — dashboard agreement "
+        f"{matches}/{len(esv.samples)} = {agreement:.1%}"
+    )
+    assert agreement >= 0.95

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Mine formulas from the 160-app telematics corpus (§4.6 / Tab. 12).
+
+Runs the Alg. 1 taint-based extractor over every synthetic app and prints
+the per-app formula counts, a couple of extracted formulas with their
+trigger conditions, and the comparison the paper draws: professional
+diagnostic tools expose far more than telematics apps.
+
+Usage::
+
+    python examples/app_formula_mining.py
+"""
+
+from repro.apps import FormulaExtractor, analyze_corpus, build_corpus
+
+
+def main() -> None:
+    print("Generating the 160-app corpus...")
+    apps = build_corpus()
+    total_statements = sum(a.statement_count() for a in apps)
+    print(f"  {len(apps)} apps, {total_statements} MiniJimple statements")
+
+    print("Running forward-taint formula extraction (Alg. 1)...")
+    analysis = analyze_corpus(apps)
+
+    print("\nApps containing formulas:")
+    for name, counts in sorted(
+        analysis.per_app.items(), key=lambda item: -sum(item[1].values())
+    ):
+        if counts:
+            summary = ", ".join(f"{k}: {v}" for k, v in counts.items())
+            print(f"  {name:<32} {summary}")
+
+    uds_kwp = [
+        n for n, c in analysis.per_app.items() if c.get("UDS") or c.get("KWP 2000")
+    ]
+    print(f"\nApps with UDS/KWP 2000 formulas: {len(uds_kwp)} of {len(apps)} (paper: 3)")
+
+    print("\nExample extracted formulas (expression + trigger condition):")
+    shown = 0
+    for formula in analysis.formulas:
+        if formula.protocol in ("UDS", "KWP 2000") and shown < 3:
+            print(f"  [{formula.protocol}] {formula.app_name}:")
+            print(f"     when {formula.condition}: Y = {formula.expression}")
+            shown += 1
+
+    print("\nWhy intraprocedural analysis misses some apps (the paper's 13):")
+    complex_app = next(a for a in apps if a.name.startswith("Complex"))
+    found = FormulaExtractor().extract(complex_app)
+    print(
+        f"  {complex_app.name}: response read in one method, processed in "
+        f"another -> {len(found)} formulas extracted"
+    )
+
+
+if __name__ == "__main__":
+    main()

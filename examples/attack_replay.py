@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The attacker's workflow (§2.1 threat model + §9.3 / Tab. 13).
+
+1. "Rent a vehicle of the same type" — build Car D and reverse engineer
+   its diagnostic protocol with DP-Reverser.
+2. Inject the recovered messages into a *different* vehicle of the same
+   model (a fresh Car D) through a compromised OBD dongle, while it runs.
+3. Also run the Tab. 13 scenario set against the paper's four targets.
+
+Usage::
+
+    python examples/attack_replay.py
+"""
+
+from repro.attacks import replay_from_report, run_table13
+from repro.core import DPReverser, GpConfig
+from repro.cps import DataCollector
+from repro.tools import make_tool_for_car
+from repro.vehicle import CAR_SPECS, build_car
+
+
+def main() -> None:
+    print("Step 1: reverse engineering a rented Car D (Lexus NX300)...")
+    rented = build_car("D")
+    tool = make_tool_for_car("D", rented)
+    capture = DataCollector(tool, read_duration_s=30.0).collect()
+    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+    complete = [p for p in report.ecrs if p.complete]
+    print(f"  recovered {len(report.esvs)} ESVs and {len(complete)} control procedures")
+    for procedure in complete:
+        print(f"    {procedure.label}: {procedure.request_pattern}")
+
+    print("\nStep 2: injecting recovered messages into the victim's Car D...")
+    victim = build_car("D")
+    for result in replay_from_report(victim, report):
+        status = "OK" if result.success else "FAILED"
+        print(f"  [{status}] {result.description}: {result.observed_effect}")
+
+    print("\nStep 3: Tab. 13 attack set on the paper's four targets...")
+    for key in ("G", "D", "L", "N"):
+        car = build_car(key)
+        results = run_table13(car)
+        ok = sum(r.success for r in results)
+        print(f"  {CAR_SPECS[key].model}: {ok}/{len(results)} attacks succeeded")
+        for result in results:
+            print(f"     {result.description}: {result.messages[0]} -> {result.observed_effect}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Tab. 6 evaluation over the 18-vehicle fleet.
+
+For every car: collect a capture, run DP-Reverser, verify each inferred
+formula against the (hidden) manufacturer ground truth by numeric
+equivalence, and print the per-car precision table.
+
+Usage::
+
+    python examples/fleet_reverse_engineering.py           # all 18 cars
+    python examples/fleet_reverse_engineering.py A K R     # a subset
+"""
+
+import sys
+import time
+
+from repro.core import DPReverser, GpConfig, check_formula
+from repro.cps import DataCollector
+from repro.tools import make_tool_for_car
+from repro.vehicle import CAR_SPECS, build_car
+
+
+def evaluate_car(key: str):
+    car = build_car(key)
+    tool = make_tool_for_car(key, car)
+    capture = DataCollector(tool, read_duration_s=30.0).collect()
+    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+
+    truth = {}
+    for ecu in car.ecus:
+        for point in ecu.uds_data_points.values():
+            truth[f"uds:{point.did:04X}"] = point.formula
+        for group in ecu.kwp_groups.values():
+            for index, measurement in enumerate(group.measurements):
+                truth[f"kwp:{group.local_id:02X}/{index}"] = measurement.formula
+
+    correct = sum(
+        check_formula(esv.formula, truth[esv.identifier], esv.samples)
+        for esv in report.formula_esvs
+    )
+    return report, correct
+
+
+def main() -> None:
+    keys = [k.upper() for k in sys.argv[1:]] or sorted(CAR_SPECS)
+    print(f"{'Car':<6}{'Model':<22}{'#ESV(f)':>8}{'Correct':>8}{'Prec':>8}{'#Enum':>7}{'#ECR':>6}{'sec':>7}")
+    total_formulas = total_correct = 0
+    for key in keys:
+        start = time.perf_counter()
+        report, correct = evaluate_car(key)
+        elapsed = time.perf_counter() - start
+        n = len(report.formula_esvs)
+        total_formulas += n
+        total_correct += correct
+        ecrs = len({p.identifier for p in report.ecrs if p.complete})
+        print(
+            f"{key:<6}{CAR_SPECS[key].model:<22}{n:>8}{correct:>8}"
+            f"{correct / n if n else 1:>8.1%}{len(report.enum_esvs):>7}"
+            f"{ecrs:>6}{elapsed:>7.1f}"
+        )
+    if total_formulas:
+        print(
+            f"\nTotal: {total_correct}/{total_formulas} = "
+            f"{total_correct / total_formulas:.1%} (paper: 285/290 = 98.3%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

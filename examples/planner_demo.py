@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Robotic-clicker planning demo (§3.1).
+
+Shows the travelling-salesman planning of on-screen click targets: the
+nearest-neighbour heuristic against a random order and (for small target
+sets) the exhaustive optimum, plus the travel time the arm model spends.
+
+Usage::
+
+    python examples/planner_demo.py
+"""
+
+import random
+
+from repro.cps import (
+    RoboticClicker,
+    brute_force_route,
+    nearest_neighbour_route,
+    random_route,
+    route_length,
+)
+from repro.simtime import SimClock
+
+
+def main() -> None:
+    rng = random.Random(14)
+    targets = [(rng.randrange(800), rng.randrange(600)) for __ in range(14)]
+    print("14 click targets (the paper's experiment size):")
+    print(f"  {targets}")
+
+    nn = nearest_neighbour_route((0, 0), targets)
+    rand = random_route(targets, rng)
+    nn_len = route_length((0, 0), nn)
+    rand_len = route_length((0, 0), rand)
+    print(f"\nnearest-neighbour travel: {nn_len:.0f} px")
+    print(f"random-order travel:      {rand_len:.0f} px")
+    print(f"saving: {(rand_len - nn_len) / rand_len:.1%} (paper: 7.3% in time)")
+
+    small = targets[:7]
+    optimal = brute_force_route((0, 0), small)
+    print(
+        f"\n7-target optimum {route_length((0,0), optimal):.0f} px vs "
+        f"NN {route_length((0,0), nearest_neighbour_route((0,0), small)):.0f} px"
+    )
+
+    print("\nArm execution (400 px/s stylus):")
+    clock = SimClock()
+    arm = RoboticClicker(clock)
+    for x, y in nn:
+        arm.click(x, y, lambda _x, _y: True)
+    print(f"  visited {len(arm.log)} targets in {clock.now():.2f} simulated seconds")
+    print(f"  total travel {arm.total_travel_px:.0f} px")
+
+
+if __name__ == "__main__":
+    main()

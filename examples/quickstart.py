@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: reverse engineer one simulated vehicle end to end.
+
+Builds a fleet car, attaches the diagnostic tool, runs the cyber-physical
+data-collection loop (robot clicker + cameras + OBD sniffer), then feeds
+the capture to DP-Reverser and prints everything it recovered.
+
+Usage::
+
+    python examples/quickstart.py [CAR]     # CAR in A..R, default D
+"""
+
+import sys
+
+from repro.core import DPReverser, GpConfig
+from repro.cps import DataCollector
+from repro.tools import make_tool_for_car
+from repro.vehicle import CAR_SPECS, build_car
+
+
+def main() -> None:
+    key = sys.argv[1].upper() if len(sys.argv) > 1 else "D"
+    if key not in CAR_SPECS:
+        raise SystemExit(f"unknown car {key!r}; pick one of {', '.join(CAR_SPECS)}")
+    spec = CAR_SPECS[key]
+    print(f"Building {spec.name} ({spec.model}) with tool {spec.tool}...")
+    car = build_car(key)
+    tool = make_tool_for_car(key, car)
+
+    print("Collecting: driving the tool with the robotic clicker...")
+    collector = DataCollector(tool, read_duration_s=30.0)
+    capture = collector.collect()
+    print(
+        f"  captured {len(capture.can_log)} CAN frames, "
+        f"{len(capture.video)} video frames, {len(capture.clicks)} clicks"
+    )
+
+    print("Reverse engineering...")
+    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+    print()
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

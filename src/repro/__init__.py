@@ -1,0 +1,48 @@
+"""DP-Reverser reproduction.
+
+A full-system reproduction of *"Towards Automatically Reverse Engineering
+Vehicle Diagnostic Protocols"* (USENIX Security 2022; ICDCS 2023 poster
+"DP-Reverser"): simulated vehicles, diagnostic tools and the cyber-physical
+data-collection rig, plus the reverse-engineering pipeline that recovers
+proprietary request semantics and response formulas from sniffed traffic.
+
+Quickstart::
+
+    from repro.vehicle import build_car
+    from repro.tools import make_tool_for_car
+    from repro.cps import DataCollector
+    from repro.core import DPReverser
+
+    car = build_car("A")
+    tool = make_tool_for_car("A", car)
+    capture = DataCollector(tool).collect()
+    report = DPReverser().reverse_engineer(capture)
+"""
+
+__version__ = "1.0.0"
+
+from .simtime import SimClock, SkewedClock, ntp_synchronise
+from . import persistence, scanner  # noqa: F401  (public submodules)
+from .formulas import (
+    AffineFormula,
+    EnumFormula,
+    ExpressionFormula,
+    Formula,
+    ProductFormula,
+    TwoVarAffineFormula,
+    formulas_equivalent,
+)
+
+__all__ = [
+    "__version__",
+    "SimClock",
+    "SkewedClock",
+    "ntp_synchronise",
+    "AffineFormula",
+    "EnumFormula",
+    "ExpressionFormula",
+    "Formula",
+    "ProductFormula",
+    "TwoVarAffineFormula",
+    "formulas_equivalent",
+]

@@ -1,0 +1,141 @@
+"""CANHunter-style request extraction (the §4.6/Q6 comparison target).
+
+CANHunter (Wen et al., NDSS 2020) force-executes telematics apps to collect
+every request message they can emit.  Over MiniJimple the equivalent is a
+whole-program sweep for ``sendCommand`` call sites, collecting the constant
+request strings regardless of reachability — exactly what forced execution
+achieves on real bytecode, without reverse engineering the requests or the
+response processing (the limitation the paper stresses).
+
+:func:`compare_with_tool` then reproduces the paper's Q6 comparison: which
+of a vehicle's identifiers can the app-derived requests actually reach,
+versus what a professional diagnostic tool exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from .ir import App, AssignStmt, InvokeExpr, SEND_COMMAND_SIG, StringConst
+
+
+@dataclass(frozen=True)
+class ExtractedRequest:
+    """One request message an app can send."""
+
+    app_name: str
+    message: str  # hex string, e.g. "01 0C"
+
+    @property
+    def service_id(self) -> int:
+        return int(self.message.split(" ")[0], 16)
+
+    @property
+    def protocol(self) -> str:
+        sid = self.service_id
+        if sid <= 0x0A:
+            return "OBD-II"
+        if sid in (0x22, 0x2E, 0x2F, 0x19, 0x14, 0x10, 0x11, 0x27, 0x31, 0x3E):
+            return "UDS"
+        if sid in (0x21, 0x30, 0x18, 0x1A):
+            return "KWP 2000"
+        return "unknown"
+
+
+def extract_requests(app: App) -> List[ExtractedRequest]:
+    """Collect every constant request the app can transmit."""
+    requests: List[ExtractedRequest] = []
+    seen: Set[str] = set()
+    for method in app.methods:
+        for statement in method.statements:
+            if not isinstance(statement, AssignStmt):
+                continue
+            expr = statement.expr
+            if (
+                isinstance(expr, InvokeExpr)
+                and expr.signature == SEND_COMMAND_SIG
+                and expr.args
+                and isinstance(expr.args[0], StringConst)
+            ):
+                message = expr.args[0].value
+                if message not in seen:
+                    seen.add(message)
+                    requests.append(ExtractedRequest(app.name, message))
+    return requests
+
+
+def extract_corpus_requests(apps: Sequence[App]) -> Dict[str, List[ExtractedRequest]]:
+    """Request messages per app, CANHunter style."""
+    return {app.name: extract_requests(app) for app in apps}
+
+
+@dataclass
+class CoverageComparison:
+    """Q6's tool-vs-app coverage numbers for one vehicle."""
+
+    vehicle: str
+    tool_esvs: int  # proprietary ESVs the professional tool reads
+    app_reachable_esvs: int  # of those, reachable with app-derived requests
+    app_obd_esvs: int  # legislated OBD-II values the app *can* read
+    tool_ecus: int
+    app_reachable_ecus: int
+    app_requests_tried: int
+
+
+def compare_with_tool(vehicle, requests: Sequence[ExtractedRequest]) -> CoverageComparison:
+    """Replay app-derived requests against a vehicle; count what they reach.
+
+    A request "reaches" an ESV when the ECU answers it positively — i.e.
+    the app could actually read that value.  Professional-tool coverage is
+    the vehicle's full data-point inventory (which the Tab. 6 pipeline
+    demonstrably reads).
+    """
+    from ..diagnostics.messages import is_negative_response
+
+    tool_esvs = 0
+    tool_ecus = 0
+    reachable: Set[str] = set()
+    reachable_ecus: Set[str] = set()
+    for ecu in vehicle.ecus:
+        n_points = len(ecu.uds_data_points) + sum(
+            len(g.measurements) for g in ecu.kwp_groups.values()
+        )
+        tool_esvs += n_points
+        if n_points:
+            tool_ecus += 1
+
+    payloads = []
+    for request in requests:
+        try:
+            payloads.append(bytes.fromhex(request.message.replace(" ", "")))
+        except ValueError:
+            continue
+
+    obd_reachable: Set[str] = set()
+    for ecu in vehicle.ecus:
+        endpoint = vehicle.tester_endpoint(ecu.name, tester="canhunter")
+        for payload in payloads:
+            endpoint.send(payload)
+            response = endpoint.receive()
+            if response is None or is_negative_response(response):
+                continue
+            if response[0] == 0x41 and payload[1] not in (0x00, 0x20, 0x40, 0x60):
+                # Legislated OBD-II data: apps read these (the paper's
+                # "ordinary information"), but they are not the
+                # proprietary surface.
+                obd_reachable.add(f"{payload.hex()}")
+            elif response[0] in (0x62, 0x61):
+                reachable.add(f"{ecu.name}:{payload.hex()}")
+                reachable_ecus.add(ecu.name)
+        vehicle.release_tester(endpoint)
+
+    return CoverageComparison(
+        vehicle=vehicle.model,
+        tool_esvs=tool_esvs,
+        app_reachable_esvs=len(reachable),
+        app_obd_esvs=len(obd_reachable),
+        tool_ecus=tool_ecus,
+        app_reachable_ecus=len(reachable_ecus),
+        app_requests_tried=len(payloads),
+    )

@@ -1,0 +1,6 @@
+"""Attack replay with reverse-engineered diagnostic messages (Tab. 13)."""
+
+from .replay import AttackReplayer, AttackResult
+from .scenarios import replay_from_report, run_table13
+
+__all__ = ["AttackReplayer", "AttackResult", "replay_from_report", "run_table13"]

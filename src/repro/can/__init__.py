@@ -1,0 +1,30 @@
+"""CAN bus substrate: frames, a simulated broadcast bus, and capture logs."""
+
+from .frame import (
+    MAX_DATA_LENGTH,
+    MAX_EXTENDED_ID,
+    MAX_STANDARD_ID,
+    CanError,
+    CanFrame,
+    InvalidFrameError,
+    frame_from_candump,
+    frame_to_candump,
+)
+from .bus import FRAME_TIME_S, BusNode, SimulatedCanBus
+from .log import CanLog, Sniffer
+
+__all__ = [
+    "MAX_DATA_LENGTH",
+    "MAX_EXTENDED_ID",
+    "MAX_STANDARD_ID",
+    "CanError",
+    "CanFrame",
+    "InvalidFrameError",
+    "frame_from_candump",
+    "frame_to_candump",
+    "FRAME_TIME_S",
+    "BusNode",
+    "SimulatedCanBus",
+    "CanLog",
+    "Sniffer",
+]

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+The separable workflow a downstream user runs::
+
+    python -m repro list-cars
+    python -m repro collect --car D --out capture_d
+    python -m repro reverse capture_d --report report_d.txt
+    python -m repro fleet --cars A K R
+    python -m repro attack --car D
+    python -m repro apps
+
+``collect`` and ``reverse`` round-trip through the on-disk capture format
+of :mod:`repro.persistence`, so externally recorded candump + video data in
+the same layout can be analysed too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+
+def _cmd_list_cars(args: argparse.Namespace) -> int:
+    from .vehicle import CAR_SPECS
+
+    print(f"{'Key':<5}{'Model':<24}{'Protocol':<10}{'Tool':<14}{'#ESV':>6}{'#Enum':>7}{'#ECR':>6}")
+    for spec in CAR_SPECS.values():
+        print(
+            f"{spec.key:<5}{spec.model:<24}{spec.protocol.name:<10}"
+            f"{spec.tool:<14}{spec.formula_esvs:>6}{spec.enum_esvs:>7}{spec.ecrs:>6}"
+        )
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from .cps import DataCollector
+    from .persistence import save_capture
+    from .tools import make_tool_for_car
+    from .vehicle import CAR_SPECS, build_car
+
+    key = args.car.upper()
+    if key not in CAR_SPECS:
+        print(f"unknown car {key!r}; see `list-cars`", file=sys.stderr)
+        return 2
+    car = build_car(key)
+    tool = make_tool_for_car(key, car)
+    collector = DataCollector(
+        tool, read_duration_s=args.duration, camera_offset_s=args.camera_offset
+    )
+    capture = collector.collect()
+    directory = save_capture(capture, args.out)
+    print(
+        f"collected {len(capture.can_log)} CAN frames, {len(capture.video)} "
+        f"video frames, {len(capture.clicks)} clicks -> {directory}"
+    )
+    return 0
+
+
+def _cmd_reverse(args: argparse.Namespace) -> int:
+    from .core import DPReverser, GpConfig
+    from .persistence import load_capture
+
+    capture = load_capture(args.capture)
+    start = time.perf_counter()
+    report = DPReverser(GpConfig(seed=args.seed)).reverse_engineer(capture)
+    elapsed = time.perf_counter() - start
+    if args.format == "json":
+        text = report.to_json()
+    elif args.format == "markdown":
+        text = report.to_markdown()
+    else:
+        text = report.summary() + f"\n\nReverse engineering took {elapsed:.1f} s"
+    if args.report:
+        Path(args.report).write_text(text + "\n")
+        print(f"report written to {args.report}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .scanner import scan_vehicle
+    from .vehicle import CAR_SPECS, build_car
+
+    key = args.car.upper()
+    if key not in CAR_SPECS:
+        print(f"unknown car {key!r}", file=sys.stderr)
+        return 2
+    car = build_car(key)
+    reports = scan_vehicle(car)
+    for ecu_name, report in reports.items():
+        identifiers = ", ".join(
+            f"{h.identifier:04X}" for h in report.hits[: args.limit]
+        )
+        suffix = " ..." if len(report.hits) > args.limit else ""
+        print(
+            f"{ecu_name}: {len(report.hits)} identifiers "
+            f"({report.probes_sent} probes): {identifiers}{suffix}"
+        )
+    return 0
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    from .core import DPReverser, GpConfig, check_formula
+    from .cps import DataCollector
+    from .tools import make_tool_for_car
+    from .vehicle import CAR_SPECS, build_car
+
+    keys = [k.upper() for k in (args.cars or sorted(CAR_SPECS))]
+    total = correct_total = 0
+    print(f"{'Car':<5}{'Model':<24}{'#ESV':>6}{'Correct':>9}{'Prec':>8}{'sec':>7}")
+    for key in keys:
+        start = time.perf_counter()
+        car = build_car(key)
+        tool = make_tool_for_car(key, car)
+        capture = DataCollector(tool, read_duration_s=args.duration).collect()
+        report = DPReverser(GpConfig(seed=args.seed)).reverse_engineer(capture)
+        truth = {}
+        for ecu in car.ecus:
+            for point in ecu.uds_data_points.values():
+                truth[f"uds:{point.did:04X}"] = point.formula
+            for group in ecu.kwp_groups.values():
+                for index, m in enumerate(group.measurements):
+                    truth[f"kwp:{group.local_id:02X}/{index}"] = m.formula
+        correct = sum(
+            check_formula(esv.formula, truth[esv.identifier], esv.samples)
+            for esv in report.formula_esvs
+        )
+        n = len(report.formula_esvs)
+        total += n
+        correct_total += correct
+        print(
+            f"{key:<5}{CAR_SPECS[key].model:<24}{n:>6}{correct:>9}"
+            f"{correct / n if n else 1:>8.1%}{time.perf_counter() - start:>7.1f}"
+        )
+    if total:
+        print(f"\nTotal precision: {correct_total}/{total} = {correct_total/total:.1%}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .attacks import run_table13
+    from .vehicle import CAR_SPECS, build_car
+
+    key = args.car.upper()
+    if key not in CAR_SPECS:
+        print(f"unknown car {key!r}", file=sys.stderr)
+        return 2
+    car = build_car(key)
+    results = run_table13(car)
+    for result in results:
+        status = "OK" if result.success else "FAILED"
+        print(f"[{status}] {result.description}: {result.messages[0]} -> {result.observed_effect}")
+    print(f"\n{sum(r.success for r in results)}/{len(results)} attacks succeeded")
+    return 0 if all(r.success for r in results) else 1
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from .apps import analyze_corpus, build_corpus
+
+    apps = build_corpus()
+    analysis = analyze_corpus(apps)
+    for name, counts in analysis.per_app.items():
+        if counts:
+            summary = ", ".join(f"{k}: {v}" for k, v in counts.items())
+            print(f"{name:<32} {summary}")
+    with_formulas = sum(1 for c in analysis.per_app.values() if c)
+    print(f"\n{with_formulas} of {len(apps)} apps contain extractable formulas")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DP-Reverser reproduction toolkit"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-cars", help="show the 18-vehicle fleet").set_defaults(
+        func=_cmd_list_cars
+    )
+
+    collect = commands.add_parser("collect", help="run a data-collection campaign")
+    collect.add_argument("--car", required=True, help="fleet key A..R")
+    collect.add_argument("--out", required=True, help="capture output directory")
+    collect.add_argument("--duration", type=float, default=30.0, help="seconds per live read")
+    collect.add_argument("--camera-offset", type=float, default=0.0, help="camera clock offset")
+    collect.set_defaults(func=_cmd_collect)
+
+    reverse = commands.add_parser("reverse", help="reverse engineer a saved capture")
+    reverse.add_argument("capture", help="capture directory from `collect`")
+    reverse.add_argument("--report", help="write the report to this file")
+    reverse.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text"
+    )
+    reverse.add_argument("--seed", type=int, default=2)
+    reverse.set_defaults(func=_cmd_reverse)
+
+    scan = commands.add_parser("scan", help="actively enumerate a car's identifiers")
+    scan.add_argument("--car", required=True)
+    scan.add_argument("--limit", type=int, default=12, help="ids shown per ECU")
+    scan.set_defaults(func=_cmd_scan)
+
+    fleet = commands.add_parser("fleet", help="evaluate the whole fleet (Tab. 6)")
+    fleet.add_argument("--cars", nargs="*", help="subset of fleet keys")
+    fleet.add_argument("--duration", type=float, default=30.0)
+    fleet.add_argument("--seed", type=int, default=2)
+    fleet.set_defaults(func=_run_fleet)
+
+    attack = commands.add_parser("attack", help="run the Tab. 13 attack set")
+    attack.add_argument("--car", required=True)
+    attack.set_defaults(func=_cmd_attack)
+
+    commands.add_parser("apps", help="mine the telematics-app corpus (Tab. 12)").set_defaults(
+        func=_cmd_apps
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

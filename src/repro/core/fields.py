@@ -1,0 +1,224 @@
+"""Step 3 of diagnostic-frames analysis: field extraction (§3.2).
+
+From the assembled payloads this stage extracts the manufacturer-defined
+fields DP-Reverser reverse engineers:
+
+* **DIDs / local identifiers** from read requests,
+* **ESVs** from read responses — for UDS the DID list of the *preceding
+  request* delimits the values (the lengths are not encoded), for KWP 2000
+  responses split into 3-byte ``(formula_type, X0, X1)`` records,
+* **ECRs** (IO-control parameter + control state) from IO-control requests,
+* OBD-II mode-01 PIDs and data bytes (used as alignment/ground-truth
+  anchors).
+
+Requests and responses are paired per conversation: the most recent
+matching request before each response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..diagnostics import kwp2000, uds
+from ..diagnostics.messages import NEGATIVE_RESPONSE_SID
+from .assembly import AssembledMessage
+
+ESV_RECORD_SIZE = 3
+
+
+@dataclass(frozen=True)
+class EsvObservation:
+    """One raw ECU-signal-value sighting in traffic."""
+
+    protocol: str  # "uds" | "kwp" | "obd2"
+    identifier: str  # canonical key, e.g. "uds:F400", "kwp:01/0", "obd2:0C"
+    raw_bytes: bytes  # value field as it appeared on the wire
+    timestamp: float
+    formula_type: int = 0  # KWP formula-type byte (0 elsewhere)
+
+    def variables(self) -> Tuple[int, ...]:
+        """Raw integer variables: KWP yields (X0, X1); others yield per-byte."""
+        if self.protocol == "kwp":
+            return (self.raw_bytes[0], self.raw_bytes[1])
+        return tuple(self.raw_bytes)
+
+    def as_int(self) -> int:
+        """The value field interpreted as one big-endian integer."""
+        return int.from_bytes(self.raw_bytes, "big") if self.raw_bytes else 0
+
+
+@dataclass(frozen=True)
+class IoControlEvent:
+    """One IO-control request (plus whether it was answered positively)."""
+
+    service: int  # 0x2F or 0x30
+    identifier: int  # DID or local id
+    io_parameter: int
+    control_state: bytes
+    timestamp: float
+    positive: bool
+
+
+@dataclass(frozen=True)
+class ReadRequestEvent:
+    """One read request (for request-semantics analysis)."""
+
+    protocol: str
+    identifiers: Tuple[int, ...]  # DIDs, or a single local id / PID
+    timestamp: float
+    can_id: int
+
+
+@dataclass
+class ExtractedFields:
+    """Everything field extraction produced from one capture."""
+
+    observations: List[EsvObservation] = field(default_factory=list)
+    io_events: List[IoControlEvent] = field(default_factory=list)
+    read_requests: List[ReadRequestEvent] = field(default_factory=list)
+
+    def by_identifier(self) -> Dict[str, List[EsvObservation]]:
+        grouped: Dict[str, List[EsvObservation]] = {}
+        for obs in self.observations:
+            grouped.setdefault(obs.identifier, []).append(obs)
+        return grouped
+
+
+def _is_request(payload: bytes) -> bool:
+    sid = payload[0]
+    return sid < 0x40 and sid != NEGATIVE_RESPONSE_SID
+
+
+def extract_fields(messages: Sequence[AssembledMessage]) -> ExtractedFields:
+    """Run field extraction over time-ordered assembled messages."""
+    out = ExtractedFields()
+    last_uds_read: Optional[Tuple[Tuple[int, ...], float]] = None
+    last_kwp_read: Optional[int] = None
+    last_obd_read: Optional[int] = None
+    pending_io: Dict[Tuple[int, int], IoControlEvent] = {}
+
+    for message in messages:
+        payload = message.payload
+        if not payload:
+            continue
+        sid = payload[0]
+
+        if _is_request(payload):
+            if sid == uds.UdsService.READ_DATA_BY_IDENTIFIER:
+                try:
+                    request = uds.decode_request_dids(payload)
+                except Exception:
+                    continue
+                last_uds_read = (request.dids, message.t_last)
+                out.read_requests.append(
+                    ReadRequestEvent("uds", request.dids, message.t_last, message.can_id)
+                )
+            elif sid == kwp2000.KwpService.READ_DATA_BY_LOCAL_IDENTIFIER:
+                try:
+                    local_id = kwp2000.decode_read_request(payload)
+                except Exception:
+                    continue
+                last_kwp_read = local_id
+                out.read_requests.append(
+                    ReadRequestEvent("kwp", (local_id,), message.t_last, message.can_id)
+                )
+            elif sid in (
+                uds.UdsService.IO_CONTROL_BY_IDENTIFIER,
+                kwp2000.KwpService.IO_CONTROL_BY_LOCAL_IDENTIFIER,
+            ):
+                event = _decode_io_request(sid, payload, message.t_last)
+                if event is not None:
+                    pending_io[(event.service, event.identifier)] = event
+            elif sid == 0x01 and len(payload) == 2:  # OBD-II mode 01
+                last_obd_read = payload[1]
+                out.read_requests.append(
+                    ReadRequestEvent("obd2", (payload[1],), message.t_last, message.can_id)
+                )
+            continue
+
+        # ---- responses -------------------------------------------------
+        if sid == NEGATIVE_RESPONSE_SID:
+            if len(payload) >= 3 and payload[2] == 0x78:
+                continue  # responsePending: the real answer follows
+            if len(payload) >= 2:
+                key = _match_pending_io(pending_io, payload[1])
+                if key is not None:
+                    event = pending_io.pop(key)
+                    out.io_events.append(
+                        IoControlEvent(
+                            event.service, event.identifier, event.io_parameter,
+                            event.control_state, event.timestamp, positive=False,
+                        )
+                    )
+            continue
+        if sid == uds.UdsService.READ_DATA_BY_IDENTIFIER + 0x40 and last_uds_read:
+            dids, __ = last_uds_read
+            try:
+                pairs = uds.decode_read_response(dids, payload)
+            except Exception:
+                continue
+            for did, value in pairs:
+                out.observations.append(
+                    EsvObservation("uds", f"uds:{did:04X}", value, message.t_last)
+                )
+        elif sid == kwp2000.KwpService.READ_DATA_BY_LOCAL_IDENTIFIER + 0x40:
+            try:
+                local_id, records = kwp2000.decode_read_response(payload)
+            except Exception:
+                continue
+            for record in records:
+                out.observations.append(
+                    EsvObservation(
+                        "kwp",
+                        f"kwp:{local_id:02X}/{record.position}",
+                        bytes([record.x0, record.x1]),
+                        message.t_last,
+                        formula_type=record.formula_type,
+                    )
+                )
+        elif sid == 0x41 and len(payload) >= 3:  # OBD-II mode 01 response
+            pid = payload[1]
+            out.observations.append(
+                EsvObservation("obd2", f"obd2:{pid:02X}", bytes(payload[2:]), message.t_last)
+            )
+        elif sid in (
+            uds.UdsService.IO_CONTROL_BY_IDENTIFIER + 0x40,
+            kwp2000.KwpService.IO_CONTROL_BY_LOCAL_IDENTIFIER + 0x40,
+        ):
+            request_sid = sid - 0x40
+            key = _match_pending_io(pending_io, request_sid)
+            if key is not None:
+                event = pending_io.pop(key)
+                out.io_events.append(
+                    IoControlEvent(
+                        event.service, event.identifier, event.io_parameter,
+                        event.control_state, event.timestamp, positive=True,
+                    )
+                )
+    return out
+
+
+def _decode_io_request(sid: int, payload: bytes, t: float) -> Optional[IoControlEvent]:
+    try:
+        if sid == uds.UdsService.IO_CONTROL_BY_IDENTIFIER:
+            request = uds.decode_io_control_request(payload)
+            return IoControlEvent(
+                sid, request.did, request.io_parameter, request.control_state, t, False
+            )
+        identifier, ecr = kwp2000.decode_io_control_request(payload)
+        if not ecr:
+            return None
+        return IoControlEvent(sid, identifier, ecr[0], bytes(ecr[1:]), t, False)
+    except Exception:
+        return None
+
+
+def _match_pending_io(
+    pending: Dict[Tuple[int, int], IoControlEvent], request_sid: int
+) -> Optional[Tuple[int, int]]:
+    """Most recent pending IO request with the given service id."""
+    candidates = [key for key in pending if key[0] == request_sid]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda key: pending[key].timestamp)

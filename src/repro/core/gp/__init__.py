@@ -1,0 +1,20 @@
+"""Genetic-programming symbolic regression (the paper's formula inference)."""
+
+from .functions import DEFAULT_FUNCTION_NAMES, FUNCTION_SET, GpFunction
+from .tree import Node, random_tree
+from .engine import GeneticProgrammer, GpConfig, GpResult, polish_constants
+from .simplify import fold_constants, pretty
+
+__all__ = [
+    "DEFAULT_FUNCTION_NAMES",
+    "FUNCTION_SET",
+    "GpFunction",
+    "Node",
+    "random_tree",
+    "GeneticProgrammer",
+    "GpConfig",
+    "GpResult",
+    "polish_constants",
+    "fold_constants",
+    "pretty",
+]

@@ -1,0 +1,149 @@
+"""Expression trees for genetic programming.
+
+GP represents formulas as syntax trees (§3.5): interior nodes are functions
+from the 14-function set, leaves are raw-variable references (``X0``,
+``X1``) or floating-point constants.  Trees evaluate vectorised over the
+whole dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .functions import FUNCTION_SET, GpFunction
+
+
+class Node:
+    """One tree node: a function application, a variable, or a constant."""
+
+    __slots__ = ("function", "children", "var_index", "constant")
+
+    def __init__(
+        self,
+        function: Optional[GpFunction] = None,
+        children: Optional[List["Node"]] = None,
+        var_index: Optional[int] = None,
+        constant: Optional[float] = None,
+    ) -> None:
+        self.function = function
+        self.children = children or []
+        self.var_index = var_index
+        self.constant = constant
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def var(cls, index: int) -> "Node":
+        return cls(var_index=index)
+
+    @classmethod
+    def const(cls, value: float) -> "Node":
+        return cls(constant=float(value))
+
+    @classmethod
+    def call(cls, name: str, *children: "Node") -> "Node":
+        function = FUNCTION_SET[name]
+        if len(children) != function.arity:
+            raise ValueError(f"{name} takes {function.arity} children, got {len(children)}")
+        return cls(function=function, children=list(children))
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.function is None
+
+    def size(self) -> int:
+        if self.is_terminal:
+            return 1
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if self.is_terminal:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def variables_used(self) -> set:
+        if self.is_terminal:
+            return {self.var_index} if self.var_index is not None else set()
+        used: set = set()
+        for child in self.children:
+            used |= child.variables_used()
+        return used
+
+    # -------------------------------------------------------------- evaluation
+
+    def evaluate(self, columns: Sequence[np.ndarray]) -> np.ndarray:
+        """Vectorised evaluation: ``columns[i]`` holds variable i's samples."""
+        if self.var_index is not None:
+            return columns[self.var_index]
+        if self.constant is not None:
+            return np.full_like(columns[0], self.constant, dtype=float)
+        args = [child.evaluate(columns) for child in self.children]
+        with np.errstate(all="ignore"):
+            return self.function.func(*args)
+
+    def evaluate_point(self, xs: Sequence[float]) -> float:
+        columns = [np.asarray([float(x)]) for x in xs]
+        return float(self.evaluate(columns)[0])
+
+    # ------------------------------------------------------------ manipulation
+
+    def copy(self) -> "Node":
+        if self.is_terminal:
+            return Node(var_index=self.var_index, constant=self.constant)
+        return Node(function=self.function, children=[c.copy() for c in self.children])
+
+    def nodes(self) -> List["Node"]:
+        """Pre-order list of all nodes (self included)."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.nodes())
+        return out
+
+    def replace_child(self, old: "Node", new: "Node") -> bool:
+        """Replace ``old`` (by identity) anywhere in the subtree."""
+        for index, child in enumerate(self.children):
+            if child is old:
+                self.children[index] = new
+                return True
+            if child.replace_child(old, new):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ output
+
+    def to_infix(self) -> str:
+        if self.var_index is not None:
+            return f"X{self.var_index}"
+        if self.constant is not None:
+            return f"{self.constant:g}"
+        parts = [child.to_infix() for child in self.children]
+        return self.function.fmt.format(*parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Node {self.to_infix()}>"
+
+
+def random_tree(
+    rng: random.Random,
+    n_variables: int,
+    function_names: Sequence[str],
+    max_depth: int = 4,
+    const_range: float = 10.0,
+    grow: bool = True,
+) -> Node:
+    """Generate a random tree (grow or full initialisation)."""
+    if max_depth <= 1 or (grow and rng.random() < 0.3):
+        if rng.random() < 0.7:
+            return Node.var(rng.randrange(n_variables))
+        return Node.const(round(rng.uniform(-const_range, const_range), 3))
+    function = FUNCTION_SET[rng.choice(list(function_names))]
+    children = [
+        random_tree(rng, n_variables, function_names, max_depth - 1, const_range, grow)
+        for __ in range(function.arity)
+    ]
+    return Node(function=function, children=children)

@@ -1,0 +1,386 @@
+"""The DP-Reverser facade: capture in, reverse-engineering report out.
+
+Pipeline (Fig. 6a):
+
+1. diagnostic-frames analysis — screening, payload assembly, field
+   extraction (:mod:`screening`, :mod:`assembly`, :mod:`fields`);
+2. screenshot analysis — OCR the UI video, build per-label series, filter
+   OCR errors (:mod:`screenshot`);
+3. alignment — correct the camera-vs-sniffer clock offset via the OBD-II
+   anchor when present (:mod:`alignment`);
+4. request-message analysis — associate DIDs/local-ids with UI semantics
+   (:mod:`request_analysis`);
+5. response-message analysis — infer proprietary formulas with GP
+   (:mod:`response_analysis`);
+6. ECR analysis — recover the three-message control procedures
+   (:mod:`ecr_analysis`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cps.collector import Capture
+from ..cps.ocr import OcrEngine
+from .alignment import estimate_offset_via_obd, shift_series
+from .assembly import AssembledMessage, assemble
+from .ecr_analysis import EcrProcedure, attach_semantics, extract_procedures
+from .fields import EsvObservation, ExtractedFields, extract_fields
+from .gp import GpConfig
+from .request_analysis import SemanticMatch, match_semantics
+from .response_analysis import InferredFormula, infer_formula
+from .screenshot import FilterReport, UiSeries, analyze_video, extract_ui_series
+
+
+@dataclass
+class ReversedEsv:
+    """One reverse-engineered ECU signal value."""
+
+    identifier: str  # e.g. "uds:F400" / "kwp:01/0" / "obd2:0C"
+    protocol: str
+    label: str  # semantic meaning recovered from the UI
+    formula: Optional[InferredFormula]
+    is_enum: bool
+    enum_states: Dict[int, str] = field(default_factory=dict)
+    samples: List[Tuple[float, ...]] = field(default_factory=list)
+    match_score: float = 0.0
+    formula_type: int = 0  # KWP formula-type byte
+
+    @property
+    def request_format(self) -> str:
+        """The request message that reads this ESV."""
+        kind, __, rest = self.identifier.partition(":")
+        if kind == "uds":
+            return f"22 {rest[:2]} {rest[2:]}"
+        if kind == "kwp":
+            local_id = rest.split("/")[0]
+            return f"21 {local_id}"
+        return f"01 {rest}"
+
+
+@dataclass
+class ReverseReport:
+    """Everything DP-Reverser recovered from one capture."""
+
+    model: str
+    tool_name: str
+    transport: str
+    esvs: List[ReversedEsv]
+    ecrs: List[EcrProcedure]
+    camera_offset_estimate: Optional[float]
+    filter_reports: Dict[str, FilterReport]
+    n_messages: int
+    n_frames: int
+
+    @property
+    def formula_esvs(self) -> List[ReversedEsv]:
+        return [e for e in self.esvs if not e.is_enum and e.formula is not None]
+
+    @property
+    def enum_esvs(self) -> List[ReversedEsv]:
+        return [e for e in self.esvs if e.is_enum]
+
+    def esv_by_label(self, label: str) -> Optional[ReversedEsv]:
+        for esv in self.esvs:
+            if esv.label == label:
+                return esv
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the report (for tooling pipelines)."""
+        return {
+            "model": self.model,
+            "tool_name": self.tool_name,
+            "transport": self.transport,
+            "n_frames": self.n_frames,
+            "n_messages": self.n_messages,
+            "camera_offset_estimate": self.camera_offset_estimate,
+            "esvs": [
+                {
+                    "identifier": esv.identifier,
+                    "protocol": esv.protocol,
+                    "request": esv.request_format,
+                    "label": esv.label,
+                    "is_enum": esv.is_enum,
+                    "formula": esv.formula.description if esv.formula else None,
+                    "enum_states": {
+                        str(raw): text for raw, text in esv.enum_states.items()
+                    },
+                    "n_samples": len(esv.samples),
+                    "match_score": round(esv.match_score, 4),
+                }
+                for esv in self.esvs
+            ],
+            "ecrs": [
+                {
+                    "service": f"{ecr.service:02X}",
+                    "identifier": f"{ecr.identifier:04X}",
+                    "label": ecr.label,
+                    "control_state": ecr.control_state.hex(" ").upper(),
+                    "procedure": ecr.request_pattern,
+                    "complete": ecr.complete,
+                }
+                for ecr in self.ecrs
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_markdown(self) -> str:
+        """Human-readable report (the artefact a pentester files)."""
+        lines = [
+            f"# Reverse-engineering report: {self.model}",
+            "",
+            f"- Tool: {self.tool_name}",
+            f"- Transport: {self.transport}",
+            f"- Capture: {self.n_frames} frames, {self.n_messages} messages",
+            "",
+            "## ECU signal values",
+            "",
+            "| Request | Meaning | Formula / states |",
+            "|---|---|---|",
+        ]
+        for esv in self.esvs:
+            if esv.is_enum:
+                states = ", ".join(
+                    f"{raw}={text}" for raw, text in sorted(esv.enum_states.items())
+                )
+                detail = f"enum: {states}" if states else "enum"
+            else:
+                detail = esv.formula.description if esv.formula else "?"
+            lines.append(f"| `{esv.request_format}` | {esv.label} | `{detail}` |")
+        lines += ["", "## Control procedures", ""]
+        if not self.ecrs:
+            lines.append("(none observed)")
+        for ecr in self.ecrs:
+            lines.append(f"- **{ecr.label or hex(ecr.identifier)}**: `{ecr.request_pattern}`")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        lines = [
+            f"Model: {self.model} (tool: {self.tool_name}, transport: {self.transport})",
+            f"Frames: {self.n_frames}, assembled messages: {self.n_messages}",
+            f"ESVs reversed: {len(self.esvs)} "
+            f"({len(self.formula_esvs)} with formulas, {len(self.enum_esvs)} enum)",
+            f"Control procedures: {len(self.ecrs)}",
+        ]
+        for esv in self.esvs:
+            if esv.formula is not None:
+                lines.append(
+                    f"  [{esv.request_format}] {esv.label}: {esv.formula.description}"
+                )
+            else:
+                lines.append(f"  [{esv.request_format}] {esv.label}: enum")
+        for ecr in self.ecrs:
+            lines.append(f"  [ECR] {ecr.label or '?'}: {ecr.request_pattern}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AnalysisContext:
+    """Intermediate pipeline state, exposed so benches can reuse the exact
+    same datasets with alternative inference algorithms (Tab. 10)."""
+
+    capture: Capture
+    transport: str
+    messages: List[AssembledMessage]
+    fields: ExtractedFields
+    grouped: Dict[str, List[EsvObservation]]
+    series: Dict[str, UiSeries]  # filtered, alignment-corrected
+    series_raw: Dict[str, UiSeries]  # unfiltered (for robustness ablations)
+    filter_reports: Dict[str, FilterReport]
+    matches: List[SemanticMatch]
+    offset: Optional[float]
+
+
+class DPReverser:
+    """The reverse-engineering pipeline."""
+
+    def __init__(
+        self,
+        gp_config: Optional[GpConfig] = None,
+        ocr_seed: int = 23,
+        estimate_alignment: bool = True,
+    ) -> None:
+        self.gp_config = gp_config or GpConfig()
+        self.ocr_seed = ocr_seed
+        self.estimate_alignment = estimate_alignment
+
+    # -------------------------------------------------------------- stages 1-4
+
+    def analyze(
+        self,
+        capture: Capture,
+        messages: Optional[List[AssembledMessage]] = None,
+        transport: str = "",
+    ) -> AnalysisContext:
+        """Run every stage up to (not including) formula inference.
+
+        ``messages`` may be supplied pre-assembled for captures that did
+        not travel over CAN — e.g. K-Line byte logs de-framed by
+        :func:`repro.transport.kline.parse_capture`.
+        """
+        from .screening import detect_transport
+
+        if messages is None:
+            frames = list(capture.can_log)
+            transport = transport or detect_transport(frames)
+            messages = assemble(frames, transport)
+        else:
+            transport = transport or "kline"
+            messages = sorted(messages, key=lambda m: m.t_last)
+        fields = extract_fields(messages)
+        grouped = fields.by_identifier()
+
+        ocr = OcrEngine(capture.tool_error_rate, seed=self.ocr_seed)
+        series, reports = analyze_video(capture.video, ocr)
+        raw_ocr = OcrEngine(capture.tool_error_rate, seed=self.ocr_seed)
+        series_raw = extract_ui_series(raw_ocr.read_video(list(capture.video)))
+
+        offset: Optional[float] = None
+        if self.estimate_alignment:
+            offset = estimate_offset_via_obd(fields.observations, series)
+            if offset is not None and abs(offset) > 1e-6:
+                series = shift_series(series, offset)
+                series_raw = shift_series(series_raw, offset)
+
+        matches = self._match(grouped, series, capture)
+        return AnalysisContext(
+            capture=capture,
+            transport=transport,
+            messages=messages,
+            fields=fields,
+            grouped=grouped,
+            series=series,
+            series_raw=series_raw,
+            filter_reports=reports,
+            matches=matches,
+            offset=offset,
+        )
+
+    def _match(
+        self,
+        grouped: Dict[str, List[EsvObservation]],
+        series: Dict[str, UiSeries],
+        capture: Capture,
+    ) -> List[SemanticMatch]:
+        """Semantic matching, per live segment when the click log has them."""
+        live_segments = [s for s in capture.segments if s.kind == "live"]
+        if not live_segments:
+            return match_semantics(grouped, series)
+        matches: List[SemanticMatch] = []
+        matched_ids: set = set()
+        matched_labels: set = set()
+        for segment in live_segments:
+            window = (segment.t_start - 1.0, segment.t_end + 1.0)
+            segment_grouped = {
+                key: value for key, value in grouped.items() if key not in matched_ids
+            }
+            segment_series = {
+                key: value for key, value in series.items() if key not in matched_labels
+            }
+            for match in match_semantics(segment_grouped, segment_series, window):
+                matches.append(match)
+                matched_ids.add(match.identifier)
+                matched_labels.add(match.label)
+        return matches
+
+    # ----------------------------------------------------------------- stage 5
+
+    def reverse_engineer(self, capture: Capture) -> ReverseReport:
+        """Run the full pipeline on a capture."""
+        context = self.analyze(capture)
+        return self.infer(context)
+
+    def infer(self, context: AnalysisContext) -> ReverseReport:
+        """Formula inference + ECR analysis over an analysis context."""
+        esvs: List[ReversedEsv] = []
+        for match in context.matches:
+            observations = context.grouped[match.identifier]
+            series = context.series.get(match.label)
+            if series is None:
+                continue
+            protocol = observations[0].protocol
+            formula_type = observations[0].formula_type
+            if match.method == "change-times" or not series.is_numeric:
+                esvs.append(
+                    ReversedEsv(
+                        identifier=match.identifier,
+                        protocol=protocol,
+                        label=match.label,
+                        formula=None,
+                        is_enum=True,
+                        enum_states=_enum_states(observations, series),
+                        samples=[tuple(o.variables()) for o in observations],
+                        match_score=match.score,
+                        formula_type=formula_type,
+                    )
+                )
+                continue
+            config = replace(
+                self.gp_config, seed=_stable_seed(match.identifier, self.gp_config.seed)
+            )
+            inferred = infer_formula(observations, series, config)
+            esvs.append(
+                ReversedEsv(
+                    identifier=match.identifier,
+                    protocol=protocol,
+                    label=match.label,
+                    formula=inferred,
+                    is_enum=False,
+                    samples=[tuple(o.variables()) for o in observations],
+                    match_score=match.score,
+                    formula_type=formula_type,
+                )
+            )
+
+        procedures = extract_procedures(context.fields.io_events)
+        attach_semantics(procedures, context.capture.segments)
+        return ReverseReport(
+            model=context.capture.model,
+            tool_name=context.capture.tool_name,
+            transport=context.transport,
+            esvs=esvs,
+            ecrs=procedures,
+            camera_offset_estimate=context.offset,
+            filter_reports=context.filter_reports,
+            n_messages=len(context.messages),
+            n_frames=len(context.capture.can_log),
+        )
+
+
+def _stable_seed(identifier: str, base: int) -> int:
+    return (zlib.crc32(identifier.encode()) ^ base) & 0x7FFFFFFF
+
+
+def _enum_states(
+    observations: Sequence[EsvObservation], series: UiSeries
+) -> Dict[int, str]:
+    """Map each raw state value to the text most often shown with it."""
+    votes: Dict[int, Dict[str, int]] = {}
+    samples = series.samples
+    if not samples:
+        return {}
+    sample_index = 0
+    for obs in observations:
+        while (
+            sample_index + 1 < len(samples)
+            and abs(samples[sample_index + 1].timestamp - obs.timestamp)
+            <= abs(samples[sample_index].timestamp - obs.timestamp)
+        ):
+            sample_index += 1
+        nearest = samples[sample_index]
+        if abs(nearest.timestamp - obs.timestamp) > 1.5:
+            continue
+        raw = obs.as_int()
+        votes.setdefault(raw, {}).setdefault(nearest.text, 0)
+        votes[raw][nearest.text] += 1
+    return {
+        raw: max(texts.items(), key=lambda item: item[1])[0]
+        for raw, texts in votes.items()
+    }

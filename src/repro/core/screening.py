@@ -1,0 +1,118 @@
+"""Step 1 of diagnostic-frames analysis: screening (§3.2).
+
+Captured traffic mixes payload-carrying frames with pure control frames.
+Screening removes the latter:
+
+* **ISO 15765-2** — flow-control frames (PCI nibble ``0x3``) only notify the
+  sender of receiver properties; drop them, keep SF/FF/CF.
+* **VW TP 2.0** — broadcast/channel-setup, channel-parameter and ACK frames
+  carry no payload; keep only data-transmission frames.
+* **BMW extended addressing** — same as ISO-TP after the address byte
+  (handled by the assembler); screening drops flow control at offset 1.
+
+The module also auto-detects which transport a capture uses, so the
+pipeline needs no per-vehicle configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..can import CanFrame, CanLog
+from ..transport.isotp import PciType
+from ..transport.vwtp import (
+    BROADCAST_ID_BASE,
+    VwTpFrameKind,
+    classify_vwtp_frame,
+)
+
+#: Known transports, in the vocabulary of this module.
+TRANSPORT_ISOTP = "isotp"
+TRANSPORT_VWTP = "vwtp"
+TRANSPORT_BMW = "bmw"
+
+
+def _isotp_pci_nibble(data: bytes, offset: int = 0) -> int:
+    if len(data) <= offset:
+        return -1
+    return data[offset] >> 4
+
+
+def detect_transport(frames: Iterable[CanFrame]) -> str:
+    """Guess the transport family of a capture.
+
+    VW TP 2.0 reveals itself through channel-setup frames in the broadcast
+    id range; BMW extended addressing through frames whose *second* byte
+    carries a valid ISO-TP PCI while the first byte repeats per CAN id (the
+    ECU address).  Plain ISO-TP is the default.
+    """
+    frames = list(frames)
+    for frame in frames:
+        if (
+            BROADCAST_ID_BASE <= frame.can_id <= BROADCAST_ID_BASE + 0xFF
+            and len(frame.data) >= 2
+            and frame.data[1] in (0xC0, 0xD0)
+        ):
+            return TRANSPORT_VWTP
+    # BMW heuristic: per-id constant first byte + valid PCI at offset 1,
+    # while offset 0 is *not* a globally valid PCI for a decent fraction.
+    votes_bmw = 0
+    votes_isotp = 0
+    first_bytes = {}
+    for frame in frames:
+        if len(frame.data) < 2:
+            continue
+        first_bytes.setdefault(frame.can_id, set()).add(frame.data[0])
+        pci0 = _isotp_pci_nibble(frame.data, 0)
+        pci1 = _isotp_pci_nibble(frame.data, 1)
+        if pci0 in (0x0, 0x1, 0x2, 0x3):
+            # Could still be BMW if byte 0 is an address that happens to
+            # have a low nibble; disambiguate via per-id constancy below.
+            votes_isotp += 1
+        if pci1 in (0x0, 0x1, 0x2, 0x3):
+            votes_bmw += 1
+    constant_first = [ids for ids in first_bytes.values() if len(ids) == 1]
+    if (
+        first_bytes
+        and len(constant_first) == len(first_bytes)
+        and votes_bmw >= votes_isotp
+        and any(next(iter(ids)) not in range(0x00, 0x40) for ids in first_bytes.values())
+    ):
+        return TRANSPORT_BMW
+    return TRANSPORT_ISOTP
+
+
+def screen_isotp(frames: Iterable[CanFrame], pci_offset: int = 0) -> List[CanFrame]:
+    """Keep SF/FF/CF frames; drop flow control and non-ISO-TP noise."""
+    kept: List[CanFrame] = []
+    for frame in frames:
+        nibble = _isotp_pci_nibble(frame.data, pci_offset)
+        if nibble in (PciType.SINGLE, PciType.FIRST, PciType.CONSECUTIVE):
+            kept.append(frame)
+    return kept
+
+
+def screen_vwtp(frames: Iterable[CanFrame]) -> List[CanFrame]:
+    """Keep only TP 2.0 data-transmission frames (§3.2 Step 1)."""
+    return [
+        frame
+        for frame in frames
+        if classify_vwtp_frame(frame) == VwTpFrameKind.DATA
+    ]
+
+
+def screen(frames: Iterable[CanFrame], transport: str) -> List[CanFrame]:
+    """Dispatch to the right screener for ``transport``."""
+    if transport == TRANSPORT_VWTP:
+        return screen_vwtp(frames)
+    if transport == TRANSPORT_BMW:
+        return screen_isotp(frames, pci_offset=1)
+    if transport == TRANSPORT_ISOTP:
+        return screen_isotp(frames, pci_offset=0)
+    raise ValueError(f"unknown transport {transport!r}")
+
+
+def screen_log(log: CanLog, transport: str = "") -> List[CanFrame]:
+    """Screen a whole capture, auto-detecting the transport when not given."""
+    frames = list(log)
+    return screen(frames, transport or detect_transport(frames))

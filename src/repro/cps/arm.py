@@ -1,0 +1,147 @@
+"""The robotic clicker (stylus arm) and its control scripts.
+
+The arm moves a stylus straight along the coordinate axes at fixed speed
+and taps the tool's touchscreen (§3.1).  Scripts are sequences of *click*
+and *wait* statements produced by the script generator; the executor runs
+them against a :class:`~repro.tools.diagtool.DiagnosticTool` and logs every
+tap with its timestamp — the log later splits the CAN capture and the video
+into per-action parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..simtime import SimClock
+from .planner import manhattan
+
+Point = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ClickStatement:
+    """Tap the screen at (x, y).  ``label`` is kept for the action log."""
+
+    x: int
+    y: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class WaitStatement:
+    """Idle for ``seconds`` so the tool can react (or stream live data)."""
+
+    seconds: float
+
+
+Statement = Union[ClickStatement, WaitStatement]
+
+
+@dataclass
+class Script:
+    """An executable clicking script."""
+
+    statements: List[Statement] = field(default_factory=list)
+
+    def append_click(self, x: int, y: int, label: str = "") -> None:
+        self.statements.append(ClickStatement(x, y, label))
+
+    def append_wait(self, seconds: float) -> None:
+        self.statements.append(WaitStatement(seconds))
+
+
+class ScriptGenerator:
+    """Turns an ordered target list into a script (§3.1 "Script Generator").
+
+    A wait statement follows every click; clicks that start a long-running
+    action (reading a data stream) get the long ``read_wait_s``.
+    """
+
+    def __init__(self, click_wait_s: float = 1.0, read_wait_s: float = 30.0) -> None:
+        self.click_wait_s = click_wait_s
+        self.read_wait_s = read_wait_s
+
+    def generate(
+        self, targets: Sequence[Tuple[Point, str]], long_wait_labels: Sequence[str] = ()
+    ) -> Script:
+        script = Script()
+        long_labels = set(long_wait_labels)
+        for (x, y), label in targets:
+            script.append_click(x, y, label)
+            wait = self.read_wait_s if label in long_labels else self.click_wait_s
+            script.append_wait(wait)
+        return script
+
+
+@dataclass
+class ClickRecord:
+    """One executed tap (the §3.1 logger output)."""
+
+    timestamp: float
+    x: int
+    y: int
+    label: str
+    hit: bool  # whether a widget handled the tap
+
+
+class RoboticClicker:
+    """Kinematic model of the stylus arm.
+
+    Moves at ``speed_px_s`` along axis-aligned paths, taps, and logs.  All
+    timing flows through the shared simulated clock, so arm travel shows up
+    in frame timestamps just like in the physical rig.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        speed_px_s: float = 400.0,
+        tap_duration_s: float = 0.15,
+        home: Point = (0, 0),
+    ) -> None:
+        if speed_px_s <= 0:
+            raise ValueError("stylus speed must be positive")
+        self.clock = clock
+        self.speed_px_s = speed_px_s
+        self.tap_duration_s = tap_duration_s
+        self.position: Point = home
+        self.log: List[ClickRecord] = []
+        self.total_travel_px = 0.0
+
+    def move_to(self, x: int, y: int) -> float:
+        """Travel to (x, y); returns the travel time spent."""
+        distance = manhattan(self.position, (x, y))
+        travel_time = distance / self.speed_px_s
+        self.clock.advance(travel_time)
+        self.total_travel_px += distance
+        self.position = (x, y)
+        return travel_time
+
+    def click(self, x: int, y: int, tap: Callable[[int, int], bool], label: str = "") -> bool:
+        """Move to (x, y) and tap; returns whether a widget fired."""
+        self.move_to(x, y)
+        self.clock.advance(self.tap_duration_s)
+        hit = tap(x, y)
+        self.log.append(ClickRecord(self.clock.now(), x, y, label, hit))
+        return hit
+
+    def run_script(
+        self,
+        script: Script,
+        tap: Callable[[int, int], bool],
+        on_wait: Optional[Callable[[float], None]] = None,
+    ) -> List[ClickRecord]:
+        """Execute ``script``; ``on_wait`` is called instead of idle sleeps
+        so the caller can keep the tool ticking (live data) while waiting."""
+        executed: List[ClickRecord] = []
+        for statement in script.statements:
+            if isinstance(statement, ClickStatement):
+                self.click(statement.x, statement.y, tap, statement.label)
+                executed.append(self.log[-1])
+            else:
+                if on_wait is not None:
+                    on_wait(statement.seconds)
+                else:
+                    self.clock.advance(statement.seconds)
+        return executed

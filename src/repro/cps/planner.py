@@ -1,0 +1,109 @@
+"""Click-sequence planning.
+
+The stylus moves straight along the coordinate axes at fixed speed (§3.1),
+so visiting a set of on-screen targets is a travelling-salesman instance
+under the Manhattan metric.  The paper approximates it with the
+nearest-neighbour heuristic and reports a ≈7.3 % move-time saving over a
+random order for 14 targets; :func:`nearest_neighbour_route`,
+:func:`random_route` and :func:`brute_force_route` provide the heuristic,
+the baseline and the exact optimum (for small instances) respectively.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[int, int]
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Axis-aligned stylus travel distance between two targets."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def route_length(start: Point, route: Sequence[Point], closed: bool = False) -> float:
+    """Total travel for visiting ``route`` in order from ``start``.
+
+    With ``closed`` the stylus returns to ``start`` afterwards (the TSP
+    formulation of §3.1).
+    """
+    total = 0.0
+    position = start
+    for point in route:
+        total += manhattan(position, point)
+        position = point
+    if closed and route:
+        total += manhattan(position, start)
+    return total
+
+
+def nearest_neighbour_route(start: Point, targets: Sequence[Point]) -> List[Point]:
+    """Greedy nearest-neighbour ordering (the paper's planner)."""
+    remaining = list(targets)
+    route: List[Point] = []
+    position = start
+    while remaining:
+        best_index = min(
+            range(len(remaining)), key=lambda i: manhattan(position, remaining[i])
+        )
+        position = remaining.pop(best_index)
+        route.append(position)
+    return route
+
+
+def random_route(
+    targets: Sequence[Point], rng: Optional[random.Random] = None
+) -> List[Point]:
+    """Uniform random ordering — the paper's comparison baseline."""
+    route = list(targets)
+    (rng or random.Random()).shuffle(route)
+    return route
+
+
+def brute_force_route(
+    start: Point, targets: Sequence[Point], closed: bool = False
+) -> List[Point]:
+    """Exact optimum by exhaustive search.  Only for small target sets."""
+    if len(targets) > 9:
+        raise ValueError(
+            f"brute force over {len(targets)} targets is intractable; "
+            "use nearest_neighbour_route"
+        )
+    best: Optional[List[Point]] = None
+    best_length = float("inf")
+    for permutation in itertools.permutations(targets):
+        length = route_length(start, permutation, closed=closed)
+        if length < best_length:
+            best_length = length
+            best = list(permutation)
+    return best or []
+
+
+class ClickPlanner:
+    """Plans the visiting order for a set of on-screen targets.
+
+    ``plan`` keeps target identity: it accepts ``(point, payload)`` pairs
+    and returns them reordered, so callers can carry widget labels through
+    the planning step.
+    """
+
+    def __init__(self, start: Point = (0, 0)) -> None:
+        self.start = start
+
+    def plan(self, targets: Sequence[Tuple[Point, object]]) -> List[Tuple[Point, object]]:
+        by_point = {}
+        for point, payload in targets:
+            by_point.setdefault(point, []).append(payload)
+        route = nearest_neighbour_route(self.start, [point for point, __ in targets])
+        ordered: List[Tuple[Point, object]] = []
+        seen: dict = {}
+        for point in route:
+            index = seen.get(point, 0)
+            ordered.append((point, by_point[point][index]))
+            seen[point] = index + 1
+        return ordered
+
+    def travel(self, targets: Sequence[Point]) -> float:
+        return route_length(self.start, nearest_neighbour_route(self.start, targets))

@@ -1,0 +1,204 @@
+"""KWP 2000 (ISO 14230-3) application-layer codec and formula-type table.
+
+Services implemented (the ones DP-Reverser reverse engineers, §2.3.1):
+
+====  =========================================  ==========================
+ SID  Service                                    Use
+====  =========================================  ==========================
+0x21  readDataByLocalIdentifier                  read ESVs
+0x30  inputOutputControlByLocalIdentifier        actuate components
+0x2F  inputOutputControlByCommonIdentifier       actuate (2-byte id)
+0x10  startDiagnosticSession                     session entry
+====  =========================================  ==========================
+
+A KWP 2000 ESV record is three bytes: a *formula-type* byte selecting the
+conversion formula, followed by the two raw variables ``X0`` and ``X1``
+(§2.3.1).  :data:`KWP_FORMULA_TABLE` holds the per-type formulas the
+*diagnostic tool* knows; they are exactly what DP-Reverser must recover
+from the outside.  Types follow the VAG measuring-block convention — e.g.
+type ``0x01`` is ``Y = X0*X1/5`` (the paper's engine-RPM example,
+``01 F1 10`` → 241*16/5 = 771.2 rpm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Tuple
+
+from ..formulas import EnumFormula, ExpressionFormula, Formula, ProductFormula
+from .messages import (
+    DiagnosticError,
+    POSITIVE_RESPONSE_OFFSET,
+    is_negative_response,
+)
+
+ESV_RECORD_SIZE = 3
+
+
+class KwpService(IntEnum):
+    START_DIAGNOSTIC_SESSION = 0x10
+    READ_DATA_BY_LOCAL_IDENTIFIER = 0x21
+    IO_CONTROL_BY_COMMON_IDENTIFIER = 0x2F
+    IO_CONTROL_BY_LOCAL_IDENTIFIER = 0x30
+
+
+def _two_var(func, description, unit=""):
+    return ExpressionFormula(func, arity=2, description=description, unit=unit)
+
+
+#: Formula-type byte -> conversion formula (VAG measuring-block style).
+#: Enum types (0x10, 0x25) carry states rather than physical quantities.
+KWP_FORMULA_TABLE: Dict[int, Formula] = {
+    0x01: ProductFormula(0.2, unit="rpm"),  # Y = X0*X1/5
+    0x02: ProductFormula(0.002, unit="%"),
+    0x03: ProductFormula(0.002, unit="deg"),
+    0x04: _two_var(lambda xs: abs(xs[1] - 127) * 0.01 * xs[0], "Y = |X1-127|*0.01*X0", "deg"),
+    0x05: _two_var(lambda xs: xs[0] * (xs[1] - 100) * 0.1, "Y = X0*(X1-100)*0.1", "degC"),
+    0x06: ProductFormula(0.001, unit="V"),
+    0x07: ProductFormula(0.01, unit="km/h"),
+    0x08: ProductFormula(0.1, unit=""),
+    0x0F: ProductFormula(0.01, unit="ms"),
+    0x10: EnumFormula(unit="bits"),
+    0x12: ProductFormula(0.04, unit="mbar"),
+    0x13: ProductFormula(0.01, unit="l"),
+    0x14: _two_var(lambda xs: xs[0] * (xs[1] - 128) / 128.0, "Y = X0*(X1-128)/128", "%"),
+    0x15: ProductFormula(0.001, unit="V"),
+    0x16: ProductFormula(0.001, unit="ms"),
+    0x17: _two_var(lambda xs: xs[0] * xs[1] / 256.0, "Y = X0*X1/256", "%"),
+    0x19: _two_var(lambda xs: xs[0] * 1.421 + xs[1] / 182.0, "Y = X0*1.421 + X1/182", "g/s"),
+    0x1A: _two_var(lambda xs: xs[1] - xs[0], "Y = X1 - X0", "degC"),
+    0x21: _two_var(
+        lambda xs: xs[1] * 100.0 / xs[0] if xs[0] else xs[1] * 100.0,
+        "Y = X1*100/X0",
+        "%",
+    ),
+    0x22: _two_var(lambda xs: (xs[1] - 128) * 0.01 * xs[0], "Y = (X1-128)*0.01*X0", "kW"),
+    0x23: _two_var(lambda xs: xs[0] * xs[1] / 100.0, "Y = X0*X1/100", ""),
+    0x24: _two_var(lambda xs: (xs[0] * 256 + xs[1]) * 10.0, "Y = (256*X0+X1)*10", "km"),
+    0x25: EnumFormula(unit="state"),
+    0x31: _two_var(lambda xs: xs[0] * xs[1] / 40.0, "Y = X0*X1/40", "mg/s"),
+    0x36: ProductFormula(1.0, unit="count"),
+}
+
+#: Formula types that carry enumerated states instead of physical values.
+ENUM_FORMULA_TYPES = frozenset(
+    ftype for ftype, formula in KWP_FORMULA_TABLE.items() if isinstance(formula, EnumFormula)
+)
+
+
+def formula_for_type(formula_type: int) -> Formula:
+    """Look up the conversion formula for a KWP formula-type byte."""
+    try:
+        return KWP_FORMULA_TABLE[formula_type]
+    except KeyError as exc:
+        raise DiagnosticError(f"unknown KWP formula type {formula_type:#04x}") from exc
+
+
+# --------------------------------------------------------------------- encode
+
+
+def encode_read_by_local_id(local_id: int) -> bytes:
+    """Build a readDataByLocalIdentifier request (Fig. 3)."""
+    if not 0 <= local_id <= 0xFF:
+        raise DiagnosticError(f"local id {local_id:#x} must fit one byte")
+    return bytes([KwpService.READ_DATA_BY_LOCAL_IDENTIFIER, local_id])
+
+
+def encode_io_control_local(local_id: int, ecr: bytes) -> bytes:
+    """Build an inputOutputControlByLocalIdentifier request (Fig. 2)."""
+    if not 0 <= local_id <= 0xFF:
+        raise DiagnosticError(f"local id {local_id:#x} must fit one byte")
+    return bytes([KwpService.IO_CONTROL_BY_LOCAL_IDENTIFIER, local_id]) + bytes(ecr)
+
+
+def encode_io_control_common(common_id: int, ecr: bytes) -> bytes:
+    """Build an inputOutputControlByCommonIdentifier request (2-byte id)."""
+    if not 0 <= common_id <= 0xFFFF:
+        raise DiagnosticError(f"common id {common_id:#x} must fit two bytes")
+    return (
+        bytes([KwpService.IO_CONTROL_BY_COMMON_IDENTIFIER])
+        + common_id.to_bytes(2, "big")
+        + bytes(ecr)
+    )
+
+
+def encode_read_response(local_id: int, records: List[Tuple[int, int, int]]) -> bytes:
+    """Build a positive readDataByLocalIdentifier response.
+
+    ``records`` is a list of ``(formula_type, X0, X1)`` triples.
+    """
+    out = bytearray(
+        [KwpService.READ_DATA_BY_LOCAL_IDENTIFIER + POSITIVE_RESPONSE_OFFSET, local_id]
+    )
+    for formula_type, x0, x1 in records:
+        out += bytes([formula_type, x0, x1])
+    return bytes(out)
+
+
+# --------------------------------------------------------------------- decode
+
+
+@dataclass(frozen=True)
+class KwpEsv:
+    """One decoded 3-byte ESV record."""
+
+    position: int  # index within the response (which measurement slot)
+    formula_type: int
+    x0: int
+    x1: int
+
+    def raw(self) -> Tuple[int, int]:
+        return (self.x0, self.x1)
+
+    def value(self) -> float:
+        """Physical value per the (hidden) formula table — tool side only."""
+        return formula_for_type(self.formula_type)((self.x0, self.x1))
+
+
+def decode_read_request(payload: bytes) -> int:
+    """Extract the local identifier of a readDataByLocalIdentifier request."""
+    if len(payload) != 2 or payload[0] != KwpService.READ_DATA_BY_LOCAL_IDENTIFIER:
+        raise DiagnosticError(f"not a readDataByLocalIdentifier request: {payload.hex()}")
+    return payload[1]
+
+
+def decode_read_response(payload: bytes) -> Tuple[int, List[KwpEsv]]:
+    """Split a positive response into its local id and 3-byte ESV records."""
+    if is_negative_response(payload):
+        raise DiagnosticError(f"negative response: {payload.hex()}")
+    expected = KwpService.READ_DATA_BY_LOCAL_IDENTIFIER + POSITIVE_RESPONSE_OFFSET
+    if len(payload) < 2 or payload[0] != expected:
+        raise DiagnosticError(f"not a readDataByLocalIdentifier response: {payload.hex()}")
+    local_id = payload[1]
+    body = payload[2:]
+    if len(body) % ESV_RECORD_SIZE:
+        raise DiagnosticError(
+            f"response body of {len(body)} bytes is not a whole number of "
+            f"{ESV_RECORD_SIZE}-byte ESV records"
+        )
+    records = [
+        KwpEsv(i // ESV_RECORD_SIZE, body[i], body[i + 1], body[i + 2])
+        for i in range(0, len(body), ESV_RECORD_SIZE)
+    ]
+    return local_id, records
+
+
+def decode_io_control_request(payload: bytes) -> Tuple[int, bytes]:
+    """Parse an IO-control request into (identifier, ECR bytes).
+
+    Handles both the local-identifier (0x30) and common-identifier (0x2F)
+    variants.
+    """
+    if not payload:
+        raise DiagnosticError("empty payload")
+    sid = payload[0]
+    if sid == KwpService.IO_CONTROL_BY_LOCAL_IDENTIFIER:
+        if len(payload) < 2:
+            raise DiagnosticError(f"truncated IO-control request: {payload.hex()}")
+        return payload[1], bytes(payload[2:])
+    if sid == KwpService.IO_CONTROL_BY_COMMON_IDENTIFIER:
+        if len(payload) < 3:
+            raise DiagnosticError(f"truncated IO-control request: {payload.hex()}")
+        return int.from_bytes(payload[1:3], "big"), bytes(payload[3:])
+    raise DiagnosticError(f"not a KWP IO-control request: {payload.hex()}")

@@ -1,0 +1,186 @@
+"""Formula objects shared by the simulator and the reverse-engineering core.
+
+A *formula* maps the raw integer value(s) carried in a diagnostic response
+(the paper's ``X`` / ``X0, X1``) to the physical value shown on the
+diagnostic tool's screen (``Y``).  Vehicle manufacturers keep these
+proprietary; the whole point of DP-Reverser's response-message analysis is to
+recover them.
+
+The same classes serve three roles:
+
+* simulated vehicles/tools use them as the hidden ground truth;
+* the genetic-programming engine emits :class:`ExpressionFormula` instances;
+* :mod:`repro.core.verification` compares candidate and ground-truth
+  formulas by numeric equivalence over the observed input range (the
+  paper's correctness criterion, §4.2).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+
+class Formula(abc.ABC):
+    """A numeric mapping from raw response values to a physical value."""
+
+    #: number of raw input variables (1 for UDS ESVs, 2 for KWP 2000 ESVs)
+    arity: int = 1
+    #: physical unit of the output, e.g. ``"rpm"`` (informational)
+    unit: str = ""
+
+    @abc.abstractmethod
+    def __call__(self, xs: Sequence[float]) -> float:
+        """Evaluate the formula on raw values ``xs`` (length == arity)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``"Y = 0.2*X0*X1"``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class AffineFormula(Formula):
+    """``Y = a*X + b`` — the most common single-variable shape."""
+
+    def __init__(self, a: float, b: float = 0.0, unit: str = "") -> None:
+        self.a = a
+        self.b = b
+        self.unit = unit
+
+    arity = 1
+
+    def __call__(self, xs: Sequence[float]) -> float:
+        return self.a * xs[0] + self.b
+
+    def describe(self) -> str:
+        if self.b == 0:
+            return f"Y = {self.a:g}*X"
+        sign = "+" if self.b >= 0 else "-"
+        return f"Y = {self.a:g}*X {sign} {abs(self.b):g}"
+
+
+class ProductFormula(Formula):
+    """``Y = c*X0*X1`` — the canonical KWP 2000 two-variable shape."""
+
+    arity = 2
+
+    def __init__(self, c: float, unit: str = "") -> None:
+        self.c = c
+        self.unit = unit
+
+    def __call__(self, xs: Sequence[float]) -> float:
+        return self.c * xs[0] * xs[1]
+
+    def describe(self) -> str:
+        return f"Y = {self.c:g}*X0*X1"
+
+
+class TwoVarAffineFormula(Formula):
+    """``Y = a0*X0 + a1*X1 + b`` (e.g. OBD-II engine RPM with a0=64)."""
+
+    arity = 2
+
+    def __init__(self, a0: float, a1: float, b: float = 0.0, unit: str = "") -> None:
+        self.a0 = a0
+        self.a1 = a1
+        self.b = b
+        self.unit = unit
+
+    def __call__(self, xs: Sequence[float]) -> float:
+        return self.a0 * xs[0] + self.a1 * xs[1] + self.b
+
+    def describe(self) -> str:
+        return f"Y = {self.a0:g}*X0 + {self.a1:g}*X1 + {self.b:g}"
+
+
+class ExpressionFormula(Formula):
+    """An arbitrary callable with a textual description.
+
+    Used for the handful of genuinely non-linear manufacturer formulas and
+    as the common currency emitted by the GP engine and the baselines.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[Sequence[float]], float],
+        arity: int,
+        description: str,
+        unit: str = "",
+    ) -> None:
+        self._func = func
+        self.arity = arity
+        self._description = description
+        self.unit = unit
+
+    def __call__(self, xs: Sequence[float]) -> float:
+        return self._func(xs)
+
+    def describe(self) -> str:
+        return self._description
+
+
+class EnumFormula(Formula):
+    """A status/enumeration 'formula' — raw values map to labels, not numbers.
+
+    The paper counts these separately (Tab. 6's ``#ESV (Enum)`` column):
+    no numeric formula exists, e.g. door open/closed.  Evaluation returns
+    the raw value unchanged so enum ESVs still flow through the pipeline.
+    """
+
+    arity = 1
+
+    def __init__(self, labels: Optional[Dict[int, str]] = None, unit: str = "") -> None:
+        self.labels = labels or {}
+        self.unit = unit
+
+    def __call__(self, xs: Sequence[float]) -> float:
+        return float(xs[0])
+
+    def label(self, raw: int) -> str:
+        return self.labels.get(raw, f"state {raw}")
+
+    def describe(self) -> str:
+        return "enum"
+
+
+def formulas_equivalent(
+    candidate: Formula,
+    truth: Formula,
+    samples: Sequence[Tuple[float, ...]],
+    rel_tol: float = 0.05,
+    abs_tol: float = 0.5,
+    range_tol: float = 0.03,
+) -> bool:
+    """Numeric-equivalence check over the *observed* input range.
+
+    The paper accepts an inferred formula when its outputs match the ground
+    truth over the values actually seen in traffic (e.g. ``Y=1.7X-22`` vs
+    ``Y=1.8X-40`` on X in 0xA0..0xC0, §4.2), and explicitly tolerates the
+    slight coefficient deviations its display-lag noise induces (§4.3).  We
+    therefore compare outputs sample-by-sample, with a tolerance that is
+    the larger of an absolute floor, a per-value relative bound, and a
+    small fraction of the output *range* (so a formula that tracks the
+    whole sweep but carries a tiny offset — the paper's accepted case — is
+    not rejected at the bottom of the range).
+    """
+    if not samples:
+        return False
+    try:
+        wants = [truth(xs) for xs in samples]
+    except (ValueError, ZeroDivisionError, OverflowError):
+        return False
+    spread = max(wants) - min(wants)
+    for xs, want in zip(samples, wants):
+        try:
+            got = candidate(xs)
+        except (ValueError, ZeroDivisionError, OverflowError):
+            return False
+        if math.isnan(got) or math.isinf(got):
+            return False
+        tolerance = max(abs_tol, rel_tol * abs(want), range_tol * spread)
+        if abs(got - want) > tolerance:
+            return False
+    return True

@@ -1,0 +1,149 @@
+"""Capture persistence.
+
+A :class:`~repro.cps.collector.Capture` saves to a directory so collection
+and reverse engineering can run as separate steps (or so externally
+recorded data can be fed to the pipeline):
+
+====================  ====================================================
+``meta.json``         model, tool name, OCR error rate, camera offset
+``can.log``           the CAN capture in ``candump -L`` format
+``video.jsonl``       one JSON object per captured frame (regions + time)
+``clicks.jsonl``      the robotic clicker's log
+``segments.json``     the per-action windows derived from the click log
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .can import CanLog
+from .cps.arm import ClickRecord
+from .cps.camera import CapturedFrame, TextRegion
+from .cps.collector import Capture, Segment
+
+FORMAT_VERSION = 1
+
+
+def save_capture(capture: Capture, directory: Union[str, Path]) -> Path:
+    """Write ``capture`` into ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    (directory / "meta.json").write_text(
+        json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "model": capture.model,
+                "tool_name": capture.tool_name,
+                "tool_error_rate": capture.tool_error_rate,
+                "camera_offset_s": capture.camera_offset_s,
+            },
+            indent=2,
+        )
+    )
+    capture.can_log.save(directory / "can.log")
+
+    with (directory / "video.jsonl").open("w") as handle:
+        for frame in capture.video:
+            handle.write(
+                json.dumps(
+                    {
+                        "timestamp": frame.timestamp,
+                        "screen_name": frame.screen_name,
+                        "regions": [
+                            {
+                                "text": r.text,
+                                "x": r.x,
+                                "y": r.y,
+                                "width": r.width,
+                                "height": r.height,
+                                "kind": r.kind,
+                                "icon": r.icon,
+                            }
+                            for r in frame.regions
+                        ],
+                    }
+                )
+                + "\n"
+            )
+
+    with (directory / "clicks.jsonl").open("w") as handle:
+        for click in capture.clicks:
+            handle.write(
+                json.dumps(
+                    {
+                        "timestamp": click.timestamp,
+                        "x": click.x,
+                        "y": click.y,
+                        "label": click.label,
+                        "hit": click.hit,
+                    }
+                )
+                + "\n"
+            )
+
+    (directory / "segments.json").write_text(
+        json.dumps(
+            [
+                {
+                    "kind": s.kind,
+                    "ecu": s.ecu,
+                    "label": s.label,
+                    "t_start": s.t_start,
+                    "t_end": s.t_end,
+                }
+                for s in capture.segments
+            ],
+            indent=2,
+        )
+    )
+    return directory
+
+
+def load_capture(directory: Union[str, Path]) -> Capture:
+    """Read a capture previously written by :func:`save_capture`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported capture format {meta.get('format_version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+    video: List[CapturedFrame] = []
+    for line in (directory / "video.jsonl").read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        video.append(
+            CapturedFrame(
+                timestamp=record["timestamp"],
+                screen_name=record["screen_name"],
+                regions=[TextRegion(**region) for region in record["regions"]],
+            )
+        )
+
+    clicks: List[ClickRecord] = []
+    clicks_path = directory / "clicks.jsonl"
+    if clicks_path.exists():
+        for line in clicks_path.read_text().splitlines():
+            if line.strip():
+                clicks.append(ClickRecord(**json.loads(line)))
+
+    segments = [
+        Segment(**record)
+        for record in json.loads((directory / "segments.json").read_text())
+    ]
+    return Capture(
+        model=meta["model"],
+        tool_name=meta["tool_name"],
+        can_log=CanLog.load(directory / "can.log"),
+        video=video,
+        clicks=clicks,
+        segments=segments,
+        tool_error_rate=meta["tool_error_rate"],
+        camera_offset_s=meta.get("camera_offset_s", 0.0),
+    )

@@ -1,0 +1,157 @@
+"""Active diagnostic enumeration.
+
+DP-Reverser is *passive* — it watches a professional tool do the talking.
+An attacker who has reverse engineered the protocol (or a pentester
+validating coverage) also probes actively: sweeping DID ranges, local
+identifiers and service ids and recording what answers.  This module
+implements that scanner over any vehicle tester endpoint; the Tab. 6
+benches use it to confirm the passive pipeline discovered everything the
+ECU actually exposes.
+
+Negative-response semantics drive the classification: ``requestOutOfRange``
+means the service exists but the identifier doesn't; ``serviceNotSupported``
+rules out the whole service; silence means no listener at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .diagnostics import kwp2000, uds
+from .diagnostics.messages import NEGATIVE_RESPONSE_SID, Nrc
+
+
+@dataclass(frozen=True)
+class ScanHit:
+    """One identifier that answered positively."""
+
+    service: int
+    identifier: int
+    response: bytes
+
+    @property
+    def value_bytes(self) -> bytes:
+        if self.service == uds.UdsService.READ_DATA_BY_IDENTIFIER:
+            return self.response[3:]
+        if self.service == kwp2000.KwpService.READ_DATA_BY_LOCAL_IDENTIFIER:
+            return self.response[2:]
+        return self.response[1:]
+
+
+@dataclass
+class ScanReport:
+    """Everything a scan of one ECU discovered."""
+
+    hits: List[ScanHit] = field(default_factory=list)
+    supported_services: List[int] = field(default_factory=list)
+    probes_sent: int = 0
+
+    def identifiers(self, service: int) -> List[int]:
+        return [h.identifier for h in self.hits if h.service == service]
+
+
+class DiagnosticScanner:
+    """Probes one ECU through a request/response endpoint.
+
+    The endpoint needs ``send(payload)`` and ``receive() -> bytes | None``
+    (any of the vehicle tester endpoints qualifies).
+    """
+
+    def __init__(self, endpoint, inter_probe_delay_s: float = 0.0, clock=None) -> None:
+        self.endpoint = endpoint
+        self.inter_probe_delay_s = inter_probe_delay_s
+        self.clock = clock
+
+    def _exchange(self, payload: bytes) -> Optional[bytes]:
+        self.endpoint.send(payload)
+        response = self.endpoint.receive()
+        retries = 0
+        while (
+            response is not None
+            and len(response) >= 3
+            and response[0] == NEGATIVE_RESPONSE_SID
+            and response[2] == Nrc.RESPONSE_PENDING
+            and retries < 8
+        ):
+            response = self.endpoint.receive()
+            retries += 1
+        if self.clock is not None and self.inter_probe_delay_s:
+            self.clock.advance(self.inter_probe_delay_s)
+        return response
+
+    # ------------------------------------------------------------------ scans
+
+    def scan_dids(
+        self, ranges: Sequence[Tuple[int, int]] = ((0x0100, 0x0A00), (0xF100, 0xF600))
+    ) -> ScanReport:
+        """Sweep ReadDataByIdentifier over DID ranges (end exclusive)."""
+        report = ScanReport()
+        for start, end in ranges:
+            for did in range(start, end):
+                report.probes_sent += 1
+                response = self._exchange(uds.encode_read_data_by_identifier([did]))
+                if response is None:
+                    continue
+                if response[0] == NEGATIVE_RESPONSE_SID:
+                    if len(response) >= 3 and response[2] == Nrc.SERVICE_NOT_SUPPORTED:
+                        return report  # the whole service is absent
+                    continue
+                report.hits.append(
+                    ScanHit(uds.UdsService.READ_DATA_BY_IDENTIFIER, did, response)
+                )
+        return report
+
+    def scan_local_ids(self, start: int = 0x01, end: int = 0x100) -> ScanReport:
+        """Sweep KWP readDataByLocalIdentifier."""
+        report = ScanReport()
+        for local_id in range(start, end):
+            report.probes_sent += 1
+            response = self._exchange(kwp2000.encode_read_by_local_id(local_id))
+            if response is None:
+                continue
+            if response[0] == NEGATIVE_RESPONSE_SID:
+                if len(response) >= 3 and response[2] == Nrc.SERVICE_NOT_SUPPORTED:
+                    return report
+                continue
+            report.hits.append(
+                ScanHit(
+                    kwp2000.KwpService.READ_DATA_BY_LOCAL_IDENTIFIER, local_id, response
+                )
+            )
+        return report
+
+    def scan_services(self, service_ids: Iterable[int] = range(0x10, 0x3F)) -> ScanReport:
+        """Discover which service ids the ECU implements at all.
+
+        A service answering anything other than ``serviceNotSupported``
+        (including other NRCs — wrong length, out of range...) exists.
+        """
+        report = ScanReport()
+        for sid in service_ids:
+            report.probes_sent += 1
+            response = self._exchange(bytes([sid]))
+            if response is None:
+                continue
+            if (
+                response[0] == NEGATIVE_RESPONSE_SID
+                and len(response) >= 3
+                and response[2] == Nrc.SERVICE_NOT_SUPPORTED
+            ):
+                continue
+            report.supported_services.append(sid)
+        return report
+
+
+def scan_vehicle(vehicle, ranges=((0x0100, 0x0A00), (0xF100, 0xF600))) -> Dict[str, ScanReport]:
+    """DID-scan every ECU of a simulated vehicle."""
+    reports: Dict[str, ScanReport] = {}
+    for ecu in vehicle.ecus:
+        endpoint = vehicle.tester_endpoint(ecu.name, tester="scanner")
+        scanner = DiagnosticScanner(endpoint, clock=vehicle.clock)
+        if ecu.kwp_groups:
+            reports[ecu.name] = scanner.scan_local_ids()
+        else:
+            reports[ecu.name] = scanner.scan_dids(ranges)
+        vehicle.release_tester(endpoint)
+    return reports

@@ -1,0 +1,37 @@
+"""Diagnostic-tool substrate: screens, professional tools, telematics apps."""
+
+from .ui import Screen, ScreenBuilder, Widget, WidgetKind
+from .diagtool import (
+    ActuatorItem,
+    DiagnosticTool,
+    KwpBlockItem,
+    TOOL_PROFILES,
+    ToolProfile,
+    UdsDataItem,
+    make_tool_for_car,
+)
+from .telematics import IMPERIAL_PIDS, ObdTelematicsApp
+from .kline_logger import (
+    KLineDiagnosticSession,
+    KLineVehicle,
+    build_kline_vehicle,
+)
+
+__all__ = [
+    "Screen",
+    "ScreenBuilder",
+    "Widget",
+    "WidgetKind",
+    "ActuatorItem",
+    "DiagnosticTool",
+    "KwpBlockItem",
+    "TOOL_PROFILES",
+    "ToolProfile",
+    "UdsDataItem",
+    "make_tool_for_car",
+    "IMPERIAL_PIDS",
+    "ObdTelematicsApp",
+    "KLineDiagnosticSession",
+    "KLineVehicle",
+    "build_kline_vehicle",
+]

@@ -1,0 +1,69 @@
+"""Transport/network-layer protocols carrying diagnostic messages over CAN."""
+
+from .base import TransportDecoder, TransportEncoder, TransportError
+from .isotp import (
+    FlowControl,
+    FlowStatus,
+    IsoTpEndpoint,
+    IsoTpReassembler,
+    IsoTpSegmenter,
+    PciType,
+    classify_frames,
+    pci_type,
+    segment,
+)
+from .vwtp import (
+    VwTpEndpoint,
+    VwTpFrameKind,
+    VwTpReassembler,
+    classify_vwtp_frame,
+    is_last_packet,
+    segment_vwtp,
+)
+from .bmw import BmwEndpoint, BmwReassembler, segment_bmw
+from .kline import (
+    KLineBus,
+    KLineByte,
+    KLineEndpoint,
+    KLineFrameParser,
+    KLineMessage,
+    KLineTester,
+    frame_message,
+    checksum as kline_checksum,
+    parse_capture as parse_kline_capture,
+    to_assembled_messages as kline_to_assembled_messages,
+)
+
+__all__ = [
+    "TransportDecoder",
+    "TransportEncoder",
+    "TransportError",
+    "FlowControl",
+    "FlowStatus",
+    "IsoTpEndpoint",
+    "IsoTpReassembler",
+    "IsoTpSegmenter",
+    "PciType",
+    "classify_frames",
+    "pci_type",
+    "segment",
+    "VwTpEndpoint",
+    "VwTpFrameKind",
+    "VwTpReassembler",
+    "classify_vwtp_frame",
+    "is_last_packet",
+    "segment_vwtp",
+    "BmwEndpoint",
+    "BmwReassembler",
+    "segment_bmw",
+    "KLineBus",
+    "KLineByte",
+    "KLineEndpoint",
+    "KLineFrameParser",
+    "KLineMessage",
+    "KLineTester",
+    "frame_message",
+    "kline_checksum",
+    "parse_kline_capture",
+    "kline_to_assembled_messages",
+]

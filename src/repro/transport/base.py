@@ -1,0 +1,40 @@
+"""Common interface for transport/network-layer protocols.
+
+A *transport endpoint* turns whole diagnostic messages (arbitrary-length byte
+strings) into CAN frames and back.  Three concrete families are implemented,
+matching §3.2 of the paper:
+
+* :mod:`repro.transport.isotp` — ISO 15765-2 (DoCAN), used by UDS, CAN-based
+  KWP 2000 and OBD-II;
+* :mod:`repro.transport.vwtp` — VW TP 2.0, Volkswagen's channel-oriented
+  protocol;
+* :mod:`repro.transport.bmw` — BMW/Mini style extended addressing where the
+  first byte of every frame carries the target ECU id.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..can import CanFrame
+
+
+class TransportError(Exception):
+    """Raised on malformed or out-of-sequence transport frames."""
+
+
+class TransportEncoder(abc.ABC):
+    """Segment one diagnostic payload into CAN frames."""
+
+    @abc.abstractmethod
+    def encode(self, payload: bytes) -> List[CanFrame]:
+        """Return the CAN frames that carry ``payload`` (sender side)."""
+
+
+class TransportDecoder(abc.ABC):
+    """Reassemble diagnostic payloads from a frame stream (receiver side)."""
+
+    @abc.abstractmethod
+    def feed(self, frame: CanFrame) -> Optional[bytes]:
+        """Consume one frame; return a complete payload when one finishes."""

@@ -1,0 +1,368 @@
+"""ISO 15765-2 (ISO-TP / DoCAN) transport protocol.
+
+Four protocol control information (PCI) types exist, distinguished by the
+high nibble of the first PCI byte (Fig. 7 of the paper):
+
+====  ===================  =========================================
+ PCI  Frame type           Layout
+====  ===================  =========================================
+ 0x0  Single frame (SF)    ``0L dd dd ...``      L = length (1..7)
+ 0x1  First frame (FF)     ``1L LL dd ...``      12-bit total length
+ 0x2  Consecutive (CF)     ``2N dd dd ...``      N = sequence 1..15,0,..
+ 0x3  Flow control (FC)    ``3S BS ST``          S = flow status
+====  ===================  =========================================
+
+The sender of a multi-frame message transmits the FF, waits for a flow
+control frame from the receiver (flow status 0 = continue to send), then
+sends consecutive frames honouring the advertised block size and minimum
+separation time.
+
+This module provides:
+
+* :func:`segment` / :class:`IsoTpReassembler` — stateless encoding and
+  stateful decoding, used both by the simulator and by the offline
+  payload-assembly stage of DP-Reverser;
+* :class:`IsoTpEndpoint` — a bus-attached endpoint implementing the full
+  handshake, used by simulated ECUs and diagnostic tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Optional
+
+from ..can import CanFrame, MAX_DATA_LENGTH
+from .base import TransportDecoder, TransportEncoder, TransportError
+
+SF_MAX_PAYLOAD = 7
+FF_PAYLOAD = 6
+CF_PAYLOAD = 7
+MAX_MESSAGE_LENGTH = 0xFFF  # 12-bit length field
+
+
+class PciType(IntEnum):
+    """High nibble of the first PCI byte."""
+
+    SINGLE = 0x0
+    FIRST = 0x1
+    CONSECUTIVE = 0x2
+    FLOW_CONTROL = 0x3
+
+
+class FlowStatus(IntEnum):
+    """Flow status values carried by flow-control frames."""
+
+    CONTINUE = 0x0
+    WAIT = 0x1
+    OVERFLOW = 0x2
+
+
+def pci_type(frame_data: bytes) -> PciType:
+    """Classify a raw CAN data field by its ISO-TP PCI nibble."""
+    if not frame_data:
+        raise TransportError("empty CAN data field has no PCI")
+    nibble = frame_data[0] >> 4
+    try:
+        return PciType(nibble)
+    except ValueError as exc:
+        raise TransportError(f"unknown ISO-TP PCI nibble {nibble:#x}") from exc
+
+
+@dataclass(frozen=True)
+class FlowControl:
+    """Decoded flow-control parameters."""
+
+    status: FlowStatus
+    block_size: int = 0  # 0 = send everything without further FC
+    st_min_ms: float = 0.0
+
+    def encode(self) -> bytes:
+        st = int(self.st_min_ms)
+        return bytes([0x30 | self.status, self.block_size, st])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FlowControl":
+        if len(data) < 3 or data[0] >> 4 != PciType.FLOW_CONTROL:
+            raise TransportError(f"not a flow-control frame: {data.hex()}")
+        return cls(FlowStatus(data[0] & 0x0F), data[1], float(data[2]))
+
+
+def segment(
+    payload: bytes,
+    can_id: int,
+    padding: Optional[int] = 0x00,
+    frame_capacity: int = MAX_DATA_LENGTH,
+) -> List[CanFrame]:
+    """Segment ``payload`` into ISO-TP frames (without flow control).
+
+    Flow-control frames travel in the opposite direction, so the pure
+    sender-side segmentation never contains them.  ``padding`` fills unused
+    data bytes (classic CAN tools pad to 8 bytes; ``None`` disables
+    padding).  ``frame_capacity`` is the usable data-field size per frame —
+    8 for normal addressing, 7 for extended addressing where the first byte
+    carries the target address.
+    """
+    if not payload:
+        raise TransportError("cannot segment an empty payload")
+    if len(payload) > MAX_MESSAGE_LENGTH:
+        raise TransportError(
+            f"payload of {len(payload)} bytes exceeds ISO-TP 12-bit length"
+        )
+    if not 3 <= frame_capacity <= MAX_DATA_LENGTH:
+        raise TransportError(f"frame capacity {frame_capacity} out of range")
+    sf_max = frame_capacity - 1
+    ff_payload = frame_capacity - 2
+    cf_payload = frame_capacity - 1
+
+    def pad(data: bytes) -> bytes:
+        if padding is None or len(data) >= frame_capacity:
+            return data
+        return data + bytes([padding]) * (frame_capacity - len(data))
+
+    frames: List[CanFrame] = []
+    if len(payload) <= sf_max:
+        data = bytes([len(payload)]) + payload
+        frames.append(CanFrame(can_id, pad(data)))
+        return frames
+
+    length = len(payload)
+    first = bytes([0x10 | (length >> 8), length & 0xFF]) + payload[:ff_payload]
+    frames.append(CanFrame(can_id, first))
+    offset = ff_payload
+    sequence = 1
+    while offset < length:
+        chunk = payload[offset : offset + cf_payload]
+        frames.append(CanFrame(can_id, pad(bytes([0x20 | sequence]) + chunk)))
+        offset += cf_payload
+        sequence = (sequence + 1) % 16
+    return frames
+
+
+class IsoTpReassembler(TransportDecoder):
+    """Stateful reassembly of one direction of an ISO-TP conversation.
+
+    Feed frames in capture order; whenever a message completes, :meth:`feed`
+    returns its payload.  Flow-control frames are ignored (they carry no
+    payload), matching Step 1 of the paper's diagnostic-frames analysis.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self._buffer = bytearray()
+        self._expected_length = 0
+        self._next_sequence = 0
+        self._in_progress = False
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._expected_length = 0
+        self._next_sequence = 0
+        self._in_progress = False
+
+    def feed(self, frame: CanFrame) -> Optional[bytes]:
+        data = frame.data
+        kind = pci_type(data)
+        if kind == PciType.FLOW_CONTROL:
+            return None
+        if kind == PciType.SINGLE:
+            length = data[0] & 0x0F
+            if length == 0 or length > SF_MAX_PAYLOAD or length > len(data) - 1:
+                raise TransportError(f"bad single-frame length in {data.hex()}")
+            if self._in_progress and self.strict:
+                raise TransportError("single frame interrupted a multi-frame message")
+            self.reset()
+            return bytes(data[1 : 1 + length])
+        if kind == PciType.FIRST:
+            if len(data) < 3:
+                raise TransportError(f"truncated first frame {data.hex()}")
+            self._expected_length = ((data[0] & 0x0F) << 8) | data[1]
+            # A first frame announcing a tiny length is malformed.  The
+            # threshold is the *extended-addressing* single-frame maximum
+            # (6), since those streams reach us with the address stripped.
+            if self._expected_length <= SF_MAX_PAYLOAD - 1:
+                raise TransportError(
+                    f"first frame announces {self._expected_length} bytes, "
+                    "which would fit a single frame"
+                )
+            self._buffer = bytearray(data[2:])
+            self._next_sequence = 1
+            self._in_progress = True
+            return None
+        # Consecutive frame.
+        if not self._in_progress:
+            if self.strict:
+                raise TransportError("consecutive frame without a first frame")
+            return None
+        sequence = data[0] & 0x0F
+        if sequence != self._next_sequence:
+            if self.strict:
+                raise TransportError(
+                    f"sequence gap: expected {self._next_sequence}, got {sequence}"
+                )
+            self.reset()
+            return None
+        self._next_sequence = (self._next_sequence + 1) % 16
+        self._buffer.extend(data[1:])
+        if len(self._buffer) >= self._expected_length:
+            payload = bytes(self._buffer[: self._expected_length])
+            self.reset()
+            return payload
+        return None
+
+
+class IsoTpSegmenter(TransportEncoder):
+    """Encoder wrapper around :func:`segment` bound to one CAN id."""
+
+    def __init__(self, can_id: int, padding: Optional[int] = 0x00) -> None:
+        self.can_id = can_id
+        self.padding = padding
+
+    def encode(self, payload: bytes) -> List[CanFrame]:
+        return segment(payload, self.can_id, self.padding)
+
+
+class IsoTpEndpoint:
+    """A bus-attached ISO-TP endpoint with the full flow-control handshake.
+
+    The endpoint transmits on ``tx_id`` and listens on ``rx_id``.  When it
+    receives a first frame it immediately answers with a flow-control frame
+    (continue-to-send); when it sends a multi-frame message it waits for the
+    peer's flow control, which on the simulated bus arrives synchronously.
+    """
+
+    def __init__(
+        self,
+        bus,
+        name: str,
+        tx_id: int,
+        rx_id: int,
+        block_size: int = 0,
+        st_min_ms: float = 0.0,
+        padding: Optional[int] = 0x00,
+        on_message=None,
+    ) -> None:
+        from ..can import BusNode
+
+        self.tx_id = tx_id
+        self.rx_id = rx_id
+        self.block_size = block_size
+        self.st_min_ms = st_min_ms
+        self.padding = padding
+        self.on_message = on_message
+        self._reassembler = IsoTpReassembler()
+        self._inbox: List[bytes] = []
+        self._fc_window = 0  # frames the peer allowed us to send
+        self._peer_st_min_ms = 0.0  # pacing the peer demanded
+        self._awaiting_fc = False
+        self._cf_since_fc = 0  # receiver side: CFs since our last FC
+        self._receiving_multi = False
+        self.fc_sent = 0
+        self.node = BusNode(name, handler=self._on_frame)
+        bus.attach(self.node)
+
+    # ---------------------------------------------------------------- receive
+
+    def _on_frame(self, frame: CanFrame) -> None:
+        if frame.can_id != self.rx_id:
+            return
+        kind = pci_type(frame.data)
+        if kind == PciType.FLOW_CONTROL:
+            control = FlowControl.decode(frame.data)
+            if control.status == FlowStatus.CONTINUE:
+                self._fc_window = control.block_size or -1  # -1 = unlimited
+                self._peer_st_min_ms = control.st_min_ms
+                self._awaiting_fc = False
+            elif control.status == FlowStatus.OVERFLOW:
+                self._fc_window = 0
+                self._awaiting_fc = False
+            # WAIT keeps _awaiting_fc set: the sender holds until the next FC.
+            return
+        payload = self._reassembler.feed(frame)
+        if kind == PciType.FIRST:
+            self._receiving_multi = True
+            self._cf_since_fc = 0
+            self._send_flow_control()
+        elif kind == PciType.CONSECUTIVE and self._receiving_multi:
+            self._cf_since_fc += 1
+            # Block complete but message not finished: grant the next block.
+            if (
+                payload is None
+                and self.block_size
+                and self._cf_since_fc >= self.block_size
+            ):
+                self._cf_since_fc = 0
+                self._send_flow_control()
+        if payload is not None:
+            self._receiving_multi = False
+            if self.on_message is not None:
+                self.on_message(payload)
+            else:
+                self._inbox.append(payload)
+
+    def _send_flow_control(self) -> None:
+        control = FlowControl(FlowStatus.CONTINUE, self.block_size, self.st_min_ms)
+        data = control.encode()
+        if self.padding is not None:
+            data = data + bytes([self.padding]) * (MAX_DATA_LENGTH - len(data))
+        self.fc_sent += 1
+        self.node.send(CanFrame(self.tx_id, data))
+
+    def receive(self) -> Optional[bytes]:
+        """Pop the oldest fully reassembled message, if any."""
+        return self._inbox.pop(0) if self._inbox else None
+
+    def pending(self) -> int:
+        return len(self._inbox)
+
+    # ------------------------------------------------------------------- send
+
+    def send(self, payload: bytes) -> List[CanFrame]:
+        """Send ``payload``, performing the FC handshake for long messages."""
+        frames = segment(payload, self.tx_id, self.padding)
+        sent: List[CanFrame] = []
+        if len(frames) == 1:
+            sent.append(self.node.send(frames[0]))
+            return sent
+        self._awaiting_fc = True
+        sent.append(self.node.send(frames[0]))  # FF; peer answers FC inline
+        if self._awaiting_fc:
+            raise TransportError(
+                f"no flow control received after first frame on {self.tx_id:#x}"
+            )
+        for frame in frames[1:]:
+            if self._fc_window == 0:
+                # The peer grants the next block with a fresh FC, which on
+                # the synchronous bus arrives nested inside the previous
+                # CF's delivery; reaching zero here means it never came.
+                raise TransportError("peer block size exhausted without new FC")
+            if self._fc_window > 0:
+                # Reserve the slot *before* sending: the block-completing
+                # CF's delivery carries the peer's next grant nested inside,
+                # which must not be consumed by this frame's accounting.
+                self._fc_window -= 1
+            if self._peer_st_min_ms:
+                # Honour the peer's minimum separation time between CFs.
+                self.node.bus.clock.advance(self._peer_st_min_ms / 1000.0)
+            sent.append(self.node.send(frame))
+        return sent
+
+
+def classify_frames(frames) -> Dict[str, int]:
+    """Count single / first / consecutive / flow-control frames in a capture.
+
+    Used by the Table 9 bench to report the single- vs multi-frame mix.
+    """
+    counts = {"single": 0, "first": 0, "consecutive": 0, "flow_control": 0}
+    names = {
+        PciType.SINGLE: "single",
+        PciType.FIRST: "first",
+        PciType.CONSECUTIVE: "consecutive",
+        PciType.FLOW_CONTROL: "flow_control",
+    }
+    for frame in frames:
+        try:
+            counts[names[pci_type(frame.data)]] += 1
+        except TransportError:
+            continue
+    return counts

@@ -1,0 +1,266 @@
+"""K-Line (ISO 14230-1/2) physical + data-link layer.
+
+KWP 2000 predates CAN diagnostics: its original carrier is the K-Line, a
+single bidirectional wire driven like a UART at 10 400 baud (Tab. 1 of the
+paper lists ISO 14230-1/2 beside CAN as KWP 2000's data-link options).
+This module models:
+
+* the **byte-level line** — every byte takes ``10 bits / baud`` seconds and
+  is heard by *all* nodes including the transmitter (single wire);
+* **fast init** — the tester pulls the line low for 25 ms, high for 25 ms,
+  then sends StartCommunication (0x81); the ECU answers 0xC1 + key bytes;
+* **message framing** (ISO 14230-2) — a format byte carrying addressing
+  mode and length (or a separate length byte for >63 bytes), optional
+  target/source addresses, payload, and an 8-bit additive checksum;
+* offline **capture parsing** — a timestamped byte log is split back into
+  diagnostic payloads, the K-Line counterpart of the CAN payload-assembly
+  stage (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..simtime import SimClock
+from .base import TransportError
+
+DEFAULT_BAUD = 10400
+BITS_PER_BYTE = 10  # start + 8 data + stop
+FAST_INIT_LOW_S = 0.025
+FAST_INIT_HIGH_S = 0.025
+
+START_COMMUNICATION = 0x81
+START_COMMUNICATION_POSITIVE = 0xC1
+FMT_ADDRESS_MODE = 0x80  # header with target/source address bytes
+MAX_SHORT_LENGTH = 0x3F
+
+
+def checksum(data: bytes) -> int:
+    """ISO 14230-2 checksum: 8-bit sum over header + payload."""
+    return sum(data) & 0xFF
+
+
+def frame_message(payload: bytes, target: int, source: int) -> bytes:
+    """Wrap ``payload`` in an ISO 14230-2 header + checksum.
+
+    Short messages encode the length in the format byte's low six bits;
+    longer ones use a separate length byte (format low bits zero).
+    """
+    if not payload:
+        raise TransportError("cannot frame an empty payload")
+    if len(payload) > 0xFF:
+        raise TransportError(f"KWP payload of {len(payload)} bytes exceeds 255")
+    if len(payload) <= MAX_SHORT_LENGTH:
+        header = bytes([FMT_ADDRESS_MODE | len(payload), target, source])
+    else:
+        header = bytes([FMT_ADDRESS_MODE, target, source, len(payload)])
+    body = header + payload
+    return body + bytes([checksum(body)])
+
+
+@dataclass(frozen=True)
+class KLineMessage:
+    """One de-framed K-Line message."""
+
+    payload: bytes
+    target: int
+    source: int
+    t_first: float
+    t_last: float
+    checksum_ok: bool
+
+
+class KLineFrameParser:
+    """Incremental de-framing of a K-Line byte stream (one direction)."""
+
+    def __init__(self) -> None:
+        self._buffer: List[Tuple[float, int]] = []
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+    def feed(self, timestamp: float, byte: int) -> Optional[KLineMessage]:
+        self._buffer.append((timestamp, byte))
+        return self._try_parse()
+
+    def _try_parse(self) -> Optional[KLineMessage]:
+        if len(self._buffer) < 4:
+            return None
+        fmt = self._buffer[0][1]
+        if not fmt & FMT_ADDRESS_MODE:
+            # Resynchronise: drop garbage until a plausible format byte.
+            self._buffer.pop(0)
+            return self._try_parse()
+        length = fmt & MAX_SHORT_LENGTH
+        if length:
+            header_len = 3
+        else:
+            header_len = 4
+            if len(self._buffer) < header_len:
+                return None
+            length = self._buffer[3][1]
+            if length == 0:
+                self._buffer.pop(0)
+                return self._try_parse()
+        total = header_len + length + 1  # + checksum byte
+        if len(self._buffer) < total:
+            return None
+        raw = bytes(b for __, b in self._buffer[:total])
+        message = KLineMessage(
+            payload=raw[header_len:-1],
+            target=raw[1],
+            source=raw[2],
+            t_first=self._buffer[0][0],
+            t_last=self._buffer[total - 1][0],
+            checksum_ok=checksum(raw[:-1]) == raw[-1],
+        )
+        del self._buffer[:total]
+        return message
+
+
+@dataclass(frozen=True)
+class KLineByte:
+    """One byte observed on the wire with its timestamp."""
+
+    timestamp: float
+    value: int
+
+
+class KLineBus:
+    """The single-wire medium: every transmitted byte reaches every node."""
+
+    def __init__(self, clock: Optional[SimClock] = None, baud: int = DEFAULT_BAUD) -> None:
+        self.clock = clock or SimClock()
+        self.baud = baud
+        self.byte_time_s = BITS_PER_BYTE / baud
+        self._listeners: List[Callable[[KLineByte, str], None]] = []
+        self.capture: List[KLineByte] = []  # the sniffer's view
+        self.init_events: List[float] = []  # fast-init wake-up pulses
+
+    def add_listener(self, handler: Callable[[KLineByte, str], None]) -> None:
+        self._listeners.append(handler)
+
+    def transmit(self, sender: str, data: bytes) -> None:
+        """Clock out ``data`` byte by byte."""
+        for value in data:
+            self.clock.advance(self.byte_time_s)
+            byte = KLineByte(self.clock.now(), value)
+            self.capture.append(byte)
+            for listener in self._listeners:
+                listener(byte, sender)
+
+    def fast_init_pulse(self, sender: str) -> None:
+        """The 25 ms low / 25 ms high wake-up pattern."""
+        self.clock.advance(FAST_INIT_LOW_S + FAST_INIT_HIGH_S)
+        self.init_events.append(self.clock.now())
+
+
+class KLineEndpoint:
+    """A node on the K-Line: an ECU (fixed address) or the tester (0xF1)."""
+
+    def __init__(
+        self,
+        bus: KLineBus,
+        name: str,
+        address: int,
+        on_message: Optional[Callable[[KLineMessage], None]] = None,
+    ) -> None:
+        self.bus = bus
+        self.name = name
+        self.address = address
+        self.on_message = on_message
+        self.communication_started = False
+        self._parser = KLineFrameParser()
+        self._inbox: List[KLineMessage] = []
+        bus.add_listener(self._on_byte)
+
+    def _on_byte(self, byte: KLineByte, sender: str) -> None:
+        if sender == self.name:
+            return  # ignore our own echo
+        message = self._parser.feed(byte.timestamp, byte.value)
+        if message is None or message.target != self.address:
+            return
+        if not message.checksum_ok:
+            return  # corrupted messages are dropped, the tester retries
+        if self._handle_session_control(message):
+            return
+        if self.on_message is not None:
+            self.on_message(message)
+        else:
+            self._inbox.append(message)
+
+    def _handle_session_control(self, message: KLineMessage) -> bool:
+        if message.payload and message.payload[0] == START_COMMUNICATION:
+            self.communication_started = True
+            self.send(
+                bytes([START_COMMUNICATION_POSITIVE, 0xEA, 0x8F]), target=message.source
+            )
+            return True
+        if message.payload and message.payload[0] == START_COMMUNICATION_POSITIVE:
+            self.communication_started = True
+            return True
+        return False
+
+    def send(self, payload: bytes, target: int) -> None:
+        self.bus.transmit(self.name, frame_message(payload, target, self.address))
+
+    def receive(self) -> Optional[KLineMessage]:
+        return self._inbox.pop(0) if self._inbox else None
+
+
+class KLineTester(KLineEndpoint):
+    """Tester-side endpoint with the fast-init handshake."""
+
+    TESTER_ADDRESS = 0xF1
+
+    def __init__(self, bus: KLineBus, name: str = "tester") -> None:
+        super().__init__(bus, name, self.TESTER_ADDRESS)
+
+    def fast_init(self, ecu_address: int) -> bool:
+        """Wake the ECU and start communication (ISO 14230-2 fast init)."""
+        self.bus.fast_init_pulse(self.name)
+        self.send(bytes([START_COMMUNICATION]), target=ecu_address)
+        return self.communication_started
+
+    def request(self, payload: bytes, ecu_address: int) -> Optional[bytes]:
+        """One request/response exchange."""
+        self.send(payload, target=ecu_address)
+        message = self.receive()
+        return message.payload if message else None
+
+
+def parse_capture(capture: List[KLineByte]) -> List[KLineMessage]:
+    """Offline de-framing of a sniffed K-Line byte log.
+
+    The K-Line counterpart of the CAN payload-assembly stage: diagnostic
+    payloads are recovered purely from the byte stream (header lengths +
+    checksums), interleaved request/response directions included.
+    """
+    parser = KLineFrameParser()
+    messages: List[KLineMessage] = []
+    for byte in capture:
+        message = parser.feed(byte.timestamp, byte.value)
+        if message is not None:
+            if message.checksum_ok:
+                messages.append(message)
+            # on checksum failure the parser already consumed the bytes;
+            # the next message resynchronises via the format-byte scan
+    return messages
+
+
+def to_assembled_messages(messages: List[KLineMessage]):
+    """Convert K-Line messages into the pipeline's AssembledMessage form."""
+    from ..core.assembly import AssembledMessage
+
+    return [
+        AssembledMessage(
+            payload=m.payload,
+            can_id=m.source,  # direction key: the sender's address
+            t_first=m.t_first,
+            t_last=m.t_last,
+            n_frames=1,
+            ecu_address=m.target,
+        )
+        for m in messages
+    ]

@@ -1,0 +1,148 @@
+"""Periodic CAN broadcast traffic (normal in-vehicle communication).
+
+The CAN reverse-engineering literature the paper positions against (READ,
+LibreCAN) targets *broadcast* frames: ECUs periodically transmitting fixed
+frame layouts in which signals occupy bit ranges, often alongside message
+counters and CRC bytes.  This module generates such traffic so the
+READ-style baseline in :mod:`repro.core.read_baseline` has its native prey
+— and so the contrast with transport-layer diagnostic traffic (the paper's
+§4.4 argument) can be demonstrated on real captures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..can import CanFrame, CanLog
+from ..simtime import SimClock
+from .signals import SignalSource
+
+
+def crc8(data: bytes, poly: int = 0x1D, init: int = 0xFF) -> int:
+    """SAE J1850-style CRC-8 over the frame's other bytes."""
+    crc = init
+    for byte in data:
+        crc ^= byte
+        for __ in range(8):
+            crc = ((crc << 1) ^ poly) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """One physical signal packed into a broadcast frame."""
+
+    name: str
+    start_bit: int  # MSB-first bit offset within the 64-bit data field
+    length: int  # bits
+    source: SignalSource
+    scale: float = 1.0  # physical = raw * scale + offset (ground truth)
+    offset: float = 0.0
+
+    def raw(self, t: float) -> int:
+        value = self.source.sample(t)
+        return max(0, min((1 << self.length) - 1, int(value)))
+
+
+@dataclass
+class BroadcastFrameSpec:
+    """Layout of one periodic frame: signals + optional counter + CRC."""
+
+    can_id: int
+    period_s: float
+    signals: List[SignalSpec] = field(default_factory=list)
+    counter_bits: int = 0  # 0 = no counter; else a rolling counter width
+    counter_start_bit: int = 48
+    crc_byte: Optional[int] = None  # byte index holding a CRC-8, or None
+
+    def encode(self, t: float, counter: int) -> bytes:
+        bits = 0
+        for spec in self.signals:
+            raw = spec.raw(t)
+            shift = 64 - spec.start_bit - spec.length
+            bits |= (raw & ((1 << spec.length) - 1)) << shift
+        if self.counter_bits:
+            shift = 64 - self.counter_start_bit - self.counter_bits
+            bits |= (counter & ((1 << self.counter_bits) - 1)) << shift
+        data = bytearray(bits.to_bytes(8, "big"))
+        if self.crc_byte is not None:
+            others = bytes(b for i, b in enumerate(data) if i != self.crc_byte)
+            data[self.crc_byte] = crc8(others)
+        return bytes(data)
+
+
+class BroadcastEmitter:
+    """Emits scheduled broadcast frames into a capture log."""
+
+    def __init__(self, specs: Sequence[BroadcastFrameSpec], clock: Optional[SimClock] = None):
+        self.specs = list(specs)
+        self.clock = clock or SimClock()
+        self._counters = {spec.can_id: 0 for spec in self.specs}
+
+    def run(self, duration_s: float) -> CanLog:
+        """Generate ``duration_s`` worth of traffic, time-multiplexed."""
+        log = CanLog()
+        events = []
+        for spec in self.specs:
+            t = self.clock.now() + spec.period_s
+            while t <= self.clock.now() + duration_s:
+                events.append((t, spec))
+                t += spec.period_s
+        events.sort(key=lambda item: item[0])
+        for t, spec in events:
+            counter = self._counters[spec.can_id]
+            self._counters[spec.can_id] = counter + 1
+            log.append(CanFrame(spec.can_id, spec.encode(t, counter), timestamp=t))
+        if events:
+            self.clock.advance(duration_s)
+        return log
+
+
+def default_broadcast_vehicle(seed: int = 9) -> List[BroadcastFrameSpec]:
+    """A realistic powertrain/chassis broadcast schedule."""
+    from .signals import RampSignal, SineSignal
+
+    rng = random.Random(seed)
+    return [
+        BroadcastFrameSpec(
+            can_id=0x280,  # engine: rpm + throttle + coolant
+            period_s=0.01,
+            signals=[
+                SignalSpec("engine_rpm", 0, 16, SineSignal(800, 6000, 11.0), scale=0.25),
+                SignalSpec("throttle", 16, 8, SineSignal(0, 255, 7.0), scale=100 / 255),
+                SignalSpec("coolant", 24, 8, RampSignal(120, 220, 60.0), scale=1.0, offset=-40),
+            ],
+            counter_bits=4,
+            counter_start_bit=44,
+            crc_byte=7,
+        ),
+        BroadcastFrameSpec(
+            can_id=0x1A0,  # brakes: speed + pressure
+            period_s=0.02,
+            signals=[
+                SignalSpec("vehicle_speed", 0, 16, SineSignal(0, 25000, 19.0), scale=0.01),
+                SignalSpec("brake_pressure", 16, 8, SineSignal(0, 250, 5.0)),
+            ],
+            counter_bits=8,
+            counter_start_bit=32,
+        ),
+        BroadcastFrameSpec(
+            can_id=0x4A8,  # body: constant config + door bits
+            period_s=0.1,
+            signals=[
+                SignalSpec("config", 0, 16, _Constant(0x1234), scale=1.0),
+                SignalSpec("doors", 16, 4, SineSignal(0, 15, 13.0)),
+            ],
+        ),
+    ]
+
+
+class _Constant(SignalSource):
+    def __init__(self, value: int) -> None:
+        super().__init__(value, value)
+        self.value = value
+
+    def sample(self, t: float) -> int:
+        return self.value

@@ -1,0 +1,103 @@
+"""Standalone OBD-II vehicle simulator.
+
+§4.2 of the paper evaluates formula recovery against ground truth using "one
+vehicle simulator, which supports OBD-II protocol" driven by a telematics
+app.  This module is that simulator: a single node answering SAE J1979
+mode-01 requests on the conventional functional/physical id pair
+``0x7DF/0x7E0 → 0x7E8`` over ISO-TP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..can import SimulatedCanBus
+from ..diagnostics import obd2
+from ..simtime import SimClock
+from ..transport import IsoTpEndpoint
+from .signals import RampSignal, SignalSource, SineSignal
+
+OBD_FUNCTIONAL_ID = 0x7DF
+OBD_PHYSICAL_REQUEST_ID = 0x7E0
+OBD_RESPONSE_ID = 0x7E8
+
+
+def default_signal_for(pid: int, seed_phase: float = 0.0) -> List[SignalSource]:
+    """A plausible raw-value generator for a standard PID."""
+    definition = obd2.pid_definition(pid)
+    if definition.num_bytes == 1:
+        return [SineSignal(10, 250, period_s=17.0 + pid % 7, phase=seed_phase + pid)]
+    # Two-byte PIDs: high byte sweeps, low byte sweeps faster.
+    return [
+        SineSignal(5, 120, period_s=23.0, phase=seed_phase + pid),
+        RampSignal(0, 255, period_s=7.0, phase=seed_phase),
+    ]
+
+
+class ObdVehicleSimulator:
+    """An ECU-in-a-box answering OBD-II mode-01 requests."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        pids: Optional[Iterable[int]] = None,
+        bus: Optional[SimulatedCanBus] = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.bus = bus or SimulatedCanBus(self.clock, name="obd-sim")
+        self.pids = list(pids) if pids is not None else list(obd2.TABLE5_PIDS)
+        self.signals: Dict[int, List[SignalSource]] = {
+            pid: default_signal_for(pid) for pid in self.pids
+        }
+        self.endpoint = IsoTpEndpoint(
+            self.bus,
+            "obd-vehicle",
+            tx_id=OBD_RESPONSE_ID,
+            rx_id=OBD_PHYSICAL_REQUEST_ID,
+            on_message=self._on_request,
+        )
+        # Also answer functionally addressed requests (0x7DF broadcasts).
+        self.functional_endpoint = IsoTpEndpoint(
+            self.bus,
+            "obd-vehicle-functional",
+            tx_id=OBD_RESPONSE_ID,
+            rx_id=OBD_FUNCTIONAL_ID,
+            on_message=self._on_request,
+        )
+
+    # ----------------------------------------------------------------- server
+
+    def raw_values(self, pid: int, t: float) -> bytes:
+        definition = obd2.pid_definition(pid)
+        samples = [s.sample(t) for s in self.signals[pid]]
+        if definition.num_bytes == 1:
+            return bytes([samples[0] & 0xFF])
+        return bytes(s & 0xFF for s in samples[: definition.num_bytes])
+
+    def _on_request(self, payload: bytes) -> None:
+        try:
+            mode, pid = obd2.decode_request(payload)
+        except Exception:
+            return
+        if mode != obd2.MODE_CURRENT_DATA:
+            return
+        if pid in (0x00, 0x20, 0x40, 0x60):
+            bitmap = obd2.encode_supported_pids(self.pids, pid)
+            self.endpoint.send(obd2.encode_response(pid, bitmap))
+            return
+        if pid not in self.signals:
+            return  # unsupported PIDs are simply not answered in OBD-II
+        data = self.raw_values(pid, self.clock.now())
+        self.endpoint.send(obd2.encode_response(pid, data))
+
+    # ----------------------------------------------------------------- client
+
+    def tester_endpoint(self, name: str = "obd-app") -> IsoTpEndpoint:
+        """Endpoint a telematics app uses to query this simulator."""
+        return IsoTpEndpoint(
+            self.bus, name, tx_id=OBD_PHYSICAL_REQUEST_ID, rx_id=OBD_RESPONSE_ID
+        )
+
+    def ground_truth(self, pid: int, t: float, imperial: bool = False) -> float:
+        """The physical value the SAE formula yields for the raw bytes at t."""
+        return obd2.physical_value(pid, self.raw_values(pid, t), imperial=imperial)

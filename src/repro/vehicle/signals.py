@@ -1,0 +1,129 @@
+"""Deterministic signal generators for simulated ECU data points.
+
+A :class:`SignalSource` produces the *raw* integer value an ECU stores for a
+sensor at a given simulated time.  The diagnostic tool later converts raw
+values to physical ones with the manufacturer's proprietary formula; the
+reverse-engineering pipeline must see the raw value *vary* to identify that
+formula, so every generator here sweeps its range over time.
+
+All generators are pure functions of ``(seed, time)`` — replaying a capture
+is perfectly reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Sequence
+
+
+class SignalSource(abc.ABC):
+    """Raw sensor value as a function of simulated time."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError(f"empty signal range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    @abc.abstractmethod
+    def sample(self, t: float) -> int:
+        """Raw integer value at time ``t`` (always within [lo, hi])."""
+
+    def _clamp(self, value: float) -> int:
+        return int(max(self.lo, min(self.hi, round(value))))
+
+
+class ConstantSignal(SignalSource):
+    """A raw value that never changes.
+
+    Constants are the degenerate case the paper discusses: when one variable
+    of a two-variable formula is constant in traffic, GP folds it into the
+    coefficients (the vehicle-speed X0=100 example, §4.3).
+    """
+
+    def __init__(self, value: int) -> None:
+        super().__init__(value, value)
+        self.value = value
+
+    def sample(self, t: float) -> int:
+        return self.value
+
+
+class SineSignal(SignalSource):
+    """Smooth oscillation across the range — engine-like quantities."""
+
+    def __init__(self, lo: int, hi: int, period_s: float = 20.0, phase: float = 0.0) -> None:
+        super().__init__(lo, hi)
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.period_s = period_s
+        self.phase = phase
+
+    def sample(self, t: float) -> int:
+        mid = (self.lo + self.hi) / 2.0
+        amp = (self.hi - self.lo) / 2.0
+        return self._clamp(mid + amp * math.sin(2 * math.pi * t / self.period_s + self.phase))
+
+
+class RampSignal(SignalSource):
+    """Sawtooth sweep — odometer/level style quantities."""
+
+    def __init__(self, lo: int, hi: int, period_s: float = 30.0, phase: float = 0.0) -> None:
+        super().__init__(lo, hi)
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.period_s = period_s
+        self.phase = phase
+
+    def sample(self, t: float) -> int:
+        frac = ((t + self.phase) % self.period_s) / self.period_s
+        return self._clamp(self.lo + frac * (self.hi - self.lo))
+
+
+class RandomWalkSignal(SignalSource):
+    """A bounded random walk, deterministic per (seed, step).
+
+    Values are generated on a fixed step grid so the same time always
+    yields the same value regardless of sampling order.
+    """
+
+    def __init__(
+        self, lo: int, hi: int, seed: int, step_s: float = 0.5, step_size: int = 3
+    ) -> None:
+        super().__init__(lo, hi)
+        self.seed = seed
+        self.step_s = step_s
+        self.step_size = step_size
+        self._cache = {0: (lo + hi) // 2}
+        self._rng = random.Random(seed)
+        self._last_step = 0
+
+    def sample(self, t: float) -> int:
+        step = max(0, int(t / self.step_s))
+        while self._last_step < step:
+            self._last_step += 1
+            prev = self._cache[self._last_step - 1]
+            delta = self._rng.randint(-self.step_size, self.step_size)
+            self._cache[self._last_step] = self._clamp(prev + delta)
+        return self._cache[min(step, self._last_step)]
+
+
+class ToggleSignal(SignalSource):
+    """Cycles through a small set of discrete states — enum ESVs.
+
+    e.g. door open/closed, gear position.  These are the paper's
+    ``#ESV (Enum)`` column: no numeric formula exists for them.
+    """
+
+    def __init__(self, states: Sequence[int], dwell_s: float = 5.0) -> None:
+        if not states:
+            raise ValueError("need at least one state")
+        super().__init__(min(states), max(states))
+        self.states = list(states)
+        self.dwell_s = dwell_s
+
+    def sample(self, t: float) -> int:
+        index = int(t / self.dwell_s) % len(self.states)
+        return self.states[index]

@@ -1,0 +1,181 @@
+"""The virtual vehicle: ECUs wired to a CAN bus through transport endpoints.
+
+A :class:`Vehicle` owns one bus, a gateway-style address map, and any number
+of :class:`~repro.vehicle.ecu.SimulatedEcu` instances.  Each ECU is bound to
+the bus with one of the three transport flavours the paper encounters
+(ISO-TP, VW TP 2.0, BMW extended addressing).  Diagnostic tools obtain a
+tool-side endpoint from :meth:`Vehicle.tester_endpoint`; the OBD-port
+sniffer attaches with :meth:`Vehicle.attach_sniffer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..can import SimulatedCanBus, Sniffer
+from ..simtime import SimClock
+from ..transport import BmwEndpoint, IsoTpEndpoint, VwTpEndpoint
+from .ecu import SimulatedEcu
+
+TESTER_ADDRESS = 0xF1  # conventional tester address for extended addressing
+
+
+class TransportKind(Enum):
+    """Which transport the vehicle's diagnostic stack uses."""
+
+    ISOTP = "isotp"
+    VWTP = "vwtp"
+    BMW = "bmw"
+
+
+@dataclass
+class EcuBinding:
+    """Bus addressing for one ECU."""
+
+    ecu: SimulatedEcu
+    kind: TransportKind
+    ecu_tx_id: int  # CAN id the ECU transmits on (tool listens here)
+    ecu_rx_id: int  # CAN id the ECU listens on (tool transmits here)
+    ecu_address: int  # node address for VW TP 2.0 / BMW addressing
+    endpoint: object = None
+
+
+class Vehicle:
+    """A simulated vehicle: bus + ECUs + transport bindings."""
+
+    def __init__(
+        self,
+        model: str,
+        transport: TransportKind = TransportKind.ISOTP,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.model = model
+        self.transport = transport
+        self.clock = clock or SimClock()
+        self.bus = SimulatedCanBus(self.clock, name=f"{model}-can")
+        self.bindings: Dict[str, EcuBinding] = {}
+        self._tester_count = 0
+
+    # ----------------------------------------------------------------- wiring
+
+    def add_ecu(
+        self,
+        ecu: SimulatedEcu,
+        ecu_tx_id: int,
+        ecu_rx_id: int,
+        ecu_address: int = 0,
+    ) -> EcuBinding:
+        """Attach ``ecu`` to the bus using this vehicle's transport."""
+        if ecu.name in self.bindings:
+            raise ValueError(f"duplicate ECU name {ecu.name!r} in {self.model}")
+        binding = EcuBinding(ecu, self.transport, ecu_tx_id, ecu_rx_id, ecu_address)
+
+        def respond(payload: bytes, _binding=binding) -> None:
+            if payload and payload[0] in ecu.slow_services:
+                # Slow operation: acknowledge with responsePending (NRC
+                # 0x78) first, exactly like real ECUs running long
+                # routines, then deliver the final response.
+                from ..diagnostics.messages import Nrc, negative_response
+
+                ecu.pending_responses_sent += 1
+                _binding.endpoint.send(
+                    negative_response(payload[0], Nrc.RESPONSE_PENDING)
+                )
+                self.clock.advance(0.05)
+            response = ecu.handle_request(payload)
+            if response is not None:
+                _binding.endpoint.send(response)
+
+        node_name = f"{self.model}/{ecu.name}"
+        if self.transport == TransportKind.ISOTP:
+            binding.endpoint = IsoTpEndpoint(
+                self.bus, node_name, tx_id=ecu_tx_id, rx_id=ecu_rx_id, on_message=respond
+            )
+        elif self.transport == TransportKind.VWTP:
+            binding.endpoint = VwTpEndpoint(
+                self.bus,
+                node_name,
+                ecu_address=ecu_address,
+                tx_id=ecu_tx_id,
+                rx_id=ecu_rx_id,
+                is_tester=False,
+                on_message=respond,
+            )
+        else:
+            binding.endpoint = BmwEndpoint(
+                self.bus,
+                node_name,
+                tx_id=ecu_tx_id,
+                rx_id=ecu_rx_id,
+                ecu_address=TESTER_ADDRESS,  # ECU->tool frames carry tester addr
+                on_message=respond,
+            )
+        self.bindings[ecu.name] = binding
+        return binding
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def ecus(self) -> List[SimulatedEcu]:
+        return [binding.ecu for binding in self.bindings.values()]
+
+    def ecu(self, name: str) -> SimulatedEcu:
+        return self.bindings[name].ecu
+
+    def attach_sniffer(self) -> Sniffer:
+        """Attach an OBD-port sniffer capturing every frame on the bus."""
+        return Sniffer().attach_to(self.bus)
+
+    def tester_endpoint(self, ecu_name: str, tester: str = "tester"):
+        """Create the tool-side endpoint for talking to ``ecu_name``.
+
+        For VW TP 2.0 the channel-setup handshake is performed before the
+        endpoint is returned.
+        """
+        binding = self.bindings[ecu_name]
+        self._tester_count += 1
+        node_name = f"{tester}#{self._tester_count}->{ecu_name}"
+        if binding.kind == TransportKind.ISOTP:
+            return IsoTpEndpoint(
+                self.bus,
+                node_name,
+                tx_id=binding.ecu_rx_id,
+                rx_id=binding.ecu_tx_id,
+            )
+        if binding.kind == TransportKind.VWTP:
+            endpoint = VwTpEndpoint(
+                self.bus,
+                node_name,
+                ecu_address=binding.ecu_address,
+                tx_id=binding.ecu_rx_id,
+                rx_id=binding.ecu_tx_id,
+                is_tester=True,
+            )
+            endpoint.connect()
+            return endpoint
+        return BmwEndpoint(
+            self.bus,
+            node_name,
+            tx_id=binding.ecu_rx_id,
+            rx_id=binding.ecu_tx_id,
+            ecu_address=binding.ecu_address,  # tool->ECU frames carry ECU addr
+        )
+
+    def release_tester(self, endpoint) -> None:
+        """Detach a tester endpoint created by :meth:`tester_endpoint`."""
+        self.bus.detach(endpoint.node.name)
+
+    # -------------------------------------------------------------- dashboard
+
+    def dashboard(self) -> Dict[str, float]:
+        """Instrument-cluster readout at the current simulated time.
+
+        Used as ground truth by the Tab. 7 validation experiment.
+        """
+        values: Dict[str, float] = {}
+        now = self.clock.now()
+        for binding in self.bindings.values():
+            values.update(binding.ecu.dashboard_values(now))
+        return values

@@ -1,0 +1,64 @@
+"""Tests for message/screenshot time alignment (§9.4)."""
+
+import pytest
+
+from repro.core.alignment import (
+    estimate_offset_via_obd,
+    obd_ground_truth_values,
+    shift_series,
+)
+from repro.core.fields import EsvObservation
+from repro.core.screenshot import UiSample, UiSeries
+
+
+def obd_observation(pid, data, t):
+    return EsvObservation("obd2", f"obd2:{pid:02X}", data, t)
+
+
+class TestGroundTruth:
+    def test_metric_and_imperial_candidates(self):
+        obs = obd_observation(0x0D, b"\x64", 1.0)  # 100 km/h
+        values = obd_ground_truth_values(obs)
+        assert 100.0 in values
+        assert any(abs(v - 62.14) < 0.01 for v in values)
+
+    def test_non_obd_rejected(self):
+        with pytest.raises(ValueError):
+            obd_ground_truth_values(EsvObservation("uds", "uds:F400", b"\x01", 0.0))
+
+    def test_unknown_pid_empty(self):
+        assert obd_ground_truth_values(obd_observation(0xEE, b"\x01", 0.0)) == []
+
+
+class TestOffsetEstimation:
+    def make_ui(self, values_at):
+        samples = [UiSample(t, f"{v}", float(v)) for t, v in values_at]
+        return {"Vehicle Speed": UiSeries("Vehicle Speed", samples)}
+
+    def test_recovers_constant_offset(self):
+        observations = [
+            obd_observation(0x0D, bytes([speed]), t)
+            for t, speed in [(1.0, 50), (2.0, 60), (3.0, 70)]
+        ]
+        # Camera clock runs 2.5 s ahead of the sniffer clock.
+        ui = self.make_ui([(3.5, 50), (4.5, 60), (5.5, 70)])
+        offset = estimate_offset_via_obd(observations, ui)
+        assert offset == pytest.approx(2.5, abs=0.01)
+
+    def test_no_anchor_returns_none(self):
+        observations = [
+            EsvObservation("uds", "uds:F400", b"\x01", 1.0)
+        ]
+        assert estimate_offset_via_obd(observations, self.make_ui([(1.0, 99)])) is None
+
+    def test_no_matching_value_returns_none(self):
+        observations = [obd_observation(0x0D, b"\x64", 1.0)]
+        ui = self.make_ui([(1.2, 250)])  # 250 matches neither 100 nor 62.1
+        assert estimate_offset_via_obd(observations, ui) is None
+
+
+class TestShift:
+    def test_shift_series(self):
+        ui = {"X": UiSeries("X", [UiSample(10.0, "1", 1.0)])}
+        shifted = shift_series(ui, 2.5)
+        assert shifted["X"].samples[0].timestamp == 7.5

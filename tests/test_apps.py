@@ -1,0 +1,228 @@
+"""Tests for the telematics-app analysis stack (IR, taint, Alg. 1)."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    App,
+    AssignStmt,
+    BinopExpr,
+    DoubleConst,
+    FormulaExtractor,
+    FormulaSpec,
+    InvokeExpr,
+    Local,
+    Method,
+    ReturnStmt,
+    analyze_corpus,
+    build_corpus,
+    make_complex_app,
+    make_dtc_app,
+    make_formula_app,
+    obd2_spec_pool,
+    taint_method,
+)
+from repro.apps.appgen import RESULT_API
+from repro.apps.taint import control_dependencies, data_dependencies
+
+
+def simple_app():
+    """One formula block: Y = v0 * 0.25 + 64 * v1 behind prefix 41 0C."""
+    spec = FormulaSpec("41 0C", "affine2", (64.0, 0.25, 0.0))
+    return make_formula_app("test-app", [spec])
+
+
+class TestTaint:
+    def test_source_taints_result(self):
+        app = simple_app()
+        method = app.methods[0]
+        tainted, statements = taint_method(method)
+        assert tainted  # the response local and everything derived
+        assert statements
+
+    def test_taint_propagates_through_string_ops(self):
+        app = simple_app()
+        method = app.methods[0]
+        tainted, __ = taint_method(method)
+        # split() results and parseInt() outputs must all be tainted.
+        assert len(tainted) > 5
+
+    def test_untainted_method_clean(self):
+        method = Method("pure")
+        method.statements = [
+            AssignStmt(Local("$a"), BinopExpr("*", DoubleConst(2.0), DoubleConst(3.0))),
+            ReturnStmt(),
+        ]
+        tainted, statements = taint_method(method)
+        assert not tainted and not statements
+
+
+class TestDependencies:
+    def test_data_dependency_slice_reaches_parseint(self):
+        app = simple_app()
+        method = app.methods[0]
+        extractor = FormulaExtractor()
+        formulas = extractor.extract(app)
+        assert formulas  # proves the slice reached the parseInt boundary
+
+    def test_control_dependency_finds_guard(self):
+        app = simple_app()
+        method = app.methods[0]
+        last_math = max(
+            i
+            for i, s in enumerate(method.statements)
+            if isinstance(s, AssignStmt) and isinstance(s.expr, BinopExpr)
+        )
+        guards = control_dependencies(method, last_math)
+        assert len(guards) == 1
+
+
+class TestExtractor:
+    def test_formula_expression(self):
+        formulas = FormulaExtractor().extract(simple_app())
+        assert len(formulas) == 1
+        formula = formulas[0]
+        assert "v0" in formula.expression and "v1" in formula.expression
+        assert "64" in formula.expression and "0.25" in formula.expression
+
+    def test_condition_recovered(self):
+        formula = FormulaExtractor().extract(simple_app())[0]
+        assert formula.condition == 'response.startsWith("41 0C")'
+        assert formula.response_prefix == "41 0C"
+
+    def test_protocol_classification(self):
+        assert FormulaExtractor().extract(simple_app())[0].protocol == "OBD-II"
+        uds_app = make_formula_app(
+            "uds", [FormulaSpec("62 F4 0D", "affine1", (0.5, 0.0))]
+        )
+        assert FormulaExtractor().extract(uds_app)[0].protocol == "UDS"
+        kwp_app = make_formula_app(
+            "kwp", [FormulaSpec("61 07", "prod", (0.2,))]
+        )
+        assert FormulaExtractor().extract(kwp_app)[0].protocol == "KWP 2000"
+
+    def test_one_formula_per_block(self):
+        rng = random.Random(1)
+        specs = obd2_spec_pool(rng, 17)
+        app = make_formula_app("many", specs)
+        assert len(FormulaExtractor().extract(app)) == 17
+
+    def test_intermediate_math_not_double_counted(self):
+        """Fig. 9: lines 11/13 feed line 14 — only line 14 is the formula."""
+        spec = FormulaSpec("41 0C", "affine2", (64.0, 0.25, 0.0))
+        app = make_formula_app("x", [spec])
+        assert len(FormulaExtractor().extract(app)) == 1
+
+    def test_complex_app_defeats_intraprocedural_taint(self):
+        app = make_complex_app("hard", [FormulaSpec("41 0C", "affine1", (1.0, 0.0))])
+        assert FormulaExtractor().extract(app) == []
+
+    def test_dtc_app_has_no_formulas(self):
+        assert FormulaExtractor().extract(make_dtc_app("dtc")) == []
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        apps = build_corpus()
+        return apps, analyze_corpus(apps)
+
+    def test_one_hundred_sixty_apps(self, analysis):
+        apps, __ = analysis
+        assert len(apps) == 160
+
+    def test_only_three_apps_with_uds_or_kwp(self, analysis):
+        """Tab. 12 / Q6: exactly the Carly family."""
+        __, result = analysis
+        names = {
+            n
+            for n, counts in result.per_app.items()
+            if counts.get("UDS") or counts.get("KWP 2000")
+        }
+        assert names == {"Carly for VAG", "Carly for Mercedes", "Carly for Toyota"}
+
+    def test_carly_vag_counts(self, analysis):
+        __, result = analysis
+        assert result.per_app["Carly for VAG"] == {"UDS": 90, "KWP 2000": 137}
+
+    def test_carly_mercedes_counts(self, analysis):
+        __, result = analysis
+        assert result.per_app["Carly for Mercedes"] == {"UDS": 1624, "KWP 2000": 468}
+
+    def test_obd_app_counts(self, analysis):
+        __, result = analysis
+        assert result.per_app["ChevroSys Scan Free"] == {"OBD-II": 40}
+        assert result.per_app["inCarDoc"] == {"OBD-II": 82}
+
+    def test_complex_apps_yield_nothing(self, analysis):
+        __, result = analysis
+        for name, counts in result.per_app.items():
+            if name.startswith("Complex"):
+                assert counts == {}
+
+    def test_determinism(self):
+        a = analyze_corpus(build_corpus(seed=5))
+        b = analyze_corpus(build_corpus(seed=5))
+        assert a.per_app == b.per_app
+
+
+class TestCanHunterExtraction:
+    def test_requests_extracted_from_formula_app(self):
+        from repro.apps import extract_requests, make_formula_app, FormulaSpec
+
+        app = make_formula_app(
+            "x",
+            [
+                FormulaSpec("41 0C", "affine1", (0.25, 0.0)),
+                FormulaSpec("62 F4 0D", "affine1", (1.0, 0.0)),
+            ],
+        )
+        requests = extract_requests(app)
+        assert {r.message for r in requests} == {"01 0C", "22 F4 0D"}
+
+    def test_request_protocol_classification(self):
+        from repro.apps import extract_requests, make_formula_app, FormulaSpec
+
+        app = make_formula_app(
+            "x",
+            [
+                FormulaSpec("41 0C", "affine1", (1.0, 0.0)),
+                FormulaSpec("62 F4 0D", "affine1", (1.0, 0.0)),
+                FormulaSpec("61 07", "prod", (0.2,)),
+            ],
+        )
+        protocols = {r.message: r.protocol for r in extract_requests(app)}
+        assert protocols["01 0C"] == "OBD-II"
+        assert protocols["22 F4 0D"] == "UDS"
+        assert protocols["21 07"] == "KWP 2000"
+
+    def test_duplicates_deduplicated(self):
+        from repro.apps import extract_requests, make_formula_app, FormulaSpec
+
+        specs = [FormulaSpec("41 0C", "affine1", (1.0, 0.0))] * 3
+        assert len(extract_requests(make_formula_app("x", specs))) == 1
+
+    def test_app_requests_cannot_reach_proprietary_esvs(self):
+        """Q6: OBD-II-only apps read nothing from a KWP vehicle."""
+        from repro.apps import build_corpus, compare_with_tool, extract_requests
+        from repro.vehicle import build_car
+
+        apps = build_corpus()
+        obd_app = next(a for a in apps if a.name == "ChevroSys Scan Free")
+        comparison = compare_with_tool(build_car("K"), extract_requests(obd_app))
+        assert comparison.app_reachable_esvs == 0  # no proprietary reach
+        assert comparison.app_obd_esvs >= 1  # "ordinary information" only
+        assert comparison.tool_esvs == 41
+
+    def test_carly_requests_do_reach_matching_protocol(self):
+        """An app that *does* speak UDS can reach UDS DIDs it knows."""
+        from repro.apps import compare_with_tool, extract_requests, make_formula_app, FormulaSpec
+        from repro.vehicle import build_car
+
+        car = build_car("D")
+        engine_did = sorted(car.ecu("Engine").uds_data_points)[0]
+        prefix = f"62 {engine_did >> 8:02X} {engine_did & 0xFF:02X}"
+        app = make_formula_app("uds-app", [FormulaSpec(prefix, "affine1", (1.0, 0.0))])
+        comparison = compare_with_tool(car, extract_requests(app))
+        assert comparison.app_reachable_esvs >= 1

@@ -1,0 +1,91 @@
+"""Tests for BMW/Mini extended-addressed transport."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can import CanFrame, SimulatedCanBus
+from repro.simtime import SimClock
+from repro.transport import (
+    BmwEndpoint,
+    BmwReassembler,
+    TransportError,
+    segment_bmw,
+)
+
+
+class TestSegmentation:
+    def test_address_byte_prefixed(self):
+        frames = segment_bmw(b"\x22\xdb\xe5", 0x6F1, ecu_address=0x29)
+        assert all(f.data[0] == 0x29 for f in frames)
+
+    def test_frames_never_exceed_eight_bytes(self):
+        frames = segment_bmw(bytes(100), 0x6F1, ecu_address=0x12)
+        assert all(len(f.data) <= 8 for f in frames)
+
+    def test_exactly_seven_bytes_uses_multiframe(self):
+        # 7 payload bytes don't fit the 6-byte extended-addressing SF.
+        frames = segment_bmw(bytes(7), 0x6F1, ecu_address=0x12)
+        assert len(frames) > 1
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(TransportError):
+            segment_bmw(b"\x01", 0x6F1, ecu_address=0x100)
+
+
+class TestReassembly:
+    def test_roundtrip(self):
+        payload = bytes(range(30))
+        reassembler = BmwReassembler()
+        result = None
+        for frame in segment_bmw(payload, 0x6F1, ecu_address=0x43):
+            result = reassembler.feed(frame)
+        assert result == payload
+        assert reassembler.last_address == 0x43
+
+    def test_first_byte_ignored_in_payload(self):
+        """The paper: "we ignore the first byte and put the remaining
+        bytes together"."""
+        payload = b"\x62\xf4\x00\x10"
+        reassembler = BmwReassembler()
+        for frame in segment_bmw(payload, 0x6F1, ecu_address=0x60):
+            result = reassembler.feed(frame)
+        assert result == payload  # no 0x60 inside
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(TransportError):
+            BmwReassembler().feed(CanFrame(0x6F1, b"\x29"))
+
+
+class TestEndpoint:
+    def test_request_response(self):
+        bus = SimulatedCanBus(SimClock())
+        ecu = BmwEndpoint(
+            bus, "ecu", tx_id=0x600, rx_id=0x6F0, ecu_address=0xF1,
+            on_message=lambda p: ecu.send(b"\x62" + p[1:]),
+        )
+        tool = BmwEndpoint(bus, "tool", tx_id=0x6F0, rx_id=0x600, ecu_address=0x12)
+        tool.send(b"\x22\xf4\x00")
+        assert tool.receive() == b"\x62\xf4\x00"
+
+    def test_long_exchange(self):
+        bus = SimulatedCanBus(SimClock())
+        big = bytes(range(80))
+        ecu = BmwEndpoint(
+            bus, "ecu", tx_id=0x600, rx_id=0x6F0, ecu_address=0xF1,
+            on_message=lambda p: ecu.send(big),
+        )
+        tool = BmwEndpoint(bus, "tool", tx_id=0x6F0, rx_id=0x600, ecu_address=0x12)
+        tool.send(b"\x22\x01\x02")
+        assert tool.receive() == big
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.binary(min_size=1, max_size=300), address=st.integers(0, 255))
+def test_bmw_roundtrip_property(payload, address):
+    reassembler = BmwReassembler()
+    result = None
+    for frame in segment_bmw(payload, 0x6F1, ecu_address=address):
+        result = reassembler.feed(frame)
+    assert result == payload
+    assert reassembler.last_address == address

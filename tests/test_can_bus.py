@@ -1,0 +1,112 @@
+"""Tests for the simulated CAN bus."""
+
+import pytest
+
+from repro.can import BusNode, CanFrame, SimulatedCanBus, Sniffer
+from repro.simtime import SimClock
+
+
+def make_bus():
+    return SimulatedCanBus(SimClock())
+
+
+class TestAttachment:
+    def test_attach_and_send(self):
+        bus = make_bus()
+        a = bus.attach(BusNode("a"))
+        b = bus.attach(BusNode("b"))
+        a.send(CanFrame(0x100, b"\x01"))
+        assert len(b.received) == 1
+        assert b.received[0].data == b"\x01"
+
+    def test_sender_does_not_receive_own_frame(self):
+        bus = make_bus()
+        a = bus.attach(BusNode("a"))
+        bus.attach(BusNode("b"))
+        a.send(CanFrame(0x100, b"\x01"))
+        assert a.received == []
+
+    def test_duplicate_name_rejected(self):
+        bus = make_bus()
+        bus.attach(BusNode("a"))
+        with pytest.raises(ValueError):
+            bus.attach(BusNode("a"))
+
+    def test_detached_node_stops_receiving(self):
+        bus = make_bus()
+        a = bus.attach(BusNode("a"))
+        b = bus.attach(BusNode("b"))
+        bus.detach("b")
+        a.send(CanFrame(0x100, b"\x01"))
+        assert b.received == []
+
+    def test_unattached_send_raises(self):
+        node = BusNode("floating")
+        with pytest.raises(RuntimeError):
+            node.send(CanFrame(0x1, b""))
+
+
+class TestTiming:
+    def test_timestamps_strictly_increase(self):
+        bus = make_bus()
+        a = bus.attach(BusNode("a"))
+        bus.attach(BusNode("b"))
+        first = a.send(CanFrame(0x100, b"\x01"))
+        second = a.send(CanFrame(0x100, b"\x02"))
+        assert second.timestamp > first.timestamp
+
+    def test_frame_time_advances_clock(self):
+        bus = make_bus()
+        a = bus.attach(BusNode("a"))
+        before = bus.clock.now()
+        a.send(CanFrame(0x100, b"\x01"))
+        assert bus.clock.now() > before
+
+
+class TestArbitration:
+    def test_lower_id_transmits_first(self):
+        bus = make_bus()
+        a = bus.attach(BusNode("a"))
+        bus.attach(BusNode("b"))
+        bus.enqueue("a", CanFrame(0x700, b"\x01"))
+        bus.enqueue("a", CanFrame(0x100, b"\x02"))
+        bus.enqueue("a", CanFrame(0x300, b"\x03"))
+        sent = bus.arbitrate()
+        assert [f.can_id for f in sent] == [0x100, 0x300, 0x700]
+
+    def test_equal_ids_fifo(self):
+        bus = make_bus()
+        bus.attach(BusNode("a"))
+        bus.enqueue("a", CanFrame(0x100, b"\x01"))
+        bus.enqueue("a", CanFrame(0x100, b"\x02"))
+        sent = bus.arbitrate()
+        assert [f.data for f in sent] == [b"\x01", b"\x02"]
+
+
+class TestTaps:
+    def test_sniffer_sees_all_frames(self):
+        bus = make_bus()
+        a = bus.attach(BusNode("a"))
+        b = bus.attach(BusNode("b"))
+        sniffer = Sniffer().attach_to(bus)
+        a.send(CanFrame(0x100, b"\x01"))
+        b.send(CanFrame(0x200, b"\x02"))
+        assert len(sniffer.log) == 2
+        assert [f.can_id for f in sniffer.log] == [0x100, 0x200]
+
+    def test_tap_sees_frame_before_receiver_reacts(self):
+        """Wire order: a nested response must be logged after its trigger."""
+        bus = make_bus()
+        sniffer = Sniffer().attach_to(bus)
+        responder = BusNode("responder")
+
+        def respond(frame):
+            if frame.can_id == 0x100:
+                responder.send(CanFrame(0x200, b"\xff"))
+
+        responder._handler = respond
+        bus.attach(responder)
+        requester = bus.attach(BusNode("requester"))
+        requester.send(CanFrame(0x100, b"\x01"))
+        assert [f.can_id for f in sniffer.log] == [0x100, 0x200]
+        assert sniffer.log[0].timestamp < sniffer.log[1].timestamp

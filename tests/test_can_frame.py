@@ -1,0 +1,89 @@
+"""Tests for CAN frame primitives."""
+
+import pytest
+
+from repro.can import (
+    CanFrame,
+    InvalidFrameError,
+    frame_from_candump,
+    frame_to_candump,
+)
+
+
+class TestCanFrame:
+    def test_basic_construction(self):
+        frame = CanFrame(0x7E0, b"\x02\x10\x03")
+        assert frame.can_id == 0x7E0
+        assert frame.data == b"\x02\x10\x03"
+        assert frame.dlc == 3
+
+    def test_data_normalised_to_bytes(self):
+        frame = CanFrame(0x100, bytearray([1, 2, 3]))
+        assert isinstance(frame.data, bytes)
+
+    def test_standard_id_upper_bound(self):
+        CanFrame(0x7FF, b"")
+        with pytest.raises(InvalidFrameError):
+            CanFrame(0x800, b"")
+
+    def test_extended_id_allows_29_bits(self):
+        CanFrame(0x1FFFFFFF, b"", extended=True)
+        with pytest.raises(InvalidFrameError):
+            CanFrame(0x20000000, b"", extended=True)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(InvalidFrameError):
+            CanFrame(-1, b"")
+
+    def test_data_length_limit(self):
+        CanFrame(0x100, bytes(8))
+        with pytest.raises(InvalidFrameError):
+            CanFrame(0x100, bytes(9))
+
+    def test_priority_lower_id_wins(self):
+        high = CanFrame(0x100, b"")
+        low = CanFrame(0x700, b"")
+        assert high.priority_beats(low)
+        assert not low.priority_beats(high)
+
+    def test_with_timestamp_preserves_fields(self):
+        frame = CanFrame(0x123, b"\xab", extended=False, channel="can1")
+        stamped = frame.with_timestamp(42.5)
+        assert stamped.timestamp == 42.5
+        assert stamped.can_id == frame.can_id
+        assert stamped.data == frame.data
+        assert stamped.channel == "can1"
+
+    def test_hex_data(self):
+        assert CanFrame(0x1, b"\x02\x10\x03").hex_data() == "02 10 03"
+
+    def test_frames_are_immutable(self):
+        frame = CanFrame(0x100, b"\x01")
+        with pytest.raises(Exception):
+            frame.can_id = 0x200
+
+
+class TestCandumpFormat:
+    def test_roundtrip(self):
+        frame = CanFrame(0x7E8, b"\x03\x41\x0c\x1f", timestamp=1.5, channel="can0")
+        line = frame_to_candump(frame)
+        parsed = frame_from_candump(line)
+        assert parsed == frame
+
+    def test_extended_id_roundtrip(self):
+        frame = CanFrame(0x18DAF110, b"\x01", timestamp=2.0, extended=True)
+        parsed = frame_from_candump(frame_to_candump(frame))
+        assert parsed.extended
+        assert parsed.can_id == 0x18DAF110
+
+    def test_empty_data(self):
+        parsed = frame_from_candump("(1.000000) can0 123#")
+        assert parsed.data == b""
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(InvalidFrameError):
+            frame_from_candump("not a candump line")
+
+    def test_empty_line_raises(self):
+        with pytest.raises(InvalidFrameError):
+            frame_from_candump("   ")

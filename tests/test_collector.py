@@ -1,0 +1,86 @@
+"""Tests for the data-collection orchestrator (full CPS loop)."""
+
+import pytest
+
+from repro.cps import DataCollector
+from repro.tools import make_tool_for_car
+from repro.vehicle import build_car
+
+
+@pytest.fixture(scope="module")
+def capture_a():
+    car = build_car("A")
+    tool = make_tool_for_car("A", car)
+    collector = DataCollector(tool, read_duration_s=8.0)
+    return collector.collect(), car
+
+
+class TestCaptureContents:
+    def test_can_frames_collected(self, capture_a):
+        capture, __ = capture_a
+        assert len(capture.can_log) > 100
+
+    def test_video_recorded_during_live(self, capture_a):
+        capture, __ = capture_a
+        live_frames = [f for f in capture.video if f.screen_name == "live"]
+        assert len(live_frames) >= 10
+
+    def test_clicks_logged_with_labels(self, capture_a):
+        capture, __ = capture_a
+        labels = [c.label for c in capture.clicks]
+        assert any("Read Data Stream" in l for l in labels)
+        assert any(l == "Start" for l in labels)
+
+    def test_segments_cover_live_and_active(self, capture_a):
+        capture, __ = capture_a
+        kinds = {s.kind for s in capture.segments}
+        assert kinds == {"obd_anchor", "live", "active_test"}
+
+    def test_segment_windows_ordered(self, capture_a):
+        capture, __ = capture_a
+        for segment in capture.segments:
+            assert segment.t_end >= segment.t_start
+
+    def test_all_ecus_with_data_visited(self, capture_a):
+        capture, car = capture_a
+        visited = {s.ecu for s in capture.segments if s.kind == "live"}
+        expected = {
+            e.name for e in car.ecus if e.uds_data_points or e.kwp_groups
+        }
+        assert visited == expected
+
+    def test_every_actuator_tested(self, capture_a):
+        capture, car = capture_a
+        for ecu in car.ecus:
+            for actuator in ecu.actuators.values():
+                assert actuator.adjustments(), f"{actuator.name} never actuated"
+
+    def test_tool_error_rate_recorded(self, capture_a):
+        capture, __ = capture_a
+        assert capture.tool_error_rate == pytest.approx(0.15)  # LAUNCH X431
+
+    def test_video_between(self, capture_a):
+        capture, __ = capture_a
+        segment = next(s for s in capture.segments if s.kind == "live")
+        frames = capture.video_between(segment.t_start, segment.t_end)
+        assert frames
+        assert all(segment.t_start <= f.timestamp < segment.t_end for f in frames)
+
+
+class TestCameraOffset:
+    def test_offset_shifts_video_timestamps(self):
+        car = build_car("D")
+        tool = make_tool_for_car("D", car)
+        collector = DataCollector(tool, read_duration_s=5.0, camera_offset_s=3.0)
+        capture = collector.collect()
+        assert capture.camera_offset_s == 3.0
+        segment = next(s for s in capture.segments if s.kind == "live")
+        live = [
+            f
+            for f in capture.video
+            if f.screen_name == "live"
+            and segment.t_start <= f.timestamp - 3.0 < segment.t_end
+        ]
+        # Frames are stamped 3 s ahead of the CAN/sniffer clock.
+        assert live
+        assert min(f.timestamp for f in live) >= segment.t_start + 2.5

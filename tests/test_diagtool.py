@@ -1,0 +1,154 @@
+"""Tests for the diagnostic-tool simulator (screen-and-stylus interface)."""
+
+import pytest
+
+from repro.vehicle import build_car
+from repro.tools import TOOL_PROFILES, make_tool_for_car
+
+
+@pytest.fixture()
+def tool_a():
+    car = build_car("A")
+    return make_tool_for_car("A", car), car
+
+
+def tap(tool, text):
+    widget = tool.screen.find(text)
+    assert widget is not None, f"widget {text!r} not on screen {tool.screen.name}"
+    assert tool.tap(*widget.center)
+
+
+class TestProfiles:
+    def test_four_tools_defined(self):
+        assert set(TOOL_PROFILES) == {"AUTEL 919", "LAUNCH X431", "VCDS", "Techstream"}
+
+    def test_handhelds_noisier_than_laptops(self):
+        assert TOOL_PROFILES["LAUNCH X431"].ocr_error_rate > TOOL_PROFILES["VCDS"].ocr_error_rate
+
+
+class TestNavigation:
+    def test_home_lists_ecus(self, tool_a):
+        tool, car = tool_a
+        texts = [w.text for w in tool.screen.buttons()]
+        for ecu in car.ecus:
+            assert ecu.name in texts
+
+    def test_enter_ecu_menu(self, tool_a):
+        tool, __ = tool_a
+        tap(tool, "Engine")
+        assert tool.state == "ecu_menu"
+        assert tool.screen.find("Read Data Stream") is not None
+        # Decoy entries exist, matching real tool menus.
+        assert tool.screen.find("Clear Trouble Codes") is not None
+
+    def test_back_returns_home(self, tool_a):
+        tool, __ = tool_a
+        tap(tool, "Engine")
+        tap(tool, "Back")
+        assert tool.state == "home"
+
+    def test_active_test_only_on_ecus_with_actuators(self, tool_a):
+        tool, car = tool_a
+        tap(tool, "Engine")
+        assert tool.screen.find("Active Test") is None
+        tap(tool, "Back")
+        tap(tool, "Body Control")
+        assert tool.screen.find("Active Test") is not None
+
+    def test_tap_missing_widget_returns_false(self, tool_a):
+        tool, __ = tool_a
+        assert not tool.tap(799, 599)
+
+
+class TestDataStream:
+    def select_first_items(self, tool, count):
+        tap(tool, "Engine")
+        tap(tool, "Read Data Stream")
+        toggled = 0
+        for widget in list(tool.screen.buttons()):
+            if widget.text.startswith("[ ] ") and toggled < count:
+                tool.tap(*widget.center)
+                toggled += 1
+        return toggled
+
+    def test_toggle_marks_selection(self, tool_a):
+        tool, __ = tool_a
+        self.select_first_items(tool, 2)
+        checked = [w for w in tool.screen.buttons() if w.text.startswith("[x] ")]
+        assert len(checked) == 2
+
+    def test_toggle_twice_unselects(self, tool_a):
+        tool, __ = tool_a
+        self.select_first_items(tool, 1)
+        widget = next(w for w in tool.screen.buttons() if w.text.startswith("[x] "))
+        tool.tap(*widget.center)
+        assert not any(w.text.startswith("[x] ") for w in tool.screen.buttons())
+
+    def test_start_without_selection_stays(self, tool_a):
+        tool, __ = tool_a
+        tap(tool, "Engine")
+        tap(tool, "Read Data Stream")
+        tap(tool, "Start")
+        assert tool.state == "datastream_select"
+
+    def test_live_values_update(self, tool_a):
+        tool, __ = tool_a
+        self.select_first_items(tool, 2)
+        tap(tool, "Start")
+        assert tool.state == "live"
+        # Values pass through the rendering pipeline: whoever paces the
+        # session advances time and flushes (the collector's job).
+        tool.clock.advance(0.5)
+        tool.flush_display()
+        values = [w.text for w in tool.screen.widgets if w.kind.value == "value"]
+        assert all(v != "---" for v in values)
+
+    def test_live_values_change_over_ticks(self, tool_a):
+        tool, __ = tool_a
+        self.select_first_items(tool, 2)
+        tap(tool, "Start")
+        def snapshot():
+            return [w.text for w in tool.screen.widgets if w.kind.value == "value"]
+        seen = set()
+        for __ in range(8):
+            tool.clock.advance(0.5)
+            tool.tick()
+            tool.clock.advance(0.3)
+            tool.flush_display()
+            seen.add(tuple(snapshot()))
+        assert len(seen) > 1
+
+    def test_pagination_for_long_lists(self):
+        car = build_car("K")  # 41 ESVs in blocks
+        tool = make_tool_for_car("K", car)
+        tap(tool, "Engine")
+        tap(tool, "Read Data Stream")
+        assert "(" in tool.screen.widgets[0].text  # page indicator in title
+
+
+class TestActiveTest:
+    def test_run_test_performs_three_messages(self, tool_a):
+        tool, car = tool_a
+        tap(tool, "Body Control")
+        tap(tool, "Active Test")
+        target = next(
+            w for w in tool.screen.buttons() if w.text not in ("Back",)
+        )
+        name = target.text
+        tool.tap(*target.center)
+        actuator = next(
+            a for e in car.ecus for a in e.actuators.values() if a.name == name
+        )
+        assert [a.action for a in actuator.actions] == ["freeze", "adjust", "return"]
+        label = next(w.text for w in tool.screen.labels() if w.text.startswith("Last test"))
+        assert "OK" in label
+
+    def test_security_unlocked_automatically(self, tool_a):
+        tool, car = tool_a
+        body = car.ecu("Body Control")
+        assert body.security.required and not body.security.unlocked
+        tap(tool, "Body Control")
+        tap(tool, "Active Test")
+        target = next(w for w in tool.screen.buttons() if w.text != "Back")
+        tool.tap(*target.center)
+        assert body.security.unlocked

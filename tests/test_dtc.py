@@ -1,0 +1,145 @@
+"""Tests for the DTC subsystem: codecs, ECU services, tool screens."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagnostics import dtc as dtc_codec
+from repro.diagnostics.dtc import Dtc
+from repro.diagnostics.messages import DiagnosticError
+from repro.simtime import SimClock
+from repro.tools import make_tool_for_car
+from repro.vehicle import build_car
+from repro.vehicle.ecu import SimulatedEcu
+
+
+class TestDtcEncoding:
+    def test_p0301_two_byte_form(self):
+        assert Dtc("P0301").to_two_bytes() == bytes([0x03, 0x01])
+
+    def test_chassis_body_network_prefixes(self):
+        assert Dtc("C0035").to_two_bytes()[0] >> 6 == 0b01
+        assert Dtc("B1342").to_two_bytes()[0] >> 6 == 0b10
+        assert Dtc("U0100").to_two_bytes()[0] >> 6 == 0b11
+
+    def test_roundtrip(self):
+        for code in ("P0301", "P0171", "C0035", "B1342", "U0100", "P0420"):
+            assert Dtc.from_two_bytes(Dtc(code).to_two_bytes()).code == code
+
+    def test_malformed_code_rejected(self):
+        with pytest.raises(DiagnosticError):
+            Dtc("X0301")
+        with pytest.raises(DiagnosticError):
+            Dtc("P03")
+
+    def test_three_byte_form_appends_failure_type(self):
+        assert Dtc("P0301").to_three_bytes() == bytes([0x03, 0x01, 0x00])
+
+
+class TestResponseCodecs:
+    DTCS = [Dtc("P0301"), Dtc("C0035", status=0x2F)]
+
+    def test_obd_roundtrip(self):
+        payload = dtc_codec.encode_obd_dtc_response(self.DTCS)
+        decoded = dtc_codec.decode_obd_dtc_response(payload)
+        assert [d.code for d in decoded] == ["P0301", "C0035"]
+
+    def test_uds_roundtrip_preserves_status(self):
+        payload = dtc_codec.encode_uds_dtc_response(self.DTCS)
+        decoded = dtc_codec.decode_uds_dtc_response(payload)
+        assert [(d.code, d.status) for d in decoded] == [
+            ("P0301", 0x09),
+            ("C0035", 0x2F),
+        ]
+
+    def test_kwp_roundtrip(self):
+        payload = dtc_codec.encode_kwp_dtc_response(self.DTCS)
+        decoded = dtc_codec.decode_kwp_dtc_response(payload)
+        assert [d.code for d in decoded] == ["P0301", "C0035"]
+
+    def test_truncated_response_rejected(self):
+        with pytest.raises(DiagnosticError):
+            dtc_codec.decode_obd_dtc_response(b"\x43\x02\x03")
+
+
+class TestEcuDtcServices:
+    def make_ecu(self):
+        ecu = SimulatedEcu("Engine", SimClock())
+        ecu.dtcs = [Dtc("P0301"), Dtc("P0171", status=0x04)]
+        return ecu
+
+    def test_uds_read_by_status_mask(self):
+        ecu = self.make_ecu()
+        response = ecu.handle_request(dtc_codec.encode_uds_read_dtcs(0xFF))
+        assert [d.code for d in dtc_codec.decode_uds_dtc_response(response)] == [
+            "P0301",
+            "P0171",
+        ]
+
+    def test_status_mask_filters(self):
+        ecu = self.make_ecu()
+        response = ecu.handle_request(dtc_codec.encode_uds_read_dtcs(0x08))
+        decoded = dtc_codec.decode_uds_dtc_response(response)
+        assert [d.code for d in decoded] == ["P0301"]  # status 0x09 & 0x08
+
+    def test_kwp_read(self):
+        ecu = self.make_ecu()
+        response = ecu.handle_request(dtc_codec.encode_kwp_read_dtcs())
+        assert len(dtc_codec.decode_kwp_dtc_response(response)) == 2
+
+    def test_clear(self):
+        ecu = self.make_ecu()
+        response = ecu.handle_request(dtc_codec.encode_uds_clear())
+        assert response == b"\x54"
+        assert ecu.dtcs == []
+        assert ecu.dtc_clear_count == 1
+
+
+class TestToolDtcScreens:
+    def test_read_trouble_codes_screen(self):
+        car = build_car("A")
+        tool = make_tool_for_car("A", car)
+        ecu_with_dtcs = next((e for e in car.ecus if e.dtcs), None)
+        assert ecu_with_dtcs is not None, "fleet cars should carry DTCs"
+        tool.tap(*tool.screen.find(ecu_with_dtcs.name).center)
+        tool.tap(*tool.screen.find("Read Trouble Codes").center)
+        assert tool.state == "dtc_list"
+        labels = [w.text for w in tool.screen.labels()]
+        assert any(d.code in "".join(labels) for d in ecu_with_dtcs.dtcs)
+
+    def test_clear_trouble_codes(self):
+        car = build_car("A")
+        tool = make_tool_for_car("A", car)
+        ecu = next(e for e in car.ecus if e.dtcs)
+        tool.tap(*tool.screen.find(ecu.name).center)
+        tool.tap(*tool.screen.find("Clear Trouble Codes").center)
+        assert ecu.dtcs == []
+        # Reading afterwards shows the empty list.
+        tool.tap(*tool.screen.find("Read Trouble Codes").center)
+        labels = [w.text for w in tool.screen.labels()]
+        assert any("No trouble codes" in text for text in labels)
+
+    def test_kwp_car_uses_kwp_service(self):
+        car = build_car("B")
+        tool = make_tool_for_car("B", car)
+        sniffer = car.attach_sniffer()
+        ecu = next(e for e in car.ecus if e.kwp_groups)
+        tool.tap(*tool.screen.find(ecu.name).center)
+        tool.tap(*tool.screen.find("Read Trouble Codes").center)
+        from repro.core import assemble
+
+        payloads = [m.payload for m in assemble(list(sniffer.log))]
+        assert any(p and p[0] == 0x18 for p in payloads)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    system=st.sampled_from("PCBU"),
+    digits=st.tuples(
+        st.integers(0, 3), st.integers(0, 15), st.integers(0, 15), st.integers(0, 15)
+    ),
+)
+def test_dtc_two_byte_roundtrip_property(system, digits):
+    code = f"{system}{digits[0]:X}{digits[1]:X}{digits[2]:X}{digits[3]:X}"
+    dtc = Dtc(code)
+    assert Dtc.from_two_bytes(dtc.to_two_bytes()).code == code

@@ -1,0 +1,97 @@
+"""Tests for ECR procedure extraction (§4.5)."""
+
+from repro.core.ecr_analysis import attach_semantics, extract_procedures
+from repro.core.fields import IoControlEvent
+from repro.cps.collector import Segment
+
+
+def event(param, t, state=b"", service=0x2F, identifier=0x0950, positive=True):
+    return IoControlEvent(service, identifier, param, state, t, positive)
+
+
+class TestExtraction:
+    def test_complete_procedure(self):
+        events = [
+            event(0x02, 1.0),
+            event(0x03, 2.0, b"\x05\x01\x00\x00"),
+            event(0x00, 3.0),
+        ]
+        procedures = extract_procedures(events)
+        assert len(procedures) == 1
+        procedure = procedures[0]
+        assert procedure.complete
+        assert procedure.control_state == b"\x05\x01\x00\x00"
+        assert (procedure.t_start, procedure.t_end) == (1.0, 3.0)
+
+    def test_request_pattern_format(self):
+        procedure = extract_procedures(
+            [event(0x02, 1.0), event(0x03, 2.0, b"\x05\x01"), event(0x00, 3.0)]
+        )[0]
+        assert procedure.request_pattern == (
+            "2F 09 50 02 | 2F 09 50 03 05 01 | 2F 09 50 00"
+        )
+
+    def test_kwp_pattern_format(self):
+        procedure = extract_procedures(
+            [
+                event(0x02, 1.0, service=0x30, identifier=0x15),
+                event(0x03, 2.0, b"\x00\x40", service=0x30, identifier=0x15),
+                event(0x00, 3.0, service=0x30, identifier=0x15),
+            ]
+        )[0]
+        assert procedure.request_pattern == "30 15 02 | 30 15 03 00 40 | 30 15 00"
+
+    def test_negative_response_marks_incomplete(self):
+        events = [
+            event(0x02, 1.0),
+            event(0x03, 2.0, b"\x01", positive=False),
+            event(0x00, 3.0),
+        ]
+        assert not extract_procedures(events)[0].complete
+
+    def test_missing_return_control_incomplete(self):
+        events = [event(0x02, 1.0), event(0x03, 2.0, b"\x01")]
+        assert not extract_procedures(events)[0].complete
+
+    def test_multiple_targets_grouped(self):
+        events = []
+        for i, identifier in enumerate((0x0950, 0x0951)):
+            base = i * 10.0
+            events += [
+                event(0x02, base + 1, identifier=identifier),
+                event(0x03, base + 2, b"\x01", identifier=identifier),
+                event(0x00, base + 3, identifier=identifier),
+            ]
+        procedures = extract_procedures(events)
+        assert len(procedures) == 2
+        assert {p.identifier for p in procedures} == {0x0950, 0x0951}
+
+    def test_repeated_tests_of_same_actuator(self):
+        events = []
+        for base in (0.0, 10.0):
+            events += [
+                event(0x02, base + 1),
+                event(0x03, base + 2, b"\x01"),
+                event(0x00, base + 3),
+            ]
+        assert len(extract_procedures(events)) == 2
+
+
+class TestSemantics:
+    def test_label_from_segment_window(self):
+        procedures = extract_procedures(
+            [event(0x02, 5.0), event(0x03, 6.0, b"\x01"), event(0x00, 7.0)]
+        )
+        segments = [
+            Segment("active_test", "Body Control", "Fog Light Left", 4.5, 8.0),
+            Segment("live", "Engine", "Read Data Stream", 0.0, 4.0),
+        ]
+        attach_semantics(procedures, segments)
+        assert procedures[0].label == "Fog Light Left"
+
+    def test_no_matching_segment_leaves_empty(self):
+        procedures = extract_procedures(
+            [event(0x02, 50.0), event(0x03, 51.0, b"\x01"), event(0x00, 52.0)]
+        )
+        attach_semantics(procedures, [])
+        assert procedures[0].label == ""

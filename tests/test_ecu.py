@@ -1,0 +1,234 @@
+"""Tests for the simulated ECU: services, actuator FSM, security, routines."""
+
+import pytest
+
+from repro.diagnostics import Nrc, kwp2000, uds
+from repro.formulas import AffineFormula
+from repro.simtime import SimClock
+from repro.vehicle.ecu import (
+    Actuator,
+    ActuatorState,
+    KwpDataGroup,
+    KwpMeasurement,
+    Routine,
+    SecurityAccessPolicy,
+    SimulatedEcu,
+    UdsDataPoint,
+)
+from repro.vehicle.signals import ConstantSignal, SineSignal
+
+
+def make_ecu(ecr_service=uds.UdsService.IO_CONTROL_BY_IDENTIFIER, security=None):
+    return SimulatedEcu("Engine", SimClock(), ecr_service=ecr_service, security=security)
+
+
+def make_point(did=0xF400, value=100):
+    return UdsDataPoint(
+        did=did,
+        name="Coolant Temperature",
+        signals=[ConstantSignal(value)],
+        formula=AffineFormula(1.0, -40.0),
+    )
+
+
+class TestReadDataByIdentifier:
+    def test_positive_response(self):
+        ecu = make_ecu()
+        ecu.add_data_point(make_point())
+        response = ecu.handle_request(b"\x22\xf4\x00")
+        assert response == b"\x62\xf4\x00\x64"
+
+    def test_multi_did(self):
+        ecu = make_ecu()
+        ecu.add_data_point(make_point(0xF400, 10))
+        ecu.add_data_point(
+            UdsDataPoint(0xF401, "Speed", [ConstantSignal(20)], AffineFormula(1.0))
+        )
+        response = ecu.handle_request(b"\x22\xf4\x00\xf4\x01")
+        pairs = uds.decode_read_response([0xF400, 0xF401], response)
+        assert pairs == [(0xF400, b"\x0a"), (0xF401, b"\x14")]
+
+    def test_unknown_did_out_of_range(self):
+        ecu = make_ecu()
+        response = ecu.handle_request(b"\x22\xde\xad")
+        assert response == bytes([0x7F, 0x22, Nrc.REQUEST_OUT_OF_RANGE])
+
+    def test_two_byte_point_encoding(self):
+        ecu = make_ecu()
+        ecu.add_data_point(
+            UdsDataPoint(
+                0xF400, "RPM", [ConstantSignal(3000)], AffineFormula(1.0), bytes_per_var=2
+            )
+        )
+        response = ecu.handle_request(b"\x22\xf4\x00")
+        assert response == b"\x62\xf4\x00" + (3000).to_bytes(2, "big")
+
+    def test_duplicate_did_rejected(self):
+        ecu = make_ecu()
+        ecu.add_data_point(make_point())
+        with pytest.raises(ValueError):
+            ecu.add_data_point(make_point())
+
+
+class TestKwpRead:
+    def test_measuring_block(self):
+        ecu = make_ecu()
+        group = KwpDataGroup(0x07, "Block 07")
+        group.measurements = [
+            KwpMeasurement("Engine Speed", 0x01, ConstantSignal(0xF1), ConstantSignal(0x10))
+        ]
+        ecu.add_kwp_group(group)
+        response = ecu.handle_request(b"\x21\x07")
+        local_id, records = kwp2000.decode_read_response(response)
+        assert local_id == 0x07
+        assert records[0].value() == pytest.approx(771.2)
+
+    def test_unknown_local_id(self):
+        ecu = make_ecu()
+        response = ecu.handle_request(b"\x21\x99")
+        assert response[0] == 0x7F
+
+
+class TestSessionAndReset:
+    def test_session_control(self):
+        ecu = make_ecu()
+        response = ecu.handle_request(b"\x10\x03")
+        assert response[0] == 0x50
+        assert ecu.session == uds.SessionType.EXTENDED
+
+    def test_ecu_reset_counts_and_resets_session(self):
+        ecu = make_ecu()
+        ecu.handle_request(b"\x10\x03")
+        response = ecu.handle_request(b"\x11\x01")
+        assert response[0] == 0x51
+        assert ecu.reset_count == 1
+        assert ecu.session == uds.SessionType.DEFAULT
+
+    def test_tester_present(self):
+        ecu = make_ecu()
+        assert ecu.handle_request(b"\x3e\x00")[0] == 0x7E
+
+    def test_tester_present_suppressed(self):
+        ecu = make_ecu()
+        assert ecu.handle_request(b"\x3e\x80") is None
+
+    def test_unsupported_service(self):
+        ecu = make_ecu()
+        response = ecu.handle_request(b"\x99")
+        assert response == bytes([0x7F, 0x99, Nrc.SERVICE_NOT_SUPPORTED])
+
+
+class TestActuatorFsm:
+    def make_actuated_ecu(self):
+        ecu = make_ecu()
+        ecu.add_actuator(Actuator(0x0950, "Fog Light Left"))
+        return ecu
+
+    def test_full_procedure(self):
+        """The paper's three-message procedure (§4.5)."""
+        ecu = self.make_actuated_ecu()
+        freeze = ecu.handle_request(b"\x2f\x09\x50\x02")
+        adjust = ecu.handle_request(b"\x2f\x09\x50\x03\x05\x01\x00\x00")
+        release = ecu.handle_request(b"\x2f\x09\x50\x00")
+        assert freeze[0] == adjust[0] == release[0] == 0x6F
+        actuator = ecu.actuators[0x0950]
+        assert [a.action for a in actuator.actions] == ["freeze", "adjust", "return"]
+        assert actuator.adjustments()[0].control_state == b"\x05\x01\x00\x00"
+        assert actuator.state == ActuatorState.IDLE
+
+    def test_adjust_without_freeze_rejected(self):
+        ecu = self.make_actuated_ecu()
+        response = ecu.handle_request(b"\x2f\x09\x50\x03\x05\x01")
+        assert response == bytes([0x7F, 0x2F, Nrc.CONDITIONS_NOT_CORRECT])
+
+    def test_unknown_actuator(self):
+        ecu = self.make_actuated_ecu()
+        response = ecu.handle_request(b"\x2f\x11\x11\x02")
+        assert response == bytes([0x7F, 0x2F, Nrc.REQUEST_OUT_OF_RANGE])
+
+    def test_kwp_service_30(self):
+        ecu = make_ecu(ecr_service=kwp2000.KwpService.IO_CONTROL_BY_LOCAL_IDENTIFIER)
+        ecu.add_actuator(Actuator(0x15, "Light"))
+        freeze = ecu.handle_request(b"\x30\x15\x02")
+        adjust = ecu.handle_request(b"\x30\x15\x03\x00\x40\x00")
+        assert freeze[0] == adjust[0] == 0x70
+        assert ecu.actuators[0x15].adjustments()[0].control_state == b"\x00\x40\x00"
+
+    def test_wrong_service_rejected(self):
+        """An ECU implementing 0x2F refuses 0x30 and vice versa."""
+        ecu = self.make_actuated_ecu()
+        response = ecu.handle_request(b"\x30\x15\x02")
+        assert response == bytes([0x7F, 0x30, Nrc.SERVICE_NOT_SUPPORTED])
+
+
+class TestSecurityAccess:
+    def make_locked_ecu(self):
+        security = SecurityAccessPolicy(mask=0x5A5A, required=True)
+        ecu = make_ecu(security=security)
+        ecu.add_actuator(Actuator(0x0950, "Lock"))
+        return ecu
+
+    def test_io_control_denied_when_locked(self):
+        ecu = self.make_locked_ecu()
+        response = ecu.handle_request(b"\x2f\x09\x50\x02")
+        assert response == bytes([0x7F, 0x2F, Nrc.SECURITY_ACCESS_DENIED])
+
+    def test_seed_key_unlock(self):
+        ecu = self.make_locked_ecu()
+        seed_response = ecu.handle_request(b"\x27\x01")
+        assert seed_response[0] == 0x67
+        seed = int.from_bytes(seed_response[2:4], "big")
+        key = (seed ^ 0x5A5A) & 0xFFFF
+        key_response = ecu.handle_request(b"\x27\x02" + key.to_bytes(2, "big"))
+        assert key_response[0] == 0x67
+        assert ecu.handle_request(b"\x2f\x09\x50\x02")[0] == 0x6F
+
+    def test_wrong_key_rejected(self):
+        ecu = self.make_locked_ecu()
+        seed_response = ecu.handle_request(b"\x27\x01")
+        seed = int.from_bytes(seed_response[2:4], "big")
+        wrong = ((seed ^ 0x5A5A) + 1) & 0xFFFF
+        response = ecu.handle_request(b"\x27\x02" + wrong.to_bytes(2, "big"))
+        assert response == bytes([0x7F, 0x27, Nrc.INVALID_KEY])
+
+    def test_seeds_change_between_requests(self):
+        ecu = self.make_locked_ecu()
+        seed1 = ecu.handle_request(b"\x27\x01")[2:4]
+        seed2 = ecu.handle_request(b"\x27\x01")[2:4]
+        assert seed1 != seed2
+
+
+class TestRoutines:
+    def test_start_routine_short_form(self):
+        """BMW-style 1-byte routine ids (Tab. 13's "31 01 03")."""
+        ecu = make_ecu()
+        ecu.add_routine(Routine(0x03, "High Beam Test"))
+        response = ecu.handle_request(b"\x31\x01\x03")
+        assert response == b"\x71\x01\x03"
+        assert ecu.routines[0x03].runs[0].action == "start"
+
+    def test_start_routine_two_byte_id(self):
+        ecu = make_ecu()
+        ecu.add_routine(Routine(0x0203, "Test"))
+        response = ecu.handle_request(b"\x31\x01\x02\x03")
+        assert response[0] == 0x71
+        assert ecu.routines[0x0203].runs
+
+    def test_unknown_routine(self):
+        ecu = make_ecu()
+        response = ecu.handle_request(b"\x31\x01\x99")
+        assert response == bytes([0x7F, 0x31, Nrc.REQUEST_OUT_OF_RANGE])
+
+
+class TestDashboard:
+    def test_dashboard_values(self):
+        ecu = make_ecu()
+        point = UdsDataPoint(
+            0xF400, "Engine Speed", [ConstantSignal(100)], AffineFormula(10.0),
+            on_dashboard=True,
+        )
+        ecu.add_data_point(point)
+        ecu.add_data_point(
+            UdsDataPoint(0xF401, "Hidden", [ConstantSignal(1)], AffineFormula(1.0))
+        )
+        assert ecu.dashboard_values(0.0) == {"Engine Speed": 1000.0}

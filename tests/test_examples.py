@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "P")
+        assert result.returncode == 0, result.stderr
+        assert "ESVs reversed" in result.stdout
+
+    def test_quickstart_rejects_unknown_car(self):
+        result = run_example("quickstart.py", "Z")
+        assert result.returncode != 0
+
+    def test_planner_demo(self):
+        result = run_example("planner_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "saving" in result.stdout
+
+    def test_obd_ground_truth(self):
+        result = run_example("obd_ground_truth.py")
+        assert result.returncode == 0, result.stderr
+        assert "Precision: 7/7" in result.stdout
+
+    def test_kline_session(self):
+        result = run_example("kline_session.py")
+        assert result.returncode == 0, result.stderr
+        assert "Precision: 9/9" in result.stdout
+
+    def test_app_formula_mining(self):
+        result = run_example("app_formula_mining.py")
+        assert result.returncode == 0, result.stderr
+        assert "Carly for VAG" in result.stdout
+        assert "0 formulas extracted" in result.stdout
+
+    def test_fleet_subset(self):
+        result = run_example("fleet_reverse_engineering.py", "C", timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "Total:" in result.stdout
+
+    def test_attack_replay(self):
+        result = run_example("attack_replay.py", timeout=600)
+        assert result.returncode == 0, result.stderr
+        assert "attacks succeeded" in result.stdout

@@ -1,0 +1,130 @@
+"""Failure-injection tests: the pipeline must degrade, not crash.
+
+Real captures are imperfect — frames get lost, ECUs stop answering,
+noise corrupts bytes.  These tests verify the offline pipeline tolerates
+all of it (the lenient reassemblers and pairing guards exist precisely for
+this).
+"""
+
+import random
+
+import pytest
+
+from repro.can import CanFrame, CanLog
+from repro.core import DPReverser, GpConfig, assemble, extract_fields
+from repro.cps import Capture, DataCollector
+from repro.tools import make_tool_for_car
+from repro.vehicle import build_car
+
+
+@pytest.fixture(scope="module")
+def clean_capture():
+    car = build_car("D")
+    tool = make_tool_for_car("D", car)
+    return DataCollector(tool, read_duration_s=20.0).collect()
+
+
+def with_frames(capture, frames):
+    return Capture(
+        model=capture.model,
+        tool_name=capture.tool_name,
+        can_log=CanLog(frames),
+        video=capture.video,
+        clicks=capture.clicks,
+        segments=capture.segments,
+        tool_error_rate=capture.tool_error_rate,
+    )
+
+
+class TestFrameLoss:
+    @pytest.mark.parametrize("loss", [0.01, 0.05, 0.20])
+    def test_assembly_survives_loss(self, clean_capture, loss):
+        rng = random.Random(7)
+        frames = [f for f in clean_capture.can_log if rng.random() > loss]
+        messages = assemble(frames)
+        clean = assemble(list(clean_capture.can_log))
+        assert messages  # plenty survives
+        assert len(messages) <= len(clean)
+
+    def test_pipeline_still_reverses_majority_at_low_loss(self, clean_capture):
+        rng = random.Random(9)
+        frames = [f for f in clean_capture.can_log if rng.random() > 0.02]
+        report = DPReverser(GpConfig(seed=2)).reverse_engineer(
+            with_frames(clean_capture, frames)
+        )
+        assert len(report.esvs) >= 12  # of 17 on Car D
+
+
+class TestCorruption:
+    def test_random_garbage_frames_ignored(self, clean_capture):
+        rng = random.Random(3)
+        frames = list(clean_capture.can_log)
+        garbage = [
+            CanFrame(
+                0x7FF,
+                bytes(rng.randrange(256) for __ in range(8)),
+                timestamp=frames[i].timestamp,
+            )
+            for i in range(0, len(frames), 50)
+        ]
+        mixed = sorted(frames + garbage, key=lambda f: f.timestamp)
+        messages = assemble(mixed)
+        fields = extract_fields(messages)
+        clean_fields = extract_fields(assemble(frames))
+        # Garbage on a foreign id must not reduce the real observations.
+        assert len(fields.observations) >= len(clean_fields.observations)
+
+    def test_flipped_payload_bytes_tolerated(self, clean_capture):
+        rng = random.Random(5)
+        frames = []
+        for frame in clean_capture.can_log:
+            data = bytearray(frame.data)
+            if data and rng.random() < 0.01:
+                data[rng.randrange(len(data))] ^= 0xFF
+            frames.append(
+                CanFrame(frame.can_id, bytes(data), timestamp=frame.timestamp)
+            )
+        # Must not raise; some messages are lost or mis-assembled.
+        messages = assemble(frames)
+        assert messages
+
+
+class TestDeadEcu:
+    def test_collection_completes_with_silent_ecu(self):
+        car = build_car("D")
+        # Kill the Engine ECU: its endpoint stops responding.
+        binding = car.bindings["Engine"]
+        binding.endpoint.on_message = lambda payload: None
+        tool = make_tool_for_car("D", car)
+        capture = DataCollector(tool, read_duration_s=10.0).collect()
+        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        engine_dids = {f"uds:{d:04X}" for d in car.ecu("Engine").uds_data_points}
+        reversed_ids = {e.identifier for e in report.esvs}
+        assert not engine_dids & reversed_ids  # nothing from the dead ECU
+        assert reversed_ids  # the others still reverse
+
+
+class TestDegenerateInputs:
+    def test_empty_capture(self):
+        capture = Capture(
+            model="empty", tool_name="none", can_log=CanLog(), video=[],
+            clicks=[], segments=[], tool_error_rate=0.0,
+        )
+        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        assert report.esvs == [] and report.ecrs == []
+
+    def test_video_only_capture(self, clean_capture):
+        capture = Capture(
+            model="video-only", tool_name="x", can_log=CanLog(),
+            video=clean_capture.video, clicks=[], segments=clean_capture.segments,
+            tool_error_rate=0.02,
+        )
+        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        assert report.esvs == []
+
+    def test_traffic_only_capture(self, clean_capture):
+        capture = with_frames(clean_capture, list(clean_capture.can_log))
+        capture.video = []
+        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        assert report.esvs == []  # no screen text -> no semantics
+        assert report.ecrs  # ECR procedures come from traffic alone

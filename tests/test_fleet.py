@@ -1,0 +1,134 @@
+"""Tests for the 18-car evaluation fleet (Tab. 3 / 6 / 11 structure)."""
+
+import pytest
+
+from repro.diagnostics.messages import Protocol
+from repro.vehicle import (
+    CAR_SPECS,
+    TransportKind,
+    build_car,
+    expected_ecr_counts,
+    expected_esv_counts,
+)
+
+
+class TestFleetStructure:
+    def test_eighteen_cars(self):
+        assert len(CAR_SPECS) == 18
+        assert sorted(CAR_SPECS) == [chr(ord("A") + i) for i in range(18)]
+
+    def test_table6_totals(self):
+        counts = expected_esv_counts()
+        assert sum(f for f, __ in counts.values()) == 290
+        assert sum(e for __, e in counts.values()) == 156
+
+    def test_table11_total(self):
+        assert sum(expected_ecr_counts().values()) == 124
+        assert len(expected_ecr_counts()) == 10
+
+    def test_kwp_cars_use_vwtp(self):
+        for spec in CAR_SPECS.values():
+            if spec.protocol == Protocol.KWP2000:
+                assert spec.transport == TransportKind.VWTP
+
+    def test_bmw_and_mini_use_extended_addressing(self):
+        for key in ("E", "F", "G", "J"):
+            assert CAR_SPECS[key].transport == TransportKind.BMW
+
+
+@pytest.mark.parametrize("key", sorted(CAR_SPECS))
+class TestPerCarCounts:
+    def test_esv_counts_match_table6(self, key):
+        car = build_car(key)
+        formulas = enums = 0
+        for ecu in car.ecus:
+            for point in ecu.uds_data_points.values():
+                enums += point.is_enum
+                formulas += not point.is_enum
+            for group in ecu.kwp_groups.values():
+                for measurement in group.measurements:
+                    enums += measurement.is_enum
+                    formulas += not measurement.is_enum
+        spec = CAR_SPECS[key]
+        assert formulas == spec.formula_esvs
+        assert enums == spec.enum_esvs
+
+    def test_ecr_counts_match_table11(self, key):
+        car = build_car(key)
+        actuators = sum(len(e.actuators) for e in car.ecus)
+        assert actuators == CAR_SPECS[key].ecrs
+
+    def test_deterministic_construction(self, key):
+        first = build_car(key)
+        second = build_car(key)
+        dids_a = sorted(d for e in first.ecus for d in e.uds_data_points)
+        dids_b = sorted(d for e in second.ecus for d in e.uds_data_points)
+        assert dids_a == dids_b
+
+
+class TestPinnedDashboardEsvs:
+    """Tab. 7's validation ESVs carry the paper's exact formulas."""
+
+    def test_car_f_engine_speed_identity(self):
+        car = build_car("F")
+        point = next(
+            p
+            for ecu in car.ecus
+            for p in ecu.uds_data_points.values()
+            if p.on_dashboard
+        )
+        assert point.name == "Engine Speed"
+        assert point.formula((1234,)) == 1234.0
+
+    def test_car_k_engine_speed_type_01(self):
+        car = build_car("K")
+        measurement = next(
+            m
+            for ecu in car.ecus
+            for g in ecu.kwp_groups.values()
+            for m in g.measurements
+            if m.on_dashboard
+        )
+        assert measurement.name == "Engine Speed"
+        assert measurement.formula_type == 0x01
+
+    def test_car_l_coolant_half(self):
+        car = build_car("L")
+        point = next(
+            p
+            for ecu in car.ecus
+            for p in ecu.uds_data_points.values()
+            if p.on_dashboard
+        )
+        assert point.name == "Coolant Temperature"
+        assert point.formula((100,)) == 50.0
+
+    def test_car_r_two_variable_engine_speed(self):
+        car = build_car("R")
+        point = next(
+            p
+            for ecu in car.ecus
+            for p in ecu.uds_data_points.values()
+            if p.on_dashboard
+        )
+        assert point.formula.arity == 2
+        assert point.formula((10, 100)) == pytest.approx(64.1 * 10 + 0.241 * 100)
+
+    def test_car_k_constant_speed_variable(self):
+        """§4.3's vehicle-speed example: X0 is the constant 100 in traffic."""
+        car = build_car("K")
+        measurement = next(
+            m
+            for ecu in car.ecus
+            for g in ecu.kwp_groups.values()
+            for m in g.measurements
+            if m.name == "Vehicle Speed"
+        )
+        assert measurement.x0.sample(0) == measurement.x0.sample(100) == 100
+
+
+class TestBmwRoutines:
+    def test_bmw_cars_have_routines(self):
+        for key in ("E", "F", "G", "J"):
+            car = build_car(key)
+            assert any(ecu.routines for ecu in car.ecus)

@@ -1,0 +1,88 @@
+"""Tests for formula objects and numeric equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formulas import (
+    AffineFormula,
+    EnumFormula,
+    ExpressionFormula,
+    ProductFormula,
+    TwoVarAffineFormula,
+    formulas_equivalent,
+)
+
+
+class TestFormulaShapes:
+    def test_affine(self):
+        formula = AffineFormula(1.8, -40.0)
+        assert formula((100,)) == pytest.approx(140.0)
+        assert "1.8" in formula.describe()
+
+    def test_affine_describe_zero_offset(self):
+        assert AffineFormula(0.5).describe() == "Y = 0.5*X"
+
+    def test_product(self):
+        assert ProductFormula(0.2)((241, 16)) == pytest.approx(771.2)
+
+    def test_two_var_affine(self):
+        formula = TwoVarAffineFormula(64.0, 0.25)
+        assert formula((0x1A, 0xF8)) == pytest.approx((256 * 0x1A + 0xF8) / 4)
+
+    def test_expression(self):
+        formula = ExpressionFormula(lambda xs: xs[0] ** 2, 1, "Y = X*X")
+        assert formula((3,)) == 9
+
+    def test_enum_labels(self):
+        formula = EnumFormula({0: "Closed", 1: "Open"})
+        assert formula.label(1) == "Open"
+        assert formula.label(9) == "state 9"
+        assert formula((1,)) == 1.0
+
+
+class TestEquivalence:
+    def test_paper_coolant_example(self):
+        """§4.2: Y=1.7X-22 vs Y=1.8X-40 over X in 0xA0..0xC0 are the same."""
+        truth = AffineFormula(1.8, -40.0)
+        inferred = AffineFormula(1.7, -22.0)
+        samples = [(float(x),) for x in range(0xA0, 0xC1)]
+        assert formulas_equivalent(inferred, truth, samples)
+
+    def test_diverges_outside_observed_range(self):
+        truth = AffineFormula(1.8, -40.0)
+        inferred = AffineFormula(1.7, -22.0)
+        samples = [(10000.0,)]  # far outside the paper's observed range
+        assert not formulas_equivalent(inferred, truth, samples)
+
+    def test_reflexive(self):
+        formula = ProductFormula(0.2)
+        samples = [(float(a), float(b)) for a in (1, 50, 200) for b in (1, 99, 255)]
+        assert formulas_equivalent(formula, formula, samples)
+
+    def test_empty_samples_false(self):
+        assert not formulas_equivalent(AffineFormula(1), AffineFormula(1), [])
+
+    def test_nan_candidate_rejected(self):
+        bad = ExpressionFormula(lambda xs: float("nan"), 1, "Y = nan")
+        assert not formulas_equivalent(bad, AffineFormula(1.0), [(1.0,)])
+
+    def test_exception_candidate_rejected(self):
+        def explode(xs):
+            raise ValueError("boom")
+
+        bad = ExpressionFormula(explode, 1, "Y = ?")
+        assert not formulas_equivalent(bad, AffineFormula(1.0), [(1.0,)])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.floats(0.01, 100),
+    xs=st.lists(st.floats(0, 255), min_size=1, max_size=20),
+)
+def test_equivalence_tolerates_five_percent(a, xs):
+    """Property: a pure scaling off by <2 percent stays equivalent."""
+    truth = AffineFormula(a)
+    close = AffineFormula(a * 1.02)
+    samples = [(x,) for x in xs]
+    assert formulas_equivalent(close, truth, samples, rel_tol=0.05, abs_tol=2.5)

@@ -1,0 +1,124 @@
+"""Tests for ISO-TP flow-control details: block size, STmin, WAIT/OVFLW."""
+
+import pytest
+
+from repro.can import CanFrame, SimulatedCanBus
+from repro.simtime import SimClock
+from repro.transport import (
+    FlowControl,
+    FlowStatus,
+    IsoTpEndpoint,
+    TransportError,
+    segment,
+)
+
+
+def make_pair(server_bs=0, server_stmin=0.0):
+    bus = SimulatedCanBus(SimClock())
+    received = []
+    server = IsoTpEndpoint(
+        bus, "server", tx_id=0x7E8, rx_id=0x7E0,
+        block_size=server_bs, st_min_ms=server_stmin,
+        on_message=received.append,
+    )
+    client = IsoTpEndpoint(bus, "client", tx_id=0x7E0, rx_id=0x7E8)
+    return bus, server, client, received
+
+
+class TestBlockSize:
+    def test_multiple_fc_per_message(self):
+        """With block size 4 a 10-CF message needs several flow controls."""
+        bus, server, client, received = make_pair(server_bs=4)
+        payload = bytes(range(6 + 7 * 10))  # FF + 10 CFs
+        client.send(payload)
+        assert received == [payload]
+        assert server.fc_sent >= 3  # initial FC + at least two block grants
+
+    def test_block_size_zero_single_fc(self):
+        bus, server, client, received = make_pair(server_bs=0)
+        payload = bytes(range(80))
+        client.send(payload)
+        assert received == [payload]
+        assert server.fc_sent == 1
+
+    def test_block_size_one_fc_per_cf(self):
+        bus, server, client, received = make_pair(server_bs=1)
+        payload = bytes(range(6 + 7 * 5))
+        client.send(payload)
+        assert received == [payload]
+        assert server.fc_sent == 1 + 5 - 1  # FF grant + one per CF except last
+
+
+class TestStMin:
+    def test_stmin_paces_consecutive_frames(self):
+        bus, server, client, received = make_pair(server_stmin=10.0)
+        payload = bytes(range(6 + 7 * 4))  # 4 CFs
+        frames = client.send(payload)
+        gaps = [b.timestamp - a.timestamp for a, b in zip(frames[1:], frames[2:])]
+        assert all(gap >= 0.010 for gap in gaps)
+
+    def test_no_stmin_back_to_back(self):
+        bus, server, client, received = make_pair(server_stmin=0.0)
+        frames = client.send(bytes(range(30)))
+        gaps = [b.timestamp - a.timestamp for a, b in zip(frames[1:], frames[2:])]
+        assert all(gap < 0.001 for gap in gaps)
+
+
+class TestFlowStatus:
+    def test_overflow_aborts_transfer(self):
+        bus = SimulatedCanBus(SimClock())
+
+        class OverflowingReceiver:
+            def __init__(self):
+                self.node = None
+
+        # A raw node that answers every FF with an overflow FC.
+        from repro.can import BusNode
+
+        def overflow_handler(frame):
+            if frame.can_id == 0x7E0 and frame.data[0] >> 4 == 0x1:
+                control = FlowControl(FlowStatus.OVERFLOW)
+                receiver.send(CanFrame(0x7E8, control.encode()))
+
+        receiver = BusNode("receiver", handler=overflow_handler)
+        bus.attach(receiver)
+        client = IsoTpEndpoint(bus, "client", tx_id=0x7E0, rx_id=0x7E8)
+        with pytest.raises(TransportError):
+            client.send(bytes(80))
+
+    def test_missing_fc_raises(self):
+        bus = SimulatedCanBus(SimClock())
+        client = IsoTpEndpoint(bus, "client", tx_id=0x7E0, rx_id=0x7E8)
+        with pytest.raises(TransportError):
+            client.send(bytes(80))  # nobody answers the FF
+
+    def test_wait_status_keeps_sender_waiting(self):
+        bus = SimulatedCanBus(SimClock())
+        from repro.can import BusNode
+
+        def wait_handler(frame):
+            if frame.can_id == 0x7E0 and frame.data[0] >> 4 == 0x1:
+                receiver.send(CanFrame(0x7E8, FlowControl(FlowStatus.WAIT).encode()))
+
+        receiver = BusNode("receiver", handler=wait_handler)
+        bus.attach(receiver)
+        client = IsoTpEndpoint(bus, "client", tx_id=0x7E0, rx_id=0x7E8)
+        # WAIT never upgraded to CONTINUE: the transfer cannot proceed.
+        with pytest.raises(TransportError):
+            client.send(bytes(80))
+
+
+class TestServerToClientLong:
+    def test_long_response_with_client_block_size(self):
+        bus = SimulatedCanBus(SimClock())
+        big = bytes(range(200))
+        server = IsoTpEndpoint(
+            bus, "server", tx_id=0x7E8, rx_id=0x7E0,
+            on_message=lambda p: server.send(big),
+        )
+        client = IsoTpEndpoint(
+            bus, "client", tx_id=0x7E0, rx_id=0x7E8, block_size=3
+        )
+        client.send(b"\x22\x01\x02")
+        assert client.receive() == big
+        assert client.fc_sent >= 5  # many block grants for ~28 CFs

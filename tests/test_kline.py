@@ -1,0 +1,170 @@
+"""Tests for the K-Line (ISO 14230) transport and diagnostic sessions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DPReverser, GpConfig, check_formula
+from repro.simtime import SimClock
+from repro.tools import KLineDiagnosticSession, build_kline_vehicle
+from repro.transport import TransportError
+from repro.transport.kline import (
+    KLineBus,
+    KLineEndpoint,
+    KLineFrameParser,
+    KLineTester,
+    checksum,
+    frame_message,
+    parse_capture,
+)
+
+
+class TestFraming:
+    def test_short_message_layout(self):
+        framed = frame_message(b"\x21\x07", target=0x10, source=0xF1)
+        assert framed[0] == 0x80 | 2  # format byte with length
+        assert framed[1] == 0x10 and framed[2] == 0xF1
+        assert framed[3:5] == b"\x21\x07"
+        assert framed[5] == checksum(framed[:-1])
+
+    def test_long_message_uses_length_byte(self):
+        payload = bytes(range(100))
+        framed = frame_message(payload, target=0x10, source=0xF1)
+        assert framed[0] == 0x80  # no length in format byte
+        assert framed[3] == 100
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(TransportError):
+            frame_message(b"", 0x10, 0xF1)
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(TransportError):
+            frame_message(bytes(300), 0x10, 0xF1)
+
+
+class TestParser:
+    def feed_all(self, parser, data, t0=0.0):
+        messages = []
+        for index, value in enumerate(data):
+            message = parser.feed(t0 + index * 0.001, value)
+            if message is not None:
+                messages.append(message)
+        return messages
+
+    def test_roundtrip(self):
+        framed = frame_message(b"\x61\x07\x01\xf1\x10", 0xF1, 0x10)
+        messages = self.feed_all(KLineFrameParser(), framed)
+        assert len(messages) == 1
+        assert messages[0].payload == b"\x61\x07\x01\xf1\x10"
+        assert messages[0].checksum_ok
+
+    def test_back_to_back_messages(self):
+        data = frame_message(b"\x21\x07", 0x10, 0xF1) + frame_message(
+            b"\x21\x08", 0x10, 0xF1
+        )
+        messages = self.feed_all(KLineFrameParser(), data)
+        assert [m.payload for m in messages] == [b"\x21\x07", b"\x21\x08"]
+
+    def test_corrupted_checksum_flagged(self):
+        framed = bytearray(frame_message(b"\x21\x07", 0x10, 0xF1))
+        framed[-1] ^= 0xFF
+        messages = self.feed_all(KLineFrameParser(), bytes(framed))
+        assert len(messages) == 1
+        assert not messages[0].checksum_ok
+
+    def test_resynchronises_after_garbage(self):
+        garbage = b"\x00\x13\x22"  # no address-mode bit set
+        data = garbage + frame_message(b"\x21\x07", 0x10, 0xF1)
+        messages = self.feed_all(KLineFrameParser(), data)
+        assert len(messages) == 1
+        assert messages[0].payload == b"\x21\x07"
+
+    def test_timestamps_span_message(self):
+        framed = frame_message(b"\x21\x07", 0x10, 0xF1)
+        messages = self.feed_all(KLineFrameParser(), framed, t0=5.0)
+        assert messages[0].t_first == 5.0
+        assert messages[0].t_last == pytest.approx(5.0 + (len(framed) - 1) * 0.001)
+
+
+class TestBusAndEndpoints:
+    def make_pair(self):
+        bus = KLineBus(SimClock())
+        ecu = KLineEndpoint(
+            bus, "ecu", 0x10,
+            on_message=lambda m: ecu.send(b"\x61" + m.payload[1:], target=m.source),
+        )
+        tester = KLineTester(bus)
+        return bus, ecu, tester
+
+    def test_fast_init(self):
+        bus, ecu, tester = self.make_pair()
+        assert tester.fast_init(0x10)
+        assert ecu.communication_started
+        assert bus.init_events  # the wake-up pulse was seen on the wire
+
+    def test_request_response(self):
+        __, __, tester = self.make_pair()
+        tester.fast_init(0x10)
+        assert tester.request(b"\x21\x07", 0x10) == b"\x61\x07"
+
+    def test_byte_timing(self):
+        bus, __, tester = self.make_pair()
+        start = bus.clock.now()
+        tester.send(b"\x21\x07", target=0x10)
+        framed_length = len(frame_message(b"\x21\x07", 0x10, 0xF1))
+        # plus the ECU's response bytes; at least the request's time passed
+        assert bus.clock.now() - start >= framed_length * bus.byte_time_s
+
+    def test_wrong_address_ignored(self):
+        bus = KLineBus(SimClock())
+        responses = []
+        KLineEndpoint(bus, "ecu", 0x10, on_message=responses.append)
+        tester = KLineTester(bus)
+        tester.send(b"\x21\x07", target=0x99)
+        assert responses == []
+
+    def test_capture_contains_both_directions(self):
+        bus, __, tester = self.make_pair()
+        tester.fast_init(0x10)
+        tester.request(b"\x21\x07", 0x10)
+        messages = parse_capture(bus.capture)
+        payload_heads = [m.payload[0] for m in messages]
+        assert 0x21 in payload_heads and 0x61 in payload_heads
+
+
+class TestKLineSession:
+    def test_full_reverse_engineering(self):
+        vehicle = build_kline_vehicle()
+        session = KLineDiagnosticSession(vehicle)
+        capture, messages = session.collect(duration_per_ecu_s=30.0)
+        reverser = DPReverser(GpConfig(seed=2))
+        report = reverser.infer(reverser.analyze(capture, messages=messages))
+        truth = {}
+        for ecu in vehicle.ecus.values():
+            for group in ecu.kwp_groups.values():
+                for index, m in enumerate(group.measurements):
+                    truth[f"kwp:{group.local_id:02X}/{index}"] = (m.name, m.formula)
+        assert len(report.formula_esvs) == len(truth)
+        for esv in report.formula_esvs:
+            name, formula = truth[esv.identifier]
+            assert name == esv.label
+            assert check_formula(esv.formula, formula, esv.samples), name
+        assert report.transport == "kline"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    payload=st.binary(min_size=1, max_size=200),
+    target=st.integers(0, 255),
+    source=st.integers(0, 255),
+)
+def test_kline_framing_roundtrip(payload, target, source):
+    parser = KLineFrameParser()
+    framed = frame_message(payload, target, source)
+    message = None
+    for index, value in enumerate(framed):
+        message = parser.feed(index * 0.001, value) or message
+    assert message is not None
+    assert message.payload == payload
+    assert message.target == target and message.source == source
+    assert message.checksum_ok

@@ -1,0 +1,81 @@
+"""Tests for the KWP 2000 codec and formula-type table."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticError, kwp2000
+from repro.formulas import EnumFormula
+
+
+class TestFormulaTable:
+    def test_paper_rpm_example(self):
+        """§2.3.1: ESV "01 F1 10" -> type 0x01, X0=241, X1=16 -> 771.2."""
+        formula = kwp2000.formula_for_type(0x01)
+        assert formula((0xF1, 0x10)) == pytest.approx(771.2)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(DiagnosticError):
+            kwp2000.formula_for_type(0xEE)
+
+    def test_enum_types_flagged(self):
+        assert 0x10 in kwp2000.ENUM_FORMULA_TYPES
+        assert 0x25 in kwp2000.ENUM_FORMULA_TYPES
+        assert 0x01 not in kwp2000.ENUM_FORMULA_TYPES
+
+    def test_all_formulas_evaluate(self):
+        for ftype, formula in kwp2000.KWP_FORMULA_TABLE.items():
+            value = formula((100, 50))
+            assert isinstance(value, (int, float))
+
+    def test_percent_ratio_type_handles_zero(self):
+        formula = kwp2000.formula_for_type(0x21)
+        assert formula((0, 50)) == 5000.0  # X0 == 0 branch
+
+
+class TestRequestCodec:
+    def test_read_request(self):
+        assert kwp2000.encode_read_by_local_id(0x07) == b"\x21\x07"
+
+    def test_read_request_range(self):
+        with pytest.raises(DiagnosticError):
+            kwp2000.encode_read_by_local_id(0x100)
+
+    def test_decode_read_request(self):
+        assert kwp2000.decode_read_request(b"\x21\x07") == 0x07
+
+    def test_io_control_local(self):
+        # The paper's light example: "30 15 00 40 00".
+        payload = kwp2000.encode_io_control_local(0x15, b"\x00\x40\x00")
+        assert payload == b"\x30\x15\x00\x40\x00"
+
+    def test_io_control_common_two_byte_id(self):
+        payload = kwp2000.encode_io_control_common(0x0950, b"\x03")
+        assert payload == b"\x2f\x09\x50\x03"
+
+    def test_decode_io_control_both_services(self):
+        ident, ecr = kwp2000.decode_io_control_request(b"\x30\x15\x03\x05")
+        assert (ident, ecr) == (0x15, b"\x03\x05")
+        ident, ecr = kwp2000.decode_io_control_request(b"\x2f\x09\x50\x03\x05")
+        assert (ident, ecr) == (0x0950, b"\x03\x05")
+
+
+class TestResponseCodec:
+    def test_roundtrip(self):
+        records = [(0x01, 0xF1, 0x10), (0x07, 0x64, 0x50)]
+        payload = kwp2000.encode_read_response(0x02, records)
+        local_id, decoded = kwp2000.decode_read_response(payload)
+        assert local_id == 0x02
+        assert [(r.formula_type, r.x0, r.x1) for r in decoded] == records
+        assert [r.position for r in decoded] == [0, 1]
+
+    def test_esv_value_uses_formula_table(self):
+        payload = kwp2000.encode_read_response(0x02, [(0x01, 0xF1, 0x10)])
+        __, records = kwp2000.decode_read_response(payload)
+        assert records[0].value() == pytest.approx(771.2)
+
+    def test_partial_record_rejected(self):
+        with pytest.raises(DiagnosticError):
+            kwp2000.decode_read_response(b"\x61\x02\x01\xf1")  # 2 of 3 bytes
+
+    def test_negative_response_rejected(self):
+        with pytest.raises(DiagnosticError):
+            kwp2000.decode_read_response(b"\x7f\x21\x31")

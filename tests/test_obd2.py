@@ -1,0 +1,72 @@
+"""Tests for the OBD-II (SAE J1979) codec and PID table."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticError, obd2
+
+
+class TestPidTable:
+    def test_table5_pids_all_defined(self):
+        for pid in obd2.TABLE5_PIDS:
+            assert pid in obd2.STANDARD_PIDS
+
+    def test_rpm_formula(self):
+        """PID 0x0C: (256*A + B) / 4."""
+        assert obd2.physical_value(0x0C, b"\x1a\xf8") == pytest.approx(
+            (256 * 0x1A + 0xF8) / 4
+        )
+
+    def test_coolant_metric_and_imperial(self):
+        assert obd2.physical_value(0x05, b"\x87") == pytest.approx(0x87 - 40)
+        assert obd2.physical_value(0x05, b"\x87", imperial=True) == pytest.approx(
+            1.8 * 0x87 - 40  # the paper writes the Fahrenheit form as 1.8X-40
+        )
+
+    def test_throttle_percent(self):
+        assert obd2.physical_value(0x11, b"\xff") == pytest.approx(100.0)
+        assert obd2.physical_value(0x11, b"\x00") == 0.0
+
+    def test_speed_imperial(self):
+        assert obd2.physical_value(0x0D, b"\x64", imperial=True) == pytest.approx(62.14, abs=0.01)
+
+    def test_insufficient_bytes_rejected(self):
+        with pytest.raises(DiagnosticError):
+            obd2.physical_value(0x0C, b"\x1a")
+
+    def test_unknown_pid_rejected(self):
+        with pytest.raises(DiagnosticError):
+            obd2.pid_definition(0xEE)
+
+
+class TestCodec:
+    def test_request(self):
+        assert obd2.encode_request(0x0C) == b"\x01\x0c"
+
+    def test_response_roundtrip(self):
+        payload = obd2.encode_response(0x0C, b"\x1a\xf8")
+        mode, pid, data = obd2.decode_response(payload)
+        assert (mode, pid, data) == (0x01, 0x0C, b"\x1a\xf8")
+
+    def test_decode_rejects_request(self):
+        with pytest.raises(DiagnosticError):
+            obd2.decode_response(b"\x01\x0c")
+
+
+class TestSupportedPids:
+    def test_bitmap_roundtrip(self):
+        supported = [0x04, 0x05, 0x0C, 0x0D, 0x11, 0x1F]
+        bitmap = obd2.encode_supported_pids(supported, 0x00)
+        assert obd2.decode_supported_pids(0x00, bitmap) == sorted(supported)
+
+    def test_window_boundaries(self):
+        bitmap = obd2.encode_supported_pids([0x21, 0x40], 0x20)
+        decoded = obd2.decode_supported_pids(0x20, bitmap)
+        assert decoded == [0x21, 0x40]
+
+    def test_out_of_window_pids_excluded(self):
+        bitmap = obd2.encode_supported_pids([0x04, 0x45], 0x20)
+        assert obd2.decode_supported_pids(0x20, bitmap) == []
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DiagnosticError):
+            obd2.decode_supported_pids(0x00, b"\x01")

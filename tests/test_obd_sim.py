@@ -1,0 +1,43 @@
+"""Tests for the standalone OBD-II vehicle simulator."""
+
+import pytest
+
+from repro.diagnostics import obd2
+from repro.vehicle import ObdVehicleSimulator
+
+
+class TestObdSimulator:
+    def test_answers_table5_pids(self):
+        simulator = ObdVehicleSimulator()
+        app = simulator.tester_endpoint()
+        for pid in obd2.TABLE5_PIDS:
+            app.send(obd2.encode_request(pid))
+            response = app.receive()
+            assert response is not None
+            mode, got_pid, data = obd2.decode_response(response)
+            assert (mode, got_pid) == (0x01, pid)
+            assert len(data) >= obd2.pid_definition(pid).num_bytes
+
+    def test_supported_pid_bitmap(self):
+        simulator = ObdVehicleSimulator(pids=[0x04, 0x0C])
+        app = simulator.tester_endpoint()
+        app.send(obd2.encode_request(0x00))
+        __, __, bitmap = obd2.decode_response(app.receive())
+        assert obd2.decode_supported_pids(0x00, bitmap) == [0x04, 0x0C]
+
+    def test_unsupported_pid_not_answered(self):
+        simulator = ObdVehicleSimulator(pids=[0x04])
+        app = simulator.tester_endpoint()
+        app.send(obd2.encode_request(0x0C))
+        assert app.receive() is None
+
+    def test_ground_truth_matches_sae_formula(self):
+        simulator = ObdVehicleSimulator()
+        t = 3.0
+        raw = simulator.raw_values(0x0D, t)
+        assert simulator.ground_truth(0x0D, t) == obd2.physical_value(0x0D, raw)
+
+    def test_values_change_over_time(self):
+        simulator = ObdVehicleSimulator()
+        values = {simulator.raw_values(0x0C, t * 1.7) for t in range(20)}
+        assert len(values) > 5

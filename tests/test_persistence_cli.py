@@ -1,0 +1,128 @@
+"""Tests for capture persistence and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import DPReverser, GpConfig
+from repro.cps import DataCollector
+from repro.persistence import load_capture, save_capture
+from repro.tools import make_tool_for_car
+from repro.vehicle import build_car
+
+
+@pytest.fixture(scope="module")
+def capture_d():
+    car = build_car("D")
+    tool = make_tool_for_car("D", car)
+    return DataCollector(tool, read_duration_s=10.0).collect()
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_everything(self, capture_d, tmp_path):
+        directory = save_capture(capture_d, tmp_path / "cap")
+        loaded = load_capture(directory)
+        assert loaded.model == capture_d.model
+        assert loaded.tool_name == capture_d.tool_name
+        assert loaded.tool_error_rate == capture_d.tool_error_rate
+        assert len(loaded.can_log) == len(capture_d.can_log)
+        for saved, original in zip(loaded.can_log, capture_d.can_log):
+            assert (saved.can_id, saved.data) == (original.can_id, original.data)
+            # candump serialisation keeps microsecond resolution.
+            assert saved.timestamp == pytest.approx(original.timestamp, abs=1e-6)
+        assert len(loaded.video) == len(capture_d.video)
+        assert loaded.video[0].regions == capture_d.video[0].regions
+        assert len(loaded.clicks) == len(capture_d.clicks)
+        assert [s.label for s in loaded.segments] == [
+            s.label for s in capture_d.segments
+        ]
+
+    def test_loaded_capture_reverses_identically(self, capture_d, tmp_path):
+        directory = save_capture(capture_d, tmp_path / "cap")
+        loaded = load_capture(directory)
+        original = DPReverser(GpConfig(seed=2)).reverse_engineer(capture_d)
+        reloaded = DPReverser(GpConfig(seed=2)).reverse_engineer(loaded)
+        assert {e.identifier: e.label for e in original.esvs} == {
+            e.identifier: e.label for e in reloaded.esvs
+        }
+
+    def test_unsupported_version_rejected(self, capture_d, tmp_path):
+        directory = save_capture(capture_d, tmp_path / "cap")
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["format_version"] = 99
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_capture(directory)
+
+
+class TestCli:
+    def test_list_cars(self, capsys):
+        assert main(["list-cars"]) == 0
+        out = capsys.readouterr().out
+        assert "Skoda Octavia" in out and "Audi A4L" in out
+
+    def test_collect_then_reverse(self, tmp_path, capsys):
+        assert (
+            main(
+                ["collect", "--car", "P", "--out", str(tmp_path / "cap"),
+                 "--duration", "8"]
+            )
+            == 0
+        )
+        report_path = tmp_path / "report.txt"
+        assert (
+            main(["reverse", str(tmp_path / "cap"), "--report", str(report_path)])
+            == 0
+        )
+        text = report_path.read_text()
+        assert "Car P" in text and "ESVs reversed" in text
+
+    def test_collect_unknown_car(self, capsys):
+        assert main(["collect", "--car", "Z", "--out", "/tmp/nope"]) == 2
+
+    def test_attack_command(self, capsys):
+        assert main(["attack", "--car", "L"]) == 0
+        out = capsys.readouterr().out
+        assert "attacks succeeded" in out
+
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Carly for VAG" in out
+
+    def test_fleet_subset(self, capsys):
+        assert main(["fleet", "--cars", "C", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Total precision" in out
+
+
+class TestCliExtended:
+    def test_scan_command(self, capsys):
+        assert main(["scan", "--car", "P"]) == 0
+        out = capsys.readouterr().out
+        assert "identifiers" in out
+
+    def test_reverse_json_format(self, tmp_path):
+        assert (
+            main(["collect", "--car", "C", "--out", str(tmp_path / "cap"),
+                  "--duration", "10"]) == 0
+        )
+        report_path = tmp_path / "report.json"
+        assert (
+            main(["reverse", str(tmp_path / "cap"), "--format", "json",
+                  "--report", str(report_path)]) == 0
+        )
+        import json as json_module
+        data = json_module.loads(report_path.read_text())
+        assert data["model"] == "Car C"
+        assert data["esvs"]
+
+    def test_reverse_markdown_format(self, tmp_path, capsys):
+        assert (
+            main(["collect", "--car", "C", "--out", str(tmp_path / "cap"),
+                  "--duration", "10"]) == 0
+        )
+        assert main(["reverse", str(tmp_path / "cap"), "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "## ECU signal values" in out

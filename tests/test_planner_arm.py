@@ -1,0 +1,139 @@
+"""Tests for the TSP click planner and the robotic clicker."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cps import (
+    ClickPlanner,
+    RoboticClicker,
+    Script,
+    ScriptGenerator,
+    brute_force_route,
+    manhattan,
+    nearest_neighbour_route,
+    random_route,
+    route_length,
+)
+from repro.simtime import SimClock
+
+
+class TestRoutes:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+
+    def test_route_length_open_and_closed(self):
+        route = [(0, 10), (0, 20)]
+        assert route_length((0, 0), route) == 20
+        assert route_length((0, 0), route, closed=True) == 40
+
+    def test_nearest_neighbour_visits_all(self):
+        targets = [(10, 10), (5, 5), (20, 0)]
+        route = nearest_neighbour_route((0, 0), targets)
+        assert sorted(route) == sorted(targets)
+
+    def test_nearest_neighbour_picks_closest_first(self):
+        route = nearest_neighbour_route((0, 0), [(100, 100), (1, 1)])
+        assert route[0] == (1, 1)
+
+    def test_brute_force_optimal(self):
+        rng = random.Random(4)
+        targets = [(rng.randrange(100), rng.randrange(100)) for __ in range(6)]
+        best = brute_force_route((0, 0), targets)
+        nn = nearest_neighbour_route((0, 0), targets)
+        assert route_length((0, 0), best) <= route_length((0, 0), nn)
+
+    def test_brute_force_limit(self):
+        with pytest.raises(ValueError):
+            brute_force_route((0, 0), [(i, i) for i in range(10)])
+
+    def test_nn_beats_random_on_average(self):
+        """The paper's §3.1 claim: NN saves travel vs random order (~7%)."""
+        rng = random.Random(7)
+        total_nn = total_random = 0.0
+        for __ in range(50):
+            targets = [(rng.randrange(800), rng.randrange(600)) for __ in range(14)]
+            total_nn += route_length((0, 0), nearest_neighbour_route((0, 0), targets))
+            total_random += route_length((0, 0), random_route(targets, rng))
+        assert total_nn < total_random
+
+
+class TestPlanner:
+    def test_plan_preserves_payloads(self):
+        planner = ClickPlanner()
+        targets = [((10, 10), "a"), ((1, 1), "b"), ((5, 5), "c")]
+        ordered = planner.plan(targets)
+        assert {payload for __, payload in ordered} == {"a", "b", "c"}
+        assert ordered[0][1] == "b"  # closest to origin
+
+    def test_plan_duplicate_points(self):
+        planner = ClickPlanner()
+        ordered = planner.plan([((5, 5), "x"), ((5, 5), "y")])
+        assert {p for __, p in ordered} == {"x", "y"}
+
+
+class TestClicker:
+    def test_travel_time_scales_with_distance(self):
+        clock = SimClock()
+        arm = RoboticClicker(clock, speed_px_s=100.0)
+        arm.move_to(100, 0)
+        assert clock.now() == pytest.approx(1.0)
+        arm.move_to(100, 50)
+        assert clock.now() == pytest.approx(1.5)
+        assert arm.total_travel_px == 150
+
+    def test_click_logs_timestamp_and_hit(self):
+        arm = RoboticClicker(SimClock())
+        hits = []
+        arm.click(10, 10, lambda x, y: True, label="Start")
+        arm.click(20, 20, lambda x, y: False, label="Nothing")
+        assert arm.log[0].hit and not arm.log[1].hit
+        assert arm.log[0].label == "Start"
+        assert arm.log[1].timestamp > arm.log[0].timestamp
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            RoboticClicker(SimClock(), speed_px_s=0)
+
+
+class TestScripts:
+    def test_generator_inserts_waits(self):
+        generator = ScriptGenerator(click_wait_s=1.0, read_wait_s=30.0)
+        script = generator.generate(
+            [((1, 1), "Engine"), ((2, 2), "Start")], long_wait_labels=["Start"]
+        )
+        waits = [s.seconds for s in script.statements if hasattr(s, "seconds")]
+        assert waits == [1.0, 30.0]
+
+    def test_run_script_executes_clicks_in_order(self):
+        clock = SimClock()
+        arm = RoboticClicker(clock)
+        script = Script()
+        script.append_click(10, 10, "a")
+        script.append_wait(5.0)
+        script.append_click(20, 20, "b")
+        clicked = []
+        arm.run_script(script, lambda x, y: clicked.append((x, y)) or True)
+        assert clicked == [(10, 10), (20, 20)]
+        assert clock.now() > 5.0
+
+    def test_run_script_on_wait_callback(self):
+        arm = RoboticClicker(SimClock())
+        script = Script()
+        script.append_wait(2.0)
+        waited = []
+        arm.run_script(script, lambda x, y: True, on_wait=waited.append)
+        assert waited == [2.0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    targets=st.lists(
+        st.tuples(st.integers(0, 500), st.integers(0, 500)), min_size=1, max_size=12
+    )
+)
+def test_nn_route_is_permutation(targets):
+    route = nearest_neighbour_route((0, 0), targets)
+    assert sorted(route) == sorted(targets)

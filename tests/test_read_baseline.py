@@ -1,0 +1,139 @@
+"""Tests for the READ/LibreCAN baseline and the broadcast substrate."""
+
+import pytest
+
+from repro.can import CanFrame
+from repro.core.read_baseline import (
+    ReadField,
+    bit_statistics,
+    librecan_match,
+    read_analysis,
+    segment_fields,
+)
+from repro.vehicle.broadcast import (
+    BroadcastEmitter,
+    BroadcastFrameSpec,
+    SignalSpec,
+    crc8,
+    default_broadcast_vehicle,
+)
+from repro.vehicle.signals import SineSignal
+
+
+@pytest.fixture(scope="module")
+def broadcast_log():
+    specs = default_broadcast_vehicle()
+    return specs, BroadcastEmitter(specs).run(30.0)
+
+
+class TestBroadcastEmitter:
+    def test_periods_respected(self, broadcast_log):
+        specs, log = broadcast_log
+        engine = list(log.with_id(0x280))
+        gaps = [b.timestamp - a.timestamp for a, b in zip(engine, engine[1:])]
+        assert all(abs(gap - 0.01) < 1e-9 for gap in gaps)
+
+    def test_counter_increments(self, broadcast_log):
+        __, log = broadcast_log
+        brakes = list(log.with_id(0x1A0))
+        counters = [
+            (int.from_bytes(f.data, "big") >> (64 - 32 - 8)) & 0xFF for f in brakes
+        ]
+        assert counters[:5] == [0, 1, 2, 3, 4]
+
+    def test_crc_byte_valid(self, broadcast_log):
+        __, log = broadcast_log
+        for frame in list(log.with_id(0x280))[:20]:
+            others = bytes(b for i, b in enumerate(frame.data) if i != 7)
+            assert frame.data[7] == crc8(others)
+
+
+class TestBitStatistics:
+    def test_constant_bits_never_flip(self, broadcast_log):
+        __, log = broadcast_log
+        stats = bit_statistics(list(log.with_id(0x4A8)))
+        assert all(rate == 0.0 for rate in stats.flip_rate[:16])  # config word
+
+    def test_counter_lsb_flips_every_frame(self, broadcast_log):
+        __, log = broadcast_log
+        stats = bit_statistics(list(log.with_id(0x1A0)))
+        assert stats.flip_rate[39] == pytest.approx(1.0)  # counter LSB
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            bit_statistics([CanFrame(0x1, bytes(8))])
+
+
+class TestReadSegmentation:
+    def test_finds_signal_counter_crc(self, broadcast_log):
+        __, log = broadcast_log
+        fields = read_analysis(list(log.with_id(0x280)))
+        kinds = {f.kind for f in fields}
+        assert "physical" in kinds and "crc" in kinds
+        # The three physical signals occupy the first three data bytes.
+        physical = [f for f in fields if f.kind == "physical"]
+        assert any(f.start_bit < 16 for f in physical)
+
+    def test_counter_detected(self, broadcast_log):
+        __, log = broadcast_log
+        fields = read_analysis(list(log.with_id(0x1A0)))
+        counters = [f for f in fields if f.kind == "counter"]
+        assert len(counters) == 1
+        assert counters[0].start_bit == 32 and counters[0].length == 8
+
+    def test_constant_word_detected(self, broadcast_log):
+        __, log = broadcast_log
+        fields = read_analysis(list(log.with_id(0x4A8)))
+        assert fields[0].kind == "constant" and fields[0].length >= 16
+
+    def test_extract_field_values(self, broadcast_log):
+        __, log = broadcast_log
+        frames = list(log.with_id(0x1A0))
+        field = ReadField(0, 16, "physical")
+        values = {field.extract(f) for f in frames[:100]}
+        assert len(values) > 10  # the speed signal sweeps
+
+
+class TestLibreCanMatching:
+    def test_matches_reference_signal(self, broadcast_log):
+        specs, log = broadcast_log
+        frames = list(log.with_id(0x280))
+        fields = read_analysis(frames)
+        rpm = specs[0].signals[0]
+        references = {
+            "engine_rpm": [(f.timestamp, rpm.raw(f.timestamp) * 0.25) for f in frames],
+            "unrelated": [(f.timestamp, (i * 37) % 100) for i, f in enumerate(frames)],
+        }
+        matches = librecan_match(frames, fields, references)
+        assert matches
+        best = max(matches, key=lambda m: m.correlation)
+        assert best.reference == "engine_rpm"
+        assert best.correlation > 0.95
+
+    def test_no_match_below_threshold(self, broadcast_log):
+        __, log = broadcast_log
+        frames = list(log.with_id(0x280))
+        fields = read_analysis(frames)
+        references = {"noise": [(f.timestamp, (i * 37) % 100) for i, f in enumerate(frames)]}
+        assert librecan_match(frames, fields, references) == []
+
+
+class TestReadOnDiagnosticTraffic:
+    """The paper's §4.4 point: READ cannot handle transport-layer traffic."""
+
+    def test_fields_cut_across_transport_frames(self):
+        from repro.transport import segment
+
+        # A long diagnostic response split over ISO-TP frames on one id.
+        frames = []
+        t = 0.0
+        for i in range(200):
+            payload = bytes([0x62, 0xF4, 0x0D, i % 251, (i * 7) % 251, i % 17])
+            for frame in segment(payload + bytes(10), 0x7E8):
+                frames.append(frame.with_timestamp(t))
+                t += 0.001
+        fields = read_analysis(frames)
+        # The PCI nibble region (bits 0..8) flips between SF/FF/CF opcodes,
+        # so READ sees "signal" activity in what is pure protocol framing.
+        protocol_region = [f for f in fields if f.start_bit < 8 and f.kind != "constant"]
+        assert protocol_region, "READ mistakes transport framing for signal bits"

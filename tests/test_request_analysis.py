@@ -1,0 +1,116 @@
+"""Tests for request-semantics matching (§3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.fields import EsvObservation
+from repro.core.request_analysis import (
+    change_time_score,
+    correlation_score,
+    match_semantics,
+)
+from repro.core.screenshot import UiSample, UiSeries
+
+
+def obs_series(identifier, values, dt=0.5, protocol="uds", formula_type=0):
+    out = []
+    for i, value in enumerate(values):
+        if isinstance(value, tuple):
+            raw = bytes(value)
+        else:
+            raw = bytes([value & 0xFF])
+        out.append(
+            EsvObservation(protocol, identifier, raw, i * dt, formula_type=formula_type)
+        )
+    return out
+
+
+def ui_series(label, values, dt=0.5, texts=None):
+    samples = []
+    for i, value in enumerate(values):
+        text = texts[i] if texts else f"{value}"
+        numeric = None if texts else float(value)
+        samples.append(UiSample(i * dt, text, numeric))
+    return UiSeries(label, samples)
+
+
+class TestCorrelation:
+    def test_perfect_linear_relation(self):
+        raw = [10, 20, 30, 40, 50, 60]
+        observations = obs_series("uds:F400", raw)
+        series = ui_series("Speed", [2 * v + 5 for v in raw])
+        assert correlation_score(observations, series) == pytest.approx(1.0)
+
+    def test_unrelated_series_low(self):
+        observations = obs_series("uds:F400", [10, 200, 15, 180, 20, 160, 25])
+        series = ui_series("Noise", [5, 5, 5, 5.5, 5, 5, 5])
+        assert correlation_score(observations, series) < 0.5
+
+    def test_product_feature_captures_kwp(self):
+        pairs = [(a, b) for a, b in zip([10, 40, 70, 100, 20, 90], [5, 80, 30, 120, 200, 60])]
+        observations = obs_series("kwp:01/0", pairs, protocol="kwp")
+        series = ui_series("Engine Speed", [0.2 * a * b for a, b in pairs])
+        assert correlation_score(observations, series) > 0.95
+
+
+class TestChangeTimes:
+    def test_synchronised_flips_score_high(self):
+        observations = obs_series("uds:0940", [0, 0, 1, 1, 0, 0, 1, 1])
+        texts = ["Off", "Off", "On", "On", "Off", "Off", "On", "On"]
+        series = ui_series("Door", [0] * 8, texts=texts)
+        assert change_time_score(observations, series) == pytest.approx(1.0)
+
+    def test_unrelated_flips_score_low(self):
+        observations = obs_series("uds:0940", [0, 1, 0, 1, 0, 1, 0, 1], dt=1.0)
+        texts = ["Off"] * 7 + ["On"]
+        series = ui_series("Door", [0] * 8, dt=1.0, texts=texts)
+        assert change_time_score(observations, series) < 0.5
+
+    def test_no_changes_scores_zero(self):
+        observations = obs_series("uds:0940", [1] * 6)
+        series = ui_series("Door", [0] * 6, texts=["On"] * 6)
+        assert change_time_score(observations, series) == 0.0
+
+
+class TestMatching:
+    def test_two_numeric_identifiers_assigned_correctly(self):
+        raw_a = [10, 30, 50, 70, 90, 110]
+        raw_b = [200, 150, 100, 80, 60, 40]
+        grouped = {
+            "uds:F400": obs_series("uds:F400", raw_a),
+            "uds:F401": obs_series("uds:F401", raw_b),
+        }
+        series = {
+            "Speed": ui_series("Speed", [v * 0.5 for v in raw_a]),
+            "Pressure": ui_series("Pressure", [v * 3 for v in raw_b]),
+        }
+        matches = {m.identifier: m.label for m in match_semantics(grouped, series)}
+        assert matches == {"uds:F400": "Speed", "uds:F401": "Pressure"}
+
+    def test_enum_matched_by_change_times(self):
+        grouped = {
+            "uds:0940": obs_series("uds:0940", [0, 0, 1, 1, 0, 0, 1, 1]),
+        }
+        texts = ["Closed", "Closed", "Open", "Open", "Closed", "Closed", "Open", "Open"]
+        series = {"Driver Door": ui_series("Driver Door", [0] * 8, texts=texts)}
+        matches = match_semantics(grouped, series)
+        assert matches[0].label == "Driver Door"
+        assert matches[0].method == "change-times"
+
+    def test_window_restricts_candidates(self):
+        raw = [10, 20, 30, 40, 50, 60]
+        grouped = {"uds:F400": obs_series("uds:F400", raw)}
+        series = {"Speed": ui_series("Speed", raw)}
+        matches = match_semantics(grouped, series, window=(100.0, 200.0))
+        assert matches == []
+
+    def test_identifier_matched_at_most_once(self):
+        raw = [10, 20, 30, 40, 50, 60]
+        grouped = {"uds:F400": obs_series("uds:F400", raw)}
+        series = {
+            "Label A": ui_series("Label A", raw),
+            "Label B": ui_series("Label B", [v + 0.5 for v in raw]),
+        }
+        matches = match_semantics(grouped, series)
+        assert len(matches) == 1

@@ -1,0 +1,132 @@
+"""Tests for the active scanner, ECU coding and report export."""
+
+import json
+
+import pytest
+
+from repro.core import DPReverser, GpConfig
+from repro.cps import DataCollector
+from repro.scanner import DiagnosticScanner, scan_vehicle
+from repro.tools import make_tool_for_car
+from repro.vehicle import build_car
+from repro.vehicle.ecu import CODING_DID
+
+
+class TestScanner:
+    def test_did_scan_finds_all_data_points(self):
+        car = build_car("D")
+        endpoint = car.tester_endpoint("Engine", tester="scanner")
+        scanner = DiagnosticScanner(endpoint, clock=car.clock)
+        report = scanner.scan_dids(ranges=((0xF400, 0xF500),))
+        engine = car.ecu("Engine")
+        expected = set(engine.uds_data_points)
+        found = set(report.identifiers(0x22))
+        assert expected <= found
+
+    def test_local_id_scan(self):
+        car = build_car("B")
+        ecu = next(e for e in car.ecus if e.kwp_groups)
+        endpoint = car.tester_endpoint(ecu.name, tester="scanner")
+        report = DiagnosticScanner(endpoint, clock=car.clock).scan_local_ids(1, 0x30)
+        assert set(report.identifiers(0x21)) == set(ecu.kwp_groups)
+
+    def test_service_scan(self):
+        car = build_car("D")
+        endpoint = car.tester_endpoint("Body Control", tester="scanner")
+        report = DiagnosticScanner(endpoint, clock=car.clock).scan_services()
+        assert 0x22 in report.supported_services
+        assert 0x30 in report.supported_services  # the IO-control service
+        assert 0x2F not in report.supported_services  # wrong variant for D
+
+    def test_scan_vehicle_covers_every_ecu(self):
+        car = build_car("P")
+        reports = scan_vehicle(
+            car,
+            ranges=(
+                (0x0940, 0x0A00), (0x2400, 0x2440),
+                (0xD100, 0xD140), (0xF400, 0xF440),
+            ),
+        )
+        assert set(reports) == {e.name for e in car.ecus}
+        total_hits = sum(len(r.hits) for r in reports.values())
+        total_points = sum(len(e.uds_data_points) for e in car.ecus)
+        assert total_hits >= total_points
+
+    def test_scan_matches_passive_pipeline_coverage(self):
+        """Active probing confirms the passive pipeline missed nothing."""
+        car = build_car("P")
+        tool = make_tool_for_car("P", car)
+        capture = DataCollector(tool, read_duration_s=15.0).collect()
+        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        passive_dids = {
+            int(e.identifier.split(":")[1], 16)
+            for e in report.esvs
+            if e.protocol == "uds"
+        }
+        scans = scan_vehicle(car, ranges=((0x0940, 0x0A00), (0x2400, 0x2500), (0xD100, 0xD200), (0xF400, 0xF500)))
+        active_dids = {
+            h.identifier
+            for r in scans.values()
+            for h in r.hits
+            if h.identifier < 0xF100 or h.identifier >= 0xF400
+        }
+        assert passive_dids <= active_dids
+
+
+class TestCoding:
+    def test_read_and_write_coding(self):
+        car = build_car("D")
+        tool = make_tool_for_car("D", car)
+        engine = car.ecu("Engine")
+        original = engine.coding
+        tool.tap(*tool.screen.find("Engine").center)
+        tool.tap(*tool.screen.find("ECU Coding").center)
+        assert tool.state == "coding"
+        labels = [w.text for w in tool.screen.labels()]
+        assert any(original.hex(" ").upper() in text for text in labels)
+        tool.tap(*tool.screen.find("Recode").center)
+        assert engine.coding != original
+        assert engine.coding[-1] == (original[-1] + 1) & 0xFF
+
+    def test_coding_requires_extended_session(self):
+        car = build_car("D")
+        engine = car.ecu("Engine")
+        response = engine.handle_request(
+            bytes([0x2E]) + CODING_DID.to_bytes(2, "big") + b"\x01\x02"
+        )
+        assert response[2] == 0x22  # conditionsNotCorrect in default session
+
+    def test_coding_readable_via_did(self):
+        car = build_car("D")
+        engine = car.ecu("Engine")
+        response = engine.handle_request(
+            bytes([0x22]) + CODING_DID.to_bytes(2, "big")
+        )
+        assert response[3:] == engine.coding
+
+
+class TestReportExport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        car = build_car("D")
+        tool = make_tool_for_car("D", car)
+        capture = DataCollector(tool, read_duration_s=15.0).collect()
+        return DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+
+    def test_json_roundtrips(self, report):
+        data = json.loads(report.to_json())
+        assert data["model"] == "Car D"
+        assert len(data["esvs"]) == len(report.esvs)
+        assert all("request" in esv for esv in data["esvs"])
+
+    def test_markdown_contains_tables(self, report):
+        text = report.to_markdown()
+        assert "## ECU signal values" in text
+        assert "## Control procedures" in text
+        assert "| `22 " in text
+
+    def test_enum_states_serialised(self, report):
+        data = report.to_dict()
+        enums = [e for e in data["esvs"] if e["is_enum"]]
+        assert enums
+        assert all(e["enum_states"] for e in enums)

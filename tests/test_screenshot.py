@@ -1,0 +1,147 @@
+"""Tests for screenshot analysis: text extraction + two-stage ESV filter."""
+
+import pytest
+
+from repro.core.screenshot import (
+    UiSample,
+    UiSeries,
+    extract_ui_series,
+    filter_series,
+    outlier_filter,
+    parse_value,
+    range_filter,
+)
+from repro.cps import Camera, OcrEngine
+from repro.simtime import SimClock
+from repro.tools.ui import ScreenBuilder
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("771.2") == (771.2, "")
+
+    def test_number_with_unit(self):
+        assert parse_value("33 km/h") == (33.0, "km/h")
+
+    def test_negative(self):
+        assert parse_value("-12.5 degC") == (-12.5, "degC")
+
+    def test_enum_text(self):
+        assert parse_value("Open") == (None, "")
+
+    def test_ocr_mangled_number(self):
+        value, __ = parse_value("2500")  # decimal point dropped
+        assert value == 2500.0
+
+
+def live_frames(values, label="Engine Speed", dt=0.5):
+    camera = Camera(SimClock())
+    ocr = OcrEngine(error_rate=0.0)
+    frames = []
+    clock = camera.clock
+    for value in values:
+        builder = ScreenBuilder("live", "Engine - Data Stream")
+        builder.add_pair(label, f"{value}")
+        frames.append(ocr.read_frame(camera.capture(builder.screen)))
+        clock.advance(dt)
+    return frames
+
+
+class TestSeriesExtraction:
+    def test_series_built_per_label(self):
+        frames = live_frames([800, 810, 820])
+        series = extract_ui_series(frames)
+        assert "Engine Speed" in series
+        assert [s.value for s in series["Engine Speed"].samples] == [800, 810, 820]
+
+    def test_timestamps_increase(self):
+        frames = live_frames([1, 2, 3])
+        samples = extract_ui_series(frames)["Engine Speed"].samples
+        assert samples[0].timestamp < samples[-1].timestamp
+
+    def test_rare_mangled_label_merged(self):
+        good = live_frames([800] * 10, label="Engine Speed")
+        bad = live_frames([805], label="Engine Sped")  # OCR dropped a char
+        series = extract_ui_series(good + bad)
+        assert "Engine Speed" in series
+        assert len(series) == 1
+        assert len(series["Engine Speed"].samples) == 11
+
+    def test_distinct_similar_labels_not_merged(self):
+        a = live_frames([1] * 10, label="Wheel Speed FL")
+        b = live_frames([2] * 10, label="Wheel Speed FR")
+        series = extract_ui_series(a + b)
+        assert set(series) == {"Wheel Speed FL", "Wheel Speed FR"}
+
+    def test_placeholder_values_skipped(self):
+        frames = live_frames(["---", 800])
+        series = extract_ui_series(frames)
+        assert len(series["Engine Speed"].samples) == 1
+
+
+class TestRangeFilter:
+    def test_out_of_range_removed(self):
+        samples = [
+            UiSample(0.0, "50", 50.0),
+            UiSample(0.5, "999999", 999999.0),
+        ]
+        kept, removed = range_filter(samples, bounds=(0, 1000))
+        assert removed == 1
+        assert [s.value for s in kept] == [50.0]
+
+    def test_enum_samples_kept(self):
+        samples = [UiSample(0.0, "Open", None)]
+        kept, removed = range_filter(samples, bounds=(0, 1))
+        assert removed == 0 and len(kept) == 1
+
+
+class TestOutlierFilter:
+    def make(self, values):
+        return [UiSample(i * 0.5, str(v), float(v)) for i, v in enumerate(values)]
+
+    def test_isolated_spike_removed(self):
+        """OCR x10 error: 94 -> 940 for one frame."""
+        values = [90, 92, 94, 940, 96, 98, 100]
+        kept, removed = outlier_filter(self.make(values))
+        assert removed == 1
+        assert 940 not in [s.value for s in kept]
+
+    def test_sawtooth_wrap_kept(self):
+        """Legit wrap-arounds (odometer-style) must survive (§3.3 despike)."""
+        values = [100, 200, 300, 400, 10, 110, 210, 310, 410, 20, 120]
+        kept, removed = outlier_filter(self.make(values))
+        assert removed == 0
+
+    def test_smooth_series_untouched(self):
+        values = list(range(0, 200, 10))
+        __, removed = outlier_filter(self.make(values))
+        assert removed == 0
+
+    def test_short_series_untouched(self):
+        __, removed = outlier_filter(self.make([1, 1000, 1]))
+        assert removed == 0
+
+    def test_partial_read_spike_removed(self):
+        """OCR partial read: 251.3 -> 1.3 for one frame on a slow signal."""
+        values = [250.1, 250.9, 251.3, 1.3, 252.0, 252.4, 253.0]
+        kept, removed = outlier_filter(self.make(values))
+        assert removed == 1
+
+
+class TestFilterSeries:
+    def test_report_accounts_for_both_stages(self):
+        samples = [
+            UiSample(0.0, "10", 10.0),
+            UiSample(0.5, "11", 11.0),
+            UiSample(1.0, "12", 12.0),
+            UiSample(1.5, "120", 120.0),  # spike
+            UiSample(2.0, "13", 13.0),
+            UiSample(2.5, "14", 14.0),
+            UiSample(3.0, "1e7", 1e7),  # out of range
+        ]
+        cleaned, report = filter_series(
+            UiSeries("X", samples), bounds=(0, 1000)
+        )
+        assert report.removed_range == 1
+        assert report.removed_outlier == 1
+        assert report.kept == 5

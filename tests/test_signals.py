@@ -1,0 +1,98 @@
+"""Tests for the deterministic signal generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vehicle.signals import (
+    ConstantSignal,
+    RampSignal,
+    RandomWalkSignal,
+    SineSignal,
+    ToggleSignal,
+)
+
+
+class TestConstant:
+    def test_always_same(self):
+        signal = ConstantSignal(100)
+        assert signal.sample(0) == signal.sample(99.5) == 100
+
+
+class TestSine:
+    def test_stays_in_range(self):
+        signal = SineSignal(10, 250, period_s=20)
+        values = [signal.sample(t * 0.37) for t in range(200)]
+        assert min(values) >= 10 and max(values) <= 250
+
+    def test_covers_most_of_range(self):
+        signal = SineSignal(0, 255, period_s=10)
+        values = {signal.sample(t * 0.1) for t in range(120)}
+        assert min(values) < 20 and max(values) > 235
+
+    def test_periodicity(self):
+        signal = SineSignal(0, 100, period_s=8)
+        assert signal.sample(1.0) == signal.sample(9.0)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SineSignal(0, 10, period_s=0)
+
+
+class TestRamp:
+    def test_monotone_within_period(self):
+        signal = RampSignal(0, 100, period_s=10)
+        values = [signal.sample(t) for t in range(0, 9)]
+        assert values == sorted(values)
+
+    def test_wraps(self):
+        signal = RampSignal(0, 100, period_s=10)
+        assert signal.sample(9.9) > signal.sample(10.1)
+
+
+class TestRandomWalk:
+    def test_deterministic_per_seed(self):
+        a = RandomWalkSignal(0, 255, seed=7)
+        b = RandomWalkSignal(0, 255, seed=7)
+        assert [a.sample(t) for t in range(30)] == [b.sample(t) for t in range(30)]
+
+    def test_different_seeds_differ(self):
+        a = [RandomWalkSignal(0, 255, seed=1).sample(t) for t in range(50)]
+        b = [RandomWalkSignal(0, 255, seed=2).sample(t) for t in range(50)]
+        assert a != b
+
+    def test_bounded(self):
+        signal = RandomWalkSignal(40, 60, seed=3, step_size=30)
+        values = [signal.sample(t * 0.5) for t in range(100)]
+        assert min(values) >= 40 and max(values) <= 60
+
+    def test_resampling_past_time_is_stable(self):
+        signal = RandomWalkSignal(0, 255, seed=5)
+        early = signal.sample(2.0)
+        signal.sample(50.0)
+        assert signal.sample(2.0) == early
+
+
+class TestToggle:
+    def test_cycles_states(self):
+        signal = ToggleSignal([0, 1, 2], dwell_s=1.0)
+        assert [signal.sample(t + 0.5) for t in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            ToggleSignal([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lo=st.integers(0, 100), span=st.integers(0, 155),
+    t=st.floats(0, 1000, allow_nan=False),
+)
+def test_all_generators_respect_bounds(lo, span, t):
+    hi = lo + span
+    for signal in (
+        SineSignal(lo, hi, period_s=13.0),
+        RampSignal(lo, hi, period_s=17.0),
+        RandomWalkSignal(lo, hi, seed=11),
+    ):
+        assert lo <= signal.sample(t) <= hi

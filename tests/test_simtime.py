@@ -1,0 +1,41 @@
+"""Tests for simulated clocks and NTP-style synchronisation."""
+
+import pytest
+
+from repro.simtime import SimClock, SkewedClock, ntp_synchronise
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock(10.0)
+        assert clock.advance(5.0) == 15.0
+        assert clock.now() == 15.0
+
+    def test_sleep_alias(self):
+        clock = SimClock()
+        clock.sleep(2.0)
+        assert clock.now() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+
+class TestSkewedClock:
+    def test_offset(self):
+        base = SimClock(100.0)
+        device = SkewedClock(base, offset=2.0)
+        assert device.read() == 102.0
+
+    def test_drift(self):
+        base = SimClock(100.0)
+        device = SkewedClock(base, drift=0.01)
+        assert device.read() == pytest.approx(101.0)
+
+    def test_ntp_synchronise_zeroes_offset(self):
+        base = SimClock(50.0)
+        reference = SkewedClock(base)
+        device = SkewedClock(base, offset=-3.7)
+        correction = ntp_synchronise(device, reference)
+        assert correction == pytest.approx(3.7)
+        assert device.read() == pytest.approx(reference.read())

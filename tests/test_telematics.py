@@ -1,0 +1,44 @@
+"""Tests for the OBD telematics-app simulator."""
+
+import pytest
+
+from repro.diagnostics import obd2
+from repro.tools import IMPERIAL_PIDS, ObdTelematicsApp
+from repro.vehicle import ObdVehicleSimulator
+
+
+class TestObdApp:
+    def test_displays_all_pids(self):
+        simulator = ObdVehicleSimulator()
+        app = ObdTelematicsApp(simulator)
+        app.tick()
+        values = [w.text for w in app.screen.widgets if w.kind.value == "value"]
+        assert len(values) == len(simulator.pids)
+        assert all(v != "---" for v in values)
+
+    def test_displayed_value_matches_sae_formula(self):
+        simulator = ObdVehicleSimulator(pids=[0x0C])
+        app = ObdTelematicsApp(simulator, pids=[0x0C])
+        t = simulator.clock.now()
+        expected = simulator.ground_truth(0x0C, t)
+        app.tick()
+        value = next(w.text for w in app.screen.widgets if w.kind.value == "value")
+        shown = float(value.split()[0])
+        assert shown == pytest.approx(expected, abs=1.0)
+
+    def test_imperial_pids_use_alt_formula(self):
+        simulator = ObdVehicleSimulator(pids=[0x0D])
+        app = ObdTelematicsApp(simulator, pids=[0x0D])
+        assert 0x0D in IMPERIAL_PIDS
+        t = simulator.clock.now()
+        expected = simulator.ground_truth(0x0D, t, imperial=True)
+        app.tick()
+        value = next(w.text for w in app.screen.widgets if w.kind.value == "value")
+        assert float(value.split()[0]) == pytest.approx(expected, abs=0.1)
+
+    def test_tick_advances_clock(self):
+        simulator = ObdVehicleSimulator()
+        app = ObdTelematicsApp(simulator)
+        before = simulator.clock.now()
+        app.tick()
+        assert simulator.clock.now() >= before + app.poll_interval_s

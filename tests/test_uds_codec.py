@@ -1,0 +1,94 @@
+"""Tests for the UDS application-layer codec."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticError, Nrc, is_negative_response, negative_response, uds
+
+
+class TestRequestEncoding:
+    def test_session_control(self):
+        assert uds.encode_session_control(uds.SessionType.EXTENDED) == b"\x10\x03"
+
+    def test_read_single_did(self):
+        assert uds.encode_read_data_by_identifier([0xF40D]) == b"\x22\xf4\x0d"
+
+    def test_read_multiple_dids(self):
+        payload = uds.encode_read_data_by_identifier([0xF40D, 0x0101])
+        assert payload == b"\x22\xf4\x0d\x01\x01"
+
+    def test_read_no_dids_rejected(self):
+        with pytest.raises(DiagnosticError):
+            uds.encode_read_data_by_identifier([])
+
+    def test_did_out_of_range_rejected(self):
+        with pytest.raises(DiagnosticError):
+            uds.encode_read_data_by_identifier([0x10000])
+
+    def test_io_control_layout(self):
+        payload = uds.encode_io_control(
+            0x0950, uds.IoControlParameter.SHORT_TERM_ADJUSTMENT, b"\x05\x01\x00\x00"
+        )
+        # The paper's fog-light example: 2F 09 50 03 05 01 00 00.
+        assert payload == b"\x2f\x09\x50\x03\x05\x01\x00\x00"
+
+    def test_tester_present_suppress_bit(self):
+        assert uds.encode_tester_present(True)[1] & 0x80
+
+    def test_security_access(self):
+        assert uds.encode_security_access_request_seed(1) == b"\x27\x01"
+        assert uds.encode_security_access_send_key(1, b"\xab\xcd") == b"\x27\x02\xab\xcd"
+
+
+class TestRequestDecoding:
+    def test_decode_dids(self):
+        request = uds.decode_request_dids(b"\x22\xf4\x0d\x09\x50")
+        assert request.dids == (0xF40D, 0x0950)
+
+    def test_decode_odd_length_rejected(self):
+        with pytest.raises(DiagnosticError):
+            uds.decode_request_dids(b"\x22\xf4")
+
+    def test_decode_io_control(self):
+        request = uds.decode_io_control_request(b"\x2f\x09\x50\x03\x05\x01")
+        assert request.did == 0x0950
+        assert request.io_parameter == 0x03
+        assert request.control_state == b"\x05\x01"
+
+
+class TestResponseDecoding:
+    def test_single_did_response(self):
+        pairs = uds.decode_read_response([0xF40D], b"\x62\xf4\x0d\x21")
+        assert pairs == [(0xF40D, b"\x21")]
+
+    def test_multi_did_response_delimited_by_request(self):
+        """The §3.2 Step-3 trick: request DIDs delimit the values."""
+        response = b"\x62\xf4\x0d\x21\x09\x50\x01\x02\x03"
+        pairs = uds.decode_read_response([0xF40D, 0x0950], response)
+        assert pairs == [(0xF40D, b"\x21"), (0x0950, b"\x01\x02\x03")]
+
+    def test_variable_length_first_value(self):
+        response = b"\x62\xf4\x0d\x21\x22\x09\x50\x05"
+        pairs = uds.decode_read_response([0xF40D, 0x0950], response)
+        assert pairs == [(0xF40D, b"\x21\x22"), (0x0950, b"\x05")]
+
+    def test_negative_response_raises(self):
+        with pytest.raises(DiagnosticError):
+            uds.decode_read_response([0xF40D], b"\x7f\x22\x31")
+
+    def test_missing_did_raises(self):
+        with pytest.raises(DiagnosticError):
+            uds.decode_read_response([0x1234], b"\x62\xf4\x0d\x21")
+
+    def test_io_control_response(self):
+        did, param, state = uds.decode_io_control_response(b"\x6f\x09\x50\x03\x05")
+        assert (did, param, state) == (0x0950, 0x03, b"\x05")
+
+
+class TestNegativeResponses:
+    def test_build_and_detect(self):
+        payload = negative_response(0x22, Nrc.REQUEST_OUT_OF_RANGE)
+        assert payload == b"\x7f\x22\x31"
+        assert is_negative_response(payload)
+
+    def test_positive_not_negative(self):
+        assert not is_negative_response(b"\x62\xf4\x0d\x21")

@@ -1,0 +1,59 @@
+"""Tests for the widget/screen UI model."""
+
+from repro.tools.ui import Screen, ScreenBuilder, Widget, WidgetKind
+
+
+class TestWidget:
+    def test_center_and_contains(self):
+        widget = Widget(WidgetKind.BUTTON, "OK", x=10, y=20, width=100, height=40)
+        cx, cy = widget.center
+        assert widget.contains(cx, cy)
+        assert not widget.contains(9, 20)
+        assert not widget.contains(110, 20)
+
+    def test_tappable(self):
+        assert Widget(WidgetKind.BUTTON, "B", 0, 0).tappable
+        assert Widget(WidgetKind.ICON_BUTTON, "", 0, 0).tappable
+        assert not Widget(WidgetKind.LABEL, "L", 0, 0).tappable
+        assert not Widget(WidgetKind.VALUE, "1.0", 0, 0).tappable
+
+
+class TestScreen:
+    def test_widget_at_finds_topmost_tappable(self):
+        screen = Screen("s", "title")
+        label = screen.add(Widget(WidgetKind.LABEL, "L", 0, 0, 200, 200))
+        button = screen.add(Widget(WidgetKind.BUTTON, "B", 50, 50, 40, 40))
+        assert screen.widget_at(60, 60) is button
+        assert screen.widget_at(10, 10) is None  # label is not tappable
+
+    def test_find_by_text(self):
+        screen = Screen("s", "t")
+        widget = screen.add(Widget(WidgetKind.BUTTON, "Start", 0, 0))
+        assert screen.find("Start") is widget
+        assert screen.find("Missing") is None
+
+    def test_buttons_and_labels_partition(self):
+        screen = Screen("s", "t")
+        screen.add(Widget(WidgetKind.BUTTON, "B", 0, 0))
+        screen.add(Widget(WidgetKind.LABEL, "L", 0, 50))
+        assert len(screen.buttons()) == 1
+        assert len(screen.labels()) == 1
+
+
+class TestScreenBuilder:
+    def test_title_is_first_label(self):
+        builder = ScreenBuilder("s", "My Title")
+        assert builder.screen.widgets[0].text == "My Title"
+
+    def test_rows_do_not_overlap(self):
+        builder = ScreenBuilder("s", "t")
+        first = builder.add_row(WidgetKind.BUTTON, "A")
+        second = builder.add_row(WidgetKind.BUTTON, "B")
+        assert second.y >= first.y + first.height
+
+    def test_add_pair_aligns_value_with_label(self):
+        builder = ScreenBuilder("s", "t")
+        label, value = builder.add_pair("Engine Speed", "800 rpm")
+        assert label.y == value.y
+        assert value.x > label.x
+        assert value.kind == WidgetKind.VALUE

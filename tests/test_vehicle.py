@@ -1,0 +1,86 @@
+"""Tests for Vehicle wiring across the three transports."""
+
+import pytest
+
+from repro.diagnostics import uds
+from repro.formulas import AffineFormula
+from repro.simtime import SimClock
+from repro.vehicle import SimulatedEcu, TransportKind, UdsDataPoint, Vehicle
+from repro.vehicle.signals import ConstantSignal
+
+
+def make_vehicle(transport):
+    vehicle = Vehicle("TestCar", transport=transport)
+    ecu = SimulatedEcu("Engine", vehicle.clock)
+    ecu.add_data_point(
+        UdsDataPoint(0xF400, "Speed", [ConstantSignal(55)], AffineFormula(1.0))
+    )
+    if transport == TransportKind.ISOTP:
+        vehicle.add_ecu(ecu, ecu_tx_id=0x7E8, ecu_rx_id=0x7E0)
+    elif transport == TransportKind.VWTP:
+        vehicle.add_ecu(ecu, ecu_tx_id=0x300, ecu_rx_id=0x740, ecu_address=0x01)
+    else:
+        vehicle.add_ecu(ecu, ecu_tx_id=0x600, ecu_rx_id=0x6F0, ecu_address=0x12)
+    return vehicle
+
+
+@pytest.mark.parametrize(
+    "transport", [TransportKind.ISOTP, TransportKind.VWTP, TransportKind.BMW]
+)
+class TestRoundTrip:
+    def test_read_over_any_transport(self, transport):
+        vehicle = make_vehicle(transport)
+        endpoint = vehicle.tester_endpoint("Engine")
+        endpoint.send(uds.encode_read_data_by_identifier([0xF400]))
+        response = endpoint.receive()
+        assert response == b"\x62\xf4\x00\x37"
+
+    def test_sniffer_captures_conversation(self, transport):
+        vehicle = make_vehicle(transport)
+        sniffer = vehicle.attach_sniffer()
+        endpoint = vehicle.tester_endpoint("Engine")
+        endpoint.send(uds.encode_read_data_by_identifier([0xF400]))
+        endpoint.receive()
+        assert len(sniffer.log) >= 2
+
+
+class TestVehicleStructure:
+    def test_duplicate_ecu_rejected(self):
+        vehicle = Vehicle("X")
+        ecu = SimulatedEcu("Engine", vehicle.clock)
+        vehicle.add_ecu(ecu, 0x7E8, 0x7E0)
+        with pytest.raises(ValueError):
+            vehicle.add_ecu(SimulatedEcu("Engine", vehicle.clock), 0x7EA, 0x7E2)
+
+    def test_dashboard_merges_all_ecus(self):
+        vehicle = Vehicle("X")
+        a = SimulatedEcu("A", vehicle.clock)
+        a.add_data_point(
+            UdsDataPoint(
+                0xF400, "Speed", [ConstantSignal(10)], AffineFormula(1.0), on_dashboard=True
+            )
+        )
+        b = SimulatedEcu("B", vehicle.clock)
+        b.add_data_point(
+            UdsDataPoint(
+                0x1000, "RPM", [ConstantSignal(20)], AffineFormula(1.0), on_dashboard=True
+            )
+        )
+        vehicle.add_ecu(a, 0x7E8, 0x7E0)
+        vehicle.add_ecu(b, 0x7EA, 0x7E2)
+        assert vehicle.dashboard() == {"Speed": 10.0, "RPM": 20.0}
+
+    def test_release_tester_detaches_node(self):
+        vehicle = make_vehicle(TransportKind.ISOTP)
+        endpoint = vehicle.tester_endpoint("Engine")
+        vehicle.release_tester(endpoint)
+        # A new tester can be created and still works.
+        endpoint2 = vehicle.tester_endpoint("Engine")
+        endpoint2.send(uds.encode_read_data_by_identifier([0xF400]))
+        assert endpoint2.receive() is not None
+
+    def test_multiple_testers_unique_names(self):
+        vehicle = make_vehicle(TransportKind.ISOTP)
+        first = vehicle.tester_endpoint("Engine")
+        second = vehicle.tester_endpoint("Engine")
+        assert first.node.name != second.node.name

@@ -1,0 +1,162 @@
+"""Tests for the VW TP 2.0 transport."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can import CanFrame, SimulatedCanBus
+from repro.simtime import SimClock
+from repro.transport import (
+    TransportError,
+    VwTpEndpoint,
+    VwTpFrameKind,
+    VwTpReassembler,
+    classify_vwtp_frame,
+    is_last_packet,
+    segment_vwtp,
+)
+
+
+class TestSegmentation:
+    def test_single_chunk_uses_last_ack_opcode(self):
+        frames = segment_vwtp(b"\x10\x03", 0x740)
+        assert len(frames) == 1
+        assert frames[0].data[0] >> 4 == 0x1  # last packet, ACK expected
+        assert is_last_packet(frames[0])
+
+    def test_multi_chunk_opcodes(self):
+        frames = segment_vwtp(bytes(20), 0x740)
+        assert len(frames) == 3
+        assert all(f.data[0] >> 4 == 0x0 for f in frames[:-1])
+        assert is_last_packet(frames[-1])
+
+    def test_sequence_numbers(self):
+        frames = segment_vwtp(bytes(30), 0x740, start_sequence=14)
+        assert [f.data[0] & 0x0F for f in frames] == [14, 15, 0, 1, 2]
+
+    def test_no_length_field_in_data_frames(self):
+        """The paper's key observation: TP 2.0 data frames carry no length."""
+        payload = bytes(range(10))
+        frames = segment_vwtp(payload, 0x740)
+        joined = b"".join(f.data[1:] for f in frames)
+        assert joined == payload  # opcode byte + raw payload, nothing else
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(TransportError):
+            segment_vwtp(b"", 0x740)
+
+
+class TestClassification:
+    def test_setup_request_detected(self):
+        frame = CanFrame(0x200, bytes([0x01, 0xC0, 0x41, 0x07, 0x00, 0x03, 0x01]))
+        assert classify_vwtp_frame(frame) == VwTpFrameKind.BROADCAST_SETUP
+
+    def test_channel_params_detected(self):
+        frame = CanFrame(0x740, bytes([0xA0, 0x0F, 0x8A, 0xFF, 0x32, 0xFF]))
+        assert classify_vwtp_frame(frame) == VwTpFrameKind.CHANNEL_PARAMS
+
+    def test_ack_detected(self):
+        assert classify_vwtp_frame(CanFrame(0x300, b"\xb3")) == VwTpFrameKind.ACK
+
+    def test_data_detected(self):
+        assert classify_vwtp_frame(CanFrame(0x300, b"\x10\x61\x01")) == VwTpFrameKind.DATA
+
+    def test_disconnect_is_control(self):
+        assert classify_vwtp_frame(CanFrame(0x300, b"\xa8")) == VwTpFrameKind.CHANNEL_PARAMS
+
+
+class TestReassembly:
+    def test_roundtrip(self):
+        payload = bytes(range(40))
+        reassembler = VwTpReassembler()
+        result = None
+        for frame in segment_vwtp(payload, 0x740):
+            result = reassembler.feed(frame)
+        assert result == payload
+
+    def test_control_frames_ignored(self):
+        reassembler = VwTpReassembler()
+        assert reassembler.feed(CanFrame(0x740, b"\xa0\x0f\x8a\xff\x32\xff")) is None
+        assert reassembler.feed(CanFrame(0x740, b"\xb1")) is None
+
+    def test_sequence_gap_strict_raises(self):
+        frames = segment_vwtp(bytes(30), 0x740)
+        reassembler = VwTpReassembler(strict=True)
+        reassembler.feed(frames[0])
+        with pytest.raises(TransportError):
+            reassembler.feed(frames[2])
+
+    def test_consecutive_messages_continue_sequence(self):
+        reassembler = VwTpReassembler()
+        first = segment_vwtp(b"\x01\x02\x03", 0x740, start_sequence=0)
+        for frame in first:
+            result = reassembler.feed(frame)
+        assert result == b"\x01\x02\x03"
+        second = segment_vwtp(b"\x04\x05", 0x740, start_sequence=1)
+        for frame in second:
+            result = reassembler.feed(frame)
+        assert result == b"\x04\x05"
+
+
+class TestEndpoint:
+    def make_channel(self):
+        bus = SimulatedCanBus(SimClock())
+        ecu = VwTpEndpoint(
+            bus, "ecu", ecu_address=0x01, tx_id=0x300, rx_id=0x740, is_tester=False,
+            on_message=lambda p: ecu.send(b"\x61" + p[1:]),
+        )
+        tester = VwTpEndpoint(
+            bus, "tester", ecu_address=0x01, tx_id=0x740, rx_id=0x300, is_tester=True
+        )
+        tester.connect()
+        return bus, ecu, tester
+
+    def test_channel_setup(self):
+        __, ecu, tester = self.make_channel()
+        assert tester.connected
+        assert ecu.connected
+
+    def test_request_response(self):
+        __, __, tester = self.make_channel()
+        tester.send(b"\x21\x01")
+        assert tester.receive() == b"\x61\x01"
+
+    def test_long_payload_roundtrip(self):
+        bus = SimulatedCanBus(SimClock())
+        big = bytes(range(64))
+        ecu = VwTpEndpoint(
+            bus, "ecu", ecu_address=0x01, tx_id=0x300, rx_id=0x740, is_tester=False,
+            on_message=lambda p: ecu.send(big),
+        )
+        tester = VwTpEndpoint(
+            bus, "tester", ecu_address=0x01, tx_id=0x740, rx_id=0x300, is_tester=True
+        )
+        tester.connect()
+        tester.send(b"\x21\x02")
+        assert tester.receive() == big
+
+    def test_send_before_connect_raises(self):
+        bus = SimulatedCanBus(SimClock())
+        tester = VwTpEndpoint(
+            bus, "tester", ecu_address=0x01, tx_id=0x740, rx_id=0x300, is_tester=True
+        )
+        with pytest.raises(TransportError):
+            tester.send(b"\x21\x01")
+
+    def test_ecu_cannot_initiate_setup(self):
+        bus = SimulatedCanBus(SimClock())
+        ecu = VwTpEndpoint(
+            bus, "ecu", ecu_address=0x01, tx_id=0x300, rx_id=0x740, is_tester=False
+        )
+        with pytest.raises(TransportError):
+            ecu.connect()
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.binary(min_size=1, max_size=300), start=st.integers(0, 15))
+def test_vwtp_roundtrip_property(payload, start):
+    reassembler = VwTpReassembler()
+    result = None
+    for frame in segment_vwtp(payload, 0x740, start_sequence=start):
+        result = reassembler.feed(frame)
+    assert result == payload
