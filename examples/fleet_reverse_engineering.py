@@ -1,69 +1,89 @@
 #!/usr/bin/env python3
 """Reproduce the paper's Tab. 6 evaluation over the 18-vehicle fleet.
 
-For every car: collect a capture, run DP-Reverser, verify each inferred
-formula against the (hidden) manufacturer ground truth by numeric
-equivalence, and print the per-car precision table.
+Runs through :mod:`repro.runtime`: every car's collect→reverse→verify
+pipeline becomes one job, fanned out over a worker pool with retries and
+(optionally) checkpointed so an interrupted sweep resumes where it left
+off.  The per-car precision table and totals come from the
+:class:`~repro.runtime.report.RunReport`.
 
 Usage::
 
-    python examples/fleet_reverse_engineering.py           # all 18 cars
-    python examples/fleet_reverse_engineering.py A K R     # a subset
+    python examples/fleet_reverse_engineering.py              # all 18 cars
+    python examples/fleet_reverse_engineering.py A K R        # a subset
+    python examples/fleet_reverse_engineering.py --workers 4  # process pool
+    python examples/fleet_reverse_engineering.py --resume out/sweep
+
+A serial run and a ``--workers 4`` run produce byte-identical ESV/ECR
+results — compare the printed digests.
 """
 
-import sys
-import time
+import argparse
+from pathlib import Path
 
-from repro.core import DPReverser, GpConfig, check_formula
-from repro.cps import DataCollector
-from repro.tools import make_tool_for_car
-from repro.vehicle import CAR_SPECS, build_car
+from repro.runtime import (
+    CheckpointStore,
+    EventLog,
+    Scheduler,
+    SchedulerConfig,
+    fleet_job_specs,
+)
+from repro.vehicle import CAR_SPECS
 
 
-def evaluate_car(key: str):
-    car = build_car(key)
-    tool = make_tool_for_car(key, car)
-    capture = DataCollector(tool, read_duration_s=30.0).collect()
-    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("cars", nargs="*", help="fleet keys A..R (default: all)")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--pool", choices=("serial", "thread", "process"))
+    parser.add_argument("--resume", metavar="DIR", help="checkpoint directory")
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
 
-    truth = {}
-    for ecu in car.ecus:
-        for point in ecu.uds_data_points.values():
-            truth[f"uds:{point.did:04X}"] = point.formula
-        for group in ecu.kwp_groups.values():
-            for index, measurement in enumerate(group.measurements):
-                truth[f"kwp:{group.local_id:02X}/{index}"] = measurement.formula
+    try:
+        specs = fleet_job_specs(args.cars, seed=args.seed, read_duration_s=args.duration)
+    except ValueError as error:
+        parser.error(str(error))
 
-    correct = sum(
-        check_formula(esv.formula, truth[esv.identifier], esv.samples)
-        for esv in report.formula_esvs
+    checkpoint = events = None
+    if args.resume:
+        resume_dir = Path(args.resume)
+        checkpoint = CheckpointStore(resume_dir)
+        events = EventLog(resume_dir / "events.jsonl")
+
+    pool = args.pool or ("process" if args.workers > 1 else "serial")
+    scheduler = Scheduler(
+        SchedulerConfig(workers=args.workers, pool=pool),
+        checkpoint=checkpoint,
+        events=events,
     )
-    return report, correct
+    report = scheduler.run(specs)
 
-
-def main() -> None:
-    keys = [k.upper() for k in sys.argv[1:]] or sorted(CAR_SPECS)
     print(f"{'Car':<6}{'Model':<22}{'#ESV(f)':>8}{'Correct':>8}{'Prec':>8}{'#Enum':>7}{'#ECR':>6}{'sec':>7}")
-    total_formulas = total_correct = 0
-    for key in keys:
-        start = time.perf_counter()
-        report, correct = evaluate_car(key)
-        elapsed = time.perf_counter() - start
-        n = len(report.formula_esvs)
-        total_formulas += n
-        total_correct += correct
-        ecrs = len({p.identifier for p in report.ecrs if p.complete})
+    for result in report.results:
+        resumed = "*" if result.job_id in report.skipped else ""
         print(
-            f"{key:<6}{CAR_SPECS[key].model:<22}{n:>8}{correct:>8}"
-            f"{correct / n if n else 1:>8.1%}{len(report.enum_esvs):>7}"
-            f"{ecrs:>6}{elapsed:>7.1f}"
+            f"{result.car_key + resumed:<6}{CAR_SPECS[result.car_key].model:<22}"
+            f"{result.n_formula_esvs:>8}{result.n_correct:>8}{result.precision:>8.1%}"
+            f"{result.n_enum_esvs:>7}{result.n_ecrs:>6}{result.wall_seconds:>7.1f}"
         )
-    if total_formulas:
+    totals = report.totals()
+    if totals["n_formula_esvs"]:
         print(
-            f"\nTotal: {total_correct}/{total_formulas} = "
-            f"{total_correct / total_formulas:.1%} (paper: 285/290 = 98.3%)"
+            f"\nTotal: {totals['n_correct']}/{totals['n_formula_esvs']} = "
+            f"{totals['precision']:.1%} (paper: 285/290 = 98.3%)"
         )
+    if report.skipped:
+        print(f"(* = {len(report.skipped)} cars resumed from checkpoint)")
+    print(f"Wall clock: {report.wall_seconds:.1f} s [{report.pool} pool, {report.workers} worker(s)]")
+    print(f"Results digest: {report.results_digest()}")
+    if events is not None:
+        events.close()
+    if args.resume:
+        report.save(Path(args.resume) / "run_report.json")
+    return 0 if not report.failed else 1
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

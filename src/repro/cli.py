@@ -106,7 +106,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
     from .core import DPReverser, GpConfig, check_formula
     from .cps import DataCollector
     from .tools import make_tool_for_car
-    from .vehicle import CAR_SPECS, build_car
+    from .vehicle import CAR_SPECS, build_car, ground_truth_formulas
 
     keys = [k.upper() for k in (args.cars or sorted(CAR_SPECS))]
     total = correct_total = 0
@@ -117,13 +117,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
         tool = make_tool_for_car(key, car)
         capture = DataCollector(tool, read_duration_s=args.duration).collect()
         report = DPReverser(GpConfig(seed=args.seed)).reverse_engineer(capture)
-        truth = {}
-        for ecu in car.ecus:
-            for point in ecu.uds_data_points.values():
-                truth[f"uds:{point.did:04X}"] = point.formula
-            for group in ecu.kwp_groups.values():
-                for index, m in enumerate(group.measurements):
-                    truth[f"kwp:{group.local_id:02X}/{index}"] = m.formula
+        truth = ground_truth_formulas(car)
         correct = sum(
             check_formula(esv.formula, truth[esv.identifier], esv.samples)
             for esv in report.formula_esvs
@@ -138,6 +132,56 @@ def _run_fleet(args: argparse.Namespace) -> int:
     if total:
         print(f"\nTotal precision: {correct_total}/{total} = {correct_total/total:.1%}")
     return 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from .runtime import (
+        CheckpointStore,
+        EventLog,
+        Scheduler,
+        SchedulerConfig,
+        fleet_job_specs,
+    )
+
+    try:
+        specs = fleet_job_specs(
+            args.cars, seed=args.seed, read_duration_s=args.duration
+        )
+    except ValueError as error:
+        print(f"{error}; see `list-cars`", file=sys.stderr)
+        return 2
+
+    pool = args.pool or ("process" if args.workers > 1 else "serial")
+    checkpoint = events = None
+    resume_dir = None
+    if args.resume:
+        resume_dir = Path(args.resume)
+        try:
+            checkpoint = CheckpointStore(resume_dir)
+        except OSError as error:
+            print(f"cannot use {resume_dir} as checkpoint directory: {error}", file=sys.stderr)
+            return 2
+        events = EventLog(resume_dir / "events.jsonl")
+
+    try:
+        config = SchedulerConfig(
+            workers=args.workers,
+            pool=pool,
+            max_retries=args.retries,
+            timeout_s=args.timeout,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    scheduler = Scheduler(config, checkpoint=checkpoint, events=events)
+    report = scheduler.run(specs)
+    print(report.summary())
+    if events is not None:
+        events.close()
+    if resume_dir is not None:
+        path = report.save(resume_dir / "run_report.json")
+        print(f"run report written to {path}")
+    return 0 if not report.failed else 1
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -207,6 +251,31 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--duration", type=float, default=30.0)
     fleet.add_argument("--seed", type=int, default=2)
     fleet.set_defaults(func=_run_fleet)
+
+    fleet_run = commands.add_parser(
+        "fleet-run",
+        help="orchestrated fleet sweep: worker pools, retries, checkpoint/resume",
+    )
+    fleet_run.add_argument("--cars", nargs="*", help="subset of fleet keys")
+    fleet_run.add_argument("--workers", type=int, default=1, help="pool size")
+    fleet_run.add_argument(
+        "--pool",
+        choices=("serial", "thread", "process"),
+        help="worker backend (default: process when --workers > 1, else serial)",
+    )
+    fleet_run.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="checkpoint directory; completed cars found there are skipped "
+        "and new results, events.jsonl and run_report.json are written to it",
+    )
+    fleet_run.add_argument("--retries", type=int, default=2, help="retries per job")
+    fleet_run.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    fleet_run.add_argument("--duration", type=float, default=30.0)
+    fleet_run.add_argument("--seed", type=int, default=2)
+    fleet_run.set_defaults(func=_cmd_fleet_run)
 
     attack = commands.add_parser("attack", help="run the Tab. 13 attack set")
     attack.add_argument("--car", required=True)

@@ -18,9 +18,10 @@ Pipeline (Fig. 6a):
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cps.collector import Capture
 from ..cps.ocr import OcrEngine
@@ -206,10 +207,29 @@ class DPReverser:
         gp_config: Optional[GpConfig] = None,
         ocr_seed: int = 23,
         estimate_alignment: bool = True,
+        stage_hook: Optional[Callable[[str, float], None]] = None,
+        perf: Optional[Callable[[], float]] = None,
     ) -> None:
         self.gp_config = gp_config or GpConfig()
         self.ocr_seed = ocr_seed
         self.estimate_alignment = estimate_alignment
+        #: Called as ``stage_hook(stage_name, elapsed_seconds)`` at every
+        #: pipeline stage boundary.  The runtime subsystem installs a
+        #: recorder here to build per-stage wall-clock histograms.
+        self.stage_hook = stage_hook
+        #: Performance counter used to time stages.  Defaults to the real
+        #: :func:`time.perf_counter`; simulated paths pass
+        #: :meth:`repro.simtime.SimClock.perf` to stay deterministic.
+        self.perf = perf or time.perf_counter
+
+    def _timed(self, stage: str, thunk: Callable[[], object]) -> object:
+        """Run ``thunk``, reporting its duration to :attr:`stage_hook`."""
+        if self.stage_hook is None:
+            return thunk()
+        start = self.perf()
+        result = thunk()
+        self.stage_hook(stage, self.perf() - start)
+        return result
 
     # -------------------------------------------------------------- stages 1-4
 
@@ -230,26 +250,33 @@ class DPReverser:
         if messages is None:
             frames = list(capture.can_log)
             transport = transport or detect_transport(frames)
-            messages = assemble(frames, transport)
+            messages = self._timed("assemble", lambda: assemble(frames, transport))
         else:
             transport = transport or "kline"
             messages = sorted(messages, key=lambda m: m.t_last)
-        fields = extract_fields(messages)
+        fields = self._timed("extract_fields", lambda: extract_fields(messages))
         grouped = fields.by_identifier()
 
-        ocr = OcrEngine(capture.tool_error_rate, seed=self.ocr_seed)
-        series, reports = analyze_video(capture.video, ocr)
-        raw_ocr = OcrEngine(capture.tool_error_rate, seed=self.ocr_seed)
-        series_raw = extract_ui_series(raw_ocr.read_video(list(capture.video)))
+        def _screenshot_stage():
+            ocr = OcrEngine(capture.tool_error_rate, seed=self.ocr_seed)
+            filtered, reports = analyze_video(capture.video, ocr)
+            raw_ocr = OcrEngine(capture.tool_error_rate, seed=self.ocr_seed)
+            raw = extract_ui_series(raw_ocr.read_video(list(capture.video)))
+            return filtered, reports, raw
+
+        series, reports, series_raw = self._timed("screenshot", _screenshot_stage)
 
         offset: Optional[float] = None
         if self.estimate_alignment:
-            offset = estimate_offset_via_obd(fields.observations, series)
+            offset = self._timed(
+                "alignment",
+                lambda: estimate_offset_via_obd(fields.observations, series),
+            )
             if offset is not None and abs(offset) > 1e-6:
                 series = shift_series(series, offset)
                 series_raw = shift_series(series_raw, offset)
 
-        matches = self._match(grouped, series, capture)
+        matches = self._timed("match", lambda: self._match(grouped, series, capture))
         return AnalysisContext(
             capture=capture,
             transport=transport,
@@ -299,6 +326,27 @@ class DPReverser:
 
     def infer(self, context: AnalysisContext) -> ReverseReport:
         """Formula inference + ECR analysis over an analysis context."""
+        esvs = self._timed("infer_formulas", lambda: self._infer_esvs(context))
+
+        def _ecr_stage() -> List[EcrProcedure]:
+            procedures = extract_procedures(context.fields.io_events)
+            attach_semantics(procedures, context.capture.segments)
+            return procedures
+
+        procedures = self._timed("ecr", _ecr_stage)
+        return ReverseReport(
+            model=context.capture.model,
+            tool_name=context.capture.tool_name,
+            transport=context.transport,
+            esvs=esvs,
+            ecrs=procedures,
+            camera_offset_estimate=context.offset,
+            filter_reports=context.filter_reports,
+            n_messages=len(context.messages),
+            n_frames=len(context.capture.can_log),
+        )
+
+    def _infer_esvs(self, context: AnalysisContext) -> List[ReversedEsv]:
         esvs: List[ReversedEsv] = []
         for match in context.matches:
             observations = context.grouped[match.identifier]
@@ -338,20 +386,7 @@ class DPReverser:
                     formula_type=formula_type,
                 )
             )
-
-        procedures = extract_procedures(context.fields.io_events)
-        attach_semantics(procedures, context.capture.segments)
-        return ReverseReport(
-            model=context.capture.model,
-            tool_name=context.capture.tool_name,
-            transport=context.transport,
-            esvs=esvs,
-            ecrs=procedures,
-            camera_offset_estimate=context.offset,
-            filter_reports=context.filter_reports,
-            n_messages=len(context.messages),
-            n_frames=len(context.capture.can_log),
-        )
+        return esvs
 
 
 def _stable_seed(identifier: str, base: int) -> int:

@@ -16,6 +16,7 @@ recorded data can be fed to the pipeline):
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import List, Union
 
@@ -25,6 +26,36 @@ from .cps.camera import CapturedFrame, TextRegion
 from .cps.collector import Capture, Segment
 
 FORMAT_VERSION = 1
+
+#: Files every capture directory must contain (``clicks.jsonl`` is optional
+#: so externally recorded candump + video data can be analysed too).
+REQUIRED_FILES = ("meta.json", "can.log", "video.jsonl", "segments.json")
+
+
+def write_json_atomic(path: Union[str, Path], payload: object, indent: int = 2) -> Path:
+    """Write ``payload`` as JSON via a same-directory temp file + rename.
+
+    The rename is atomic on POSIX, so readers (e.g. a resumed fleet run
+    scanning a checkpoint directory, :mod:`repro.runtime.checkpoint`) never
+    observe a half-written file even if the writer is killed mid-flight.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_json(path: Union[str, Path]) -> object:
+    """Read a JSON file, raising a clear :class:`ValueError` on problems."""
+    path = Path(path)
+    if not path.exists():
+        raise ValueError(f"missing file: {path}")
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(f"corrupt JSON in {path}: {error}") from None
 
 
 def save_capture(capture: Capture, directory: Union[str, Path]) -> Path:
@@ -104,9 +135,24 @@ def save_capture(capture: Capture, directory: Union[str, Path]) -> Path:
 
 
 def load_capture(directory: Union[str, Path]) -> Capture:
-    """Read a capture previously written by :func:`save_capture`."""
+    """Read a capture previously written by :func:`save_capture`.
+
+    Raises :class:`ValueError` (instead of failing deep inside parsing) when
+    ``directory`` is not a capture directory, a required file is missing, or
+    the on-disk ``format_version`` is one this build cannot read.
+    """
     directory = Path(directory)
-    meta = json.loads((directory / "meta.json").read_text())
+    if not directory.is_dir():
+        raise ValueError(f"not a capture directory: {directory}")
+    missing = [name for name in REQUIRED_FILES if not (directory / name).exists()]
+    if missing:
+        raise ValueError(
+            f"not a valid capture directory {directory}: "
+            f"missing {', '.join(missing)}"
+        )
+    meta = read_json(directory / "meta.json")
+    if not isinstance(meta, dict):
+        raise ValueError(f"malformed meta.json in {directory}: expected an object")
     if meta.get("format_version") != FORMAT_VERSION:
         raise ValueError(
             f"unsupported capture format {meta.get('format_version')!r} "

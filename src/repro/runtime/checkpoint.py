@@ -1,0 +1,73 @@
+"""Checkpoint store: completed job results as JSON, one file per job.
+
+Layered on :mod:`repro.persistence`'s atomic-JSON helpers, so a fleet run
+killed mid-write never leaves a torn checkpoint behind.  On resume the
+scheduler asks :meth:`CheckpointStore.completed_ids` which jobs are already
+done and skips them; everything else re-runs.  Only successful results are
+recorded — failures and timeouts must re-run on resume by design.
+
+Files are named ``job-<job_id>.json`` and carry their own format version,
+validated on read with the same clear-:class:`ValueError` convention as
+capture loading.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from ..persistence import read_json, write_json_atomic
+from .job import JobResult
+
+CHECKPOINT_FORMAT_VERSION = 1
+_PREFIX = "job-"
+
+
+class CheckpointStore:
+    """Directory of completed :class:`~repro.runtime.job.JobResult`\\ s."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, job_id: str) -> Path:
+        return self.directory / f"{_PREFIX}{job_id}.json"
+
+    def record(self, result: JobResult) -> Path:
+        """Persist a successful result; failures are not checkpointed."""
+        if not result.ok:
+            raise ValueError(
+                f"refusing to checkpoint job {result.job_id} with "
+                f"status {result.status!r} (only 'ok' results resume)"
+            )
+        return write_json_atomic(
+            self._path(result.job_id),
+            {"format_version": CHECKPOINT_FORMAT_VERSION, "result": result.to_dict()},
+        )
+
+    def load(self, job_id: str) -> Optional[JobResult]:
+        path = self._path(job_id)
+        if not path.exists():
+            return None
+        payload = read_json(path)
+        if not isinstance(payload, dict) or "result" not in payload:
+            raise ValueError(f"malformed checkpoint file {path}")
+        version = payload.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {version!r} in {path} "
+                f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+            )
+        return JobResult.from_dict(payload["result"])
+
+    def load_all(self) -> Dict[str, JobResult]:
+        results: Dict[str, JobResult] = {}
+        for path in sorted(self.directory.glob(f"{_PREFIX}*.json")):
+            job_id = path.stem[len(_PREFIX):]
+            result = self.load(job_id)
+            if result is not None:
+                results[job_id] = result
+        return results
+
+    def completed_ids(self) -> Set[str]:
+        return {job_id for job_id, result in self.load_all().items() if result.ok}

@@ -1,0 +1,79 @@
+"""JSONL event log for fleet runs.
+
+Every scheduler decision — scheduling, skips on resume, attempts, retries,
+timeouts, completions — is one JSON object per line, so an interrupted run
+leaves an audit trail that survives the process and streams cleanly into
+log tooling.  Schema (documented in DESIGN.md):
+
+``seq``
+    Monotonic sequence number within the run (0-based).  The total order,
+    even if the clock is coarse or simulated.
+``t``
+    Timestamp from the injected clock (wall seconds by default,
+    :meth:`repro.simtime.SimClock.perf` under simulation).
+``event``
+    Event kind, e.g. ``run_started``, ``job_skipped``, ``job_started``,
+    ``job_attempt_failed``, ``job_retry``, ``job_timeout``,
+    ``job_finished``, ``run_finished``.
+
+plus event-specific fields (``job_id``, ``attempt``, ``error``, ...).
+Lines are flushed per event so a killed run loses at most the event being
+written.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+
+class EventLog:
+    """Append-only event stream, in memory and optionally on disk."""
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.events: List[dict] = []
+        self._clock = clock or time.time
+        self._handle = None
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Append so a resumed run extends the original trail.
+            self._handle = path.open("a")
+
+    def emit(self, event: str, **fields: object) -> dict:
+        record = {"seq": len(self.events), "t": round(self._clock(), 6), "event": event}
+        record.update(fields)
+        self.events.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        return record
+
+    def of_kind(self, event: str) -> List[dict]:
+        return [record for record in self.events if record["event"] == event]
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Parse an ``events.jsonl`` file back into event dicts."""
+    records: List[dict] = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records

@@ -1,0 +1,247 @@
+"""Fleet jobs: one vehicle's collect→reverse pipeline as a unit of work.
+
+A :class:`JobSpec` is a frozen, picklable description of one car's run —
+everything that determines the outcome (car key, seeds, capture duration,
+GP overrides) and nothing that doesn't.  Its :attr:`~JobSpec.job_id` is a
+deterministic function of those inputs, which is what makes checkpoint
+resume sound: a half-finished fleet sweep restarted with the same
+parameters maps onto the same ids and skips the cars already done, while a
+sweep restarted with, say, a different seed maps onto fresh ids and redoes
+everything.
+
+:func:`run_job` is the worker entry point.  It is a module-level function
+(so :class:`concurrent.futures.ProcessPoolExecutor` can pickle it) and is
+pure with respect to its spec: the same :class:`JobSpec` always produces
+the same ESV/ECR payload, byte for byte, which the scheduler's
+serial-vs-parallel equivalence guarantee builds on.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class InjectedFault(RuntimeError):
+    """Fault raised by test/benchmark fault injectors inside a worker."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Deterministic description of one car's collect+reverse run."""
+
+    car_key: str
+    seed: int = 2
+    read_duration_s: float = 30.0
+    ocr_seed: int = 23
+    #: Optional :class:`~repro.core.GpConfig` field overrides, as a sorted
+    #: tuple of ``(name, value)`` pairs so the spec stays hashable and its
+    #: job id stays stable under dict-ordering differences.
+    gp_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: Real seconds of bus-wait latency to emulate during collection.  On
+    #: real hardware the capture rig idles for hours while the tool reads
+    #: the live bus; :class:`~repro.simtime.SimClock` compresses that to
+    #: nothing, which would make scheduler-scaling benchmarks meaningless.
+    #: Setting this re-introduces the wait as wall-clock idle time that
+    #: parallel workers overlap.  Does not affect the result payload, so it
+    #: is excluded from :attr:`job_id`.
+    live_latency_s: float = 0.0
+
+    @property
+    def job_id(self) -> str:
+        """Stable id derived from every outcome-determining field."""
+        blob = (
+            f"{self.car_key}|seed={self.seed}|dur={self.read_duration_s:g}"
+            f"|ocr={self.ocr_seed}|gp={sorted(self.gp_overrides)!r}"
+        )
+        return f"car-{self.car_key.lower()}-{zlib.crc32(blob.encode()) & 0xFFFFFFFF:08x}"
+
+    def to_dict(self) -> dict:
+        return {
+            "car_key": self.car_key,
+            "seed": self.seed,
+            "read_duration_s": self.read_duration_s,
+            "ocr_seed": self.ocr_seed,
+            "gp_overrides": [list(pair) for pair in self.gp_overrides],
+            "live_latency_s": self.live_latency_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        return cls(
+            car_key=payload["car_key"],
+            seed=payload["seed"],
+            read_duration_s=payload["read_duration_s"],
+            ocr_seed=payload["ocr_seed"],
+            gp_overrides=tuple(
+                (name, value) for name, value in payload.get("gp_overrides", [])
+            ),
+            live_latency_s=payload.get("live_latency_s", 0.0),
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, split into deterministic payload and telemetry.
+
+    The ESV/ECR rows and counts depend only on the spec; attempts, stage
+    timings and wall-clock are telemetry that varies run to run.  Digest
+    comparisons (serial vs parallel, resumed vs fresh) therefore go through
+    :meth:`deterministic_payload`, never :meth:`to_dict`.
+    """
+
+    job_id: str
+    car_key: str
+    status: str  # "ok" | "failed" | "timeout"
+    attempts: int = 1
+    esvs: List[dict] = field(default_factory=list)
+    ecrs: List[dict] = field(default_factory=list)
+    n_formula_esvs: int = 0
+    n_correct: int = 0
+    n_enum_esvs: int = 0
+    n_ecrs: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def precision(self) -> float:
+        return self.n_correct / self.n_formula_esvs if self.n_formula_esvs else 1.0
+
+    def deterministic_payload(self) -> dict:
+        """The spec-determined portion of the result (no timing/attempts)."""
+        return {
+            "job_id": self.job_id,
+            "car_key": self.car_key,
+            "status": self.status,
+            "esvs": self.esvs,
+            "ecrs": self.ecrs,
+            "n_formula_esvs": self.n_formula_esvs,
+            "n_correct": self.n_correct,
+            "n_enum_esvs": self.n_enum_esvs,
+            "n_ecrs": self.n_ecrs,
+        }
+
+    def to_dict(self) -> dict:
+        payload = self.deterministic_payload()
+        payload.update(
+            {
+                "attempts": self.attempts,
+                "stage_seconds": {
+                    name: round(value, 6)
+                    for name, value in sorted(self.stage_seconds.items())
+                },
+                "wall_seconds": round(self.wall_seconds, 6),
+                "error": self.error,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobResult":
+        return cls(
+            job_id=payload["job_id"],
+            car_key=payload["car_key"],
+            status=payload["status"],
+            attempts=payload.get("attempts", 1),
+            esvs=payload.get("esvs", []),
+            ecrs=payload.get("ecrs", []),
+            n_formula_esvs=payload.get("n_formula_esvs", 0),
+            n_correct=payload.get("n_correct", 0),
+            n_enum_esvs=payload.get("n_enum_esvs", 0),
+            n_ecrs=payload.get("n_ecrs", 0),
+            stage_seconds=payload.get("stage_seconds", {}),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            error=payload.get("error", ""),
+        )
+
+
+def fleet_job_specs(
+    keys: Optional[List[str]] = None,
+    seed: int = 2,
+    read_duration_s: float = 30.0,
+    gp_overrides: Tuple[Tuple[str, object], ...] = (),
+) -> List[JobSpec]:
+    """One :class:`JobSpec` per fleet car (all 18 when ``keys`` is None)."""
+    from ..vehicle import CAR_SPECS
+
+    keys = [key.upper() for key in (keys or sorted(CAR_SPECS))]
+    unknown = [key for key in keys if key not in CAR_SPECS]
+    if unknown:
+        raise ValueError(f"unknown fleet keys: {', '.join(unknown)}")
+    return [
+        JobSpec(
+            car_key=key,
+            seed=seed,
+            read_duration_s=read_duration_s,
+            gp_overrides=gp_overrides,
+        )
+        for key in keys
+    ]
+
+
+def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobResult:
+    """Run one car's full collect→reverse→verify pipeline.
+
+    Deterministic given ``spec``; raises on pipeline errors (the scheduler
+    owns retry/timeout policy, not the worker).
+    """
+    from ..core import DPReverser, GpConfig, check_formula
+    from ..cps import DataCollector
+    from ..tools import make_tool_for_car
+    from ..vehicle import build_car, ground_truth_formulas
+
+    perf = perf or time.perf_counter
+    start = perf()
+    stage_seconds: Dict[str, float] = {}
+
+    def record_stage(stage: str, elapsed: float) -> None:
+        stage_seconds[stage] = stage_seconds.get(stage, 0.0) + elapsed
+
+    car = build_car(spec.car_key)
+    tool = make_tool_for_car(spec.car_key, car)
+    collect_start = perf()
+    if spec.live_latency_s > 0:
+        time.sleep(spec.live_latency_s)
+    capture = DataCollector(tool, read_duration_s=spec.read_duration_s).collect()
+    record_stage("collect", perf() - collect_start)
+
+    reverser = DPReverser(
+        GpConfig(seed=spec.seed, **dict(spec.gp_overrides)),
+        ocr_seed=spec.ocr_seed,
+        stage_hook=record_stage,
+        perf=perf,
+    )
+    report = reverser.reverse_engineer(capture)
+
+    truth = ground_truth_formulas(car)
+    report_dict = report.to_dict()
+    esv_rows: List[dict] = []
+    n_correct = 0
+    for esv, row in zip(report.esvs, report_dict["esvs"]):
+        row = dict(row)
+        if not esv.is_enum and esv.formula is not None:
+            correct = check_formula(esv.formula, truth[esv.identifier], esv.samples)
+            n_correct += int(correct)
+            row["correct"] = bool(correct)
+        esv_rows.append(row)
+
+    return JobResult(
+        job_id=spec.job_id,
+        car_key=spec.car_key,
+        status="ok",
+        esvs=esv_rows,
+        ecrs=report_dict["ecrs"],
+        n_formula_esvs=len(report.formula_esvs),
+        n_correct=n_correct,
+        n_enum_esvs=len(report.enum_esvs),
+        n_ecrs=len(report.ecrs),
+        stage_seconds=stage_seconds,
+        wall_seconds=perf() - start,
+    )

@@ -1,0 +1,114 @@
+"""Fleet run summary: per-car results, totals and a determinism digest.
+
+The digest covers only the spec-determined payload of each result (ESV and
+ECR rows, counts) in job-id order — never attempts, stage timings or
+wall-clock — so a serial run, a 4-worker process-pool run and a resumed run
+of the same specs all hash identically.  That property is what the
+scheduler's equivalence tests and the scaling benchmark assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..persistence import write_json_atomic
+from .job import JobResult
+
+
+@dataclass
+class RunReport:
+    """Everything one scheduler run produced."""
+
+    results: List[JobResult]
+    skipped: List[str] = field(default_factory=list)  # job ids resumed from checkpoint
+    pool: str = "serial"
+    workers: int = 1
+    wall_seconds: float = 0.0
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.results = sorted(self.results, key=lambda r: r.job_id)
+
+    @property
+    def ok(self) -> List[JobResult]:
+        return [result for result in self.results if result.ok]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+    def totals(self) -> dict:
+        ok = self.ok
+        n_formulas = sum(result.n_formula_esvs for result in ok)
+        n_correct = sum(result.n_correct for result in ok)
+        return {
+            "n_jobs": len(self.results),
+            "n_ok": len(ok),
+            "n_failed": len(self.failed),
+            "n_skipped": len(self.skipped),
+            "n_formula_esvs": n_formulas,
+            "n_correct": n_correct,
+            "precision": n_correct / n_formulas if n_formulas else 1.0,
+            "n_enum_esvs": sum(result.n_enum_esvs for result in ok),
+            "n_ecrs": sum(result.n_ecrs for result in ok),
+        }
+
+    def results_digest(self) -> str:
+        """SHA-256 over the deterministic payloads, in job-id order."""
+        canonical = json.dumps(
+            [result.deterministic_payload() for result in self.results],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "pool": self.pool,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "totals": self.totals(),
+            "results_digest": self.results_digest(),
+            "skipped": sorted(self.skipped),
+            "results": [result.to_dict() for result in self.results],
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        return write_json_atomic(path, self.to_dict())
+
+    def summary(self) -> str:
+        """Per-car table + totals, the `repro fleet-run` console output."""
+        lines = [
+            f"{'Car':<5}{'Status':<9}{'Att':>4}{'#ESV(f)':>8}{'Correct':>8}"
+            f"{'Prec':>8}{'#Enum':>7}{'#ECR':>6}{'sec':>8}"
+        ]
+        for result in self.results:
+            resumed = " (resumed)" if result.job_id in self.skipped else ""
+            lines.append(
+                f"{result.car_key:<5}{result.status + resumed:<9}{result.attempts:>4}"
+                f"{result.n_formula_esvs:>8}{result.n_correct:>8}"
+                f"{result.precision:>8.1%}{result.n_enum_esvs:>7}"
+                f"{result.n_ecrs:>6}{result.wall_seconds:>8.1f}"
+            )
+        totals = self.totals()
+        lines.append(
+            f"\n{totals['n_ok']}/{totals['n_jobs']} jobs ok"
+            f" ({totals['n_skipped']} resumed from checkpoint)"
+            f" in {self.wall_seconds:.1f} s"
+            f" [{self.pool} pool, {self.workers} worker(s)]"
+        )
+        if totals["n_formula_esvs"]:
+            lines.append(
+                f"Total precision: {totals['n_correct']}/{totals['n_formula_esvs']}"
+                f" = {totals['precision']:.1%}"
+            )
+        lines.append(f"Results digest: {self.results_digest()}")
+        return "\n".join(lines)

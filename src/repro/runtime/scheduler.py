@@ -1,0 +1,303 @@
+"""Fleet scheduler: fan jobs out over a worker pool, retry, checkpoint.
+
+Three interchangeable execution backends:
+
+``process``
+    :class:`concurrent.futures.ProcessPoolExecutor` — the default for real
+    fleet sweeps.  Formula inference is CPU-bound Python, so processes are
+    the only backend that actually scales with cores.
+``thread``
+    :class:`concurrent.futures.ThreadPoolExecutor` — useful when the
+    runner is monkeypatched (tests) or I/O-bound.
+``serial``
+    A plain in-process loop, used by determinism tests and as the
+    always-works fallback.  Serial execution cannot preempt a running job,
+    so per-job timeouts are only enforced by the pool backends.
+
+Retry policy lives in the parent, not the workers: a failed attempt is
+re-submitted after an exponential backoff (``backoff_base_s *
+backoff_factor**(attempt-1)``), bounded by ``max_retries``.  Every
+decision is emitted to the :class:`~repro.runtime.events.EventLog` and
+counted in the :class:`~repro.runtime.metrics.MetricsRegistry`; completed
+results are written to the :class:`~repro.runtime.checkpoint.CheckpointStore`
+the moment they finish, so a killed run resumes without redoing them.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .checkpoint import CheckpointStore
+from .events import EventLog
+from .job import JobResult, JobSpec, run_job
+from .metrics import MetricsRegistry
+from .report import RunReport
+
+POOL_KINDS = ("serial", "thread", "process")
+
+
+@dataclass
+class SchedulerConfig:
+    """Execution policy for one fleet run."""
+
+    workers: int = 1
+    pool: str = "serial"
+    max_retries: int = 2  # extra attempts after the first
+    timeout_s: Optional[float] = None  # per-attempt wall budget (pool modes)
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.pool not in POOL_KINDS:
+            raise ValueError(f"unknown pool kind {self.pool!r}; expected one of {POOL_KINDS}")
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, got {self.workers}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative: {self.max_retries}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before the retry that follows failed attempt ``attempt``."""
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+class Scheduler:
+    """Runs a batch of :class:`JobSpec`\\ s to a :class:`RunReport`."""
+
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        events: Optional[EventLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        runner: Callable[[JobSpec], JobResult] = run_job,
+        sleep: Callable[[float], None] = time.sleep,
+        perf: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.config = config or SchedulerConfig()
+        self.checkpoint = checkpoint
+        self.events = events if events is not None else EventLog()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.runner = runner
+        self.sleep = sleep
+        self.perf = perf
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, specs: Sequence[JobSpec]) -> RunReport:
+        specs = list(specs)
+        ids = [spec.job_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in fleet run")
+
+        start = self.perf()
+        self.events.emit(
+            "run_started",
+            n_jobs=len(specs),
+            pool=self.config.pool,
+            workers=self.config.workers,
+        )
+
+        results: Dict[str, JobResult] = {}
+        skipped: List[str] = []
+        pending_specs: List[JobSpec] = []
+        if self.checkpoint is not None:
+            cached = self.checkpoint.load_all()
+            for spec in specs:
+                prior = cached.get(spec.job_id)
+                if prior is not None and prior.ok:
+                    results[spec.job_id] = prior
+                    skipped.append(spec.job_id)
+                    self.metrics.counter("jobs_skipped").inc()
+                    self.events.emit(
+                        "job_skipped", job_id=spec.job_id, car_key=spec.car_key
+                    )
+                else:
+                    pending_specs.append(spec)
+        else:
+            pending_specs = specs
+
+        if self.config.pool == "serial":
+            for spec in pending_specs:
+                results[spec.job_id] = self._run_serial(spec)
+        else:
+            results.update(self._run_pool(pending_specs))
+
+        wall = self.perf() - start
+        n_ok = sum(1 for result in results.values() if result.ok)
+        self.events.emit(
+            "run_finished",
+            n_ok=n_ok,
+            n_failed=len(results) - n_ok,
+            n_skipped=len(skipped),
+            wall_seconds=round(wall, 6),
+        )
+        return RunReport(
+            results=list(results.values()),
+            skipped=skipped,
+            pool=self.config.pool,
+            workers=self.config.workers,
+            wall_seconds=wall,
+            metrics=self.metrics.to_dict(),
+        )
+
+    # --------------------------------------------------------------- serial
+
+    def _run_serial(self, spec: JobSpec) -> JobResult:
+        attempt = 0
+        while True:
+            attempt += 1
+            self.events.emit("job_started", job_id=spec.job_id, attempt=attempt)
+            attempt_start = self.perf()
+            try:
+                result = self.runner(spec)
+            except Exception as error:  # noqa: BLE001 — isolate per-job faults
+                wall = self.perf() - attempt_start
+                if self._maybe_retry(spec, attempt, error):
+                    continue
+                return self._finalize(
+                    JobResult(
+                        job_id=spec.job_id,
+                        car_key=spec.car_key,
+                        status="failed",
+                        attempts=attempt,
+                        wall_seconds=wall,
+                        error=repr(error),
+                    )
+                )
+            result.attempts = attempt
+            return self._finalize(result)
+
+    # ----------------------------------------------------------------- pool
+
+    def _run_pool(self, specs: Sequence[JobSpec]) -> Dict[str, JobResult]:
+        executor_cls = (
+            ThreadPoolExecutor if self.config.pool == "thread" else ProcessPoolExecutor
+        )
+        executor = executor_cls(max_workers=self.config.workers)
+        results: Dict[str, JobResult] = {}
+        pending: Dict[Future, Tuple[JobSpec, int, float]] = {}
+
+        def submit(spec: JobSpec, attempt: int) -> None:
+            self.events.emit("job_started", job_id=spec.job_id, attempt=attempt)
+            pending[executor.submit(self.runner, spec)] = (spec, attempt, self.perf())
+
+        try:
+            for spec in specs:
+                submit(spec, 1)
+            while pending:
+                slack = None
+                if self.config.timeout_s is not None:
+                    now = self.perf()
+                    slack = max(
+                        0.0,
+                        min(
+                            t0 + self.config.timeout_s - now
+                            for (__, __, t0) in pending.values()
+                        ),
+                    )
+                done, __ = wait(list(pending), timeout=slack, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec, attempt, t0 = pending.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        result = future.result()
+                        result.attempts = attempt
+                        results[spec.job_id] = self._finalize(result)
+                    elif self._maybe_retry(spec, attempt, error):
+                        submit(spec, attempt + 1)
+                    else:
+                        results[spec.job_id] = self._finalize(
+                            JobResult(
+                                job_id=spec.job_id,
+                                car_key=spec.car_key,
+                                status="failed",
+                                attempts=attempt,
+                                wall_seconds=self.perf() - t0,
+                                error=repr(error),
+                            )
+                        )
+                if self.config.timeout_s is None:
+                    continue
+                now = self.perf()
+                for future, (spec, attempt, t0) in list(pending.items()):
+                    if now - t0 < self.config.timeout_s:
+                        continue
+                    # A future past its deadline is cancelled if still
+                    # queued and abandoned if already running (threads and
+                    # processes cannot be preempted safely).
+                    future.cancel()
+                    pending.pop(future)
+                    self.metrics.counter("attempts_timed_out").inc()
+                    self.events.emit(
+                        "job_timeout",
+                        job_id=spec.job_id,
+                        attempt=attempt,
+                        timeout_s=self.config.timeout_s,
+                    )
+                    if self._maybe_retry(spec, attempt, None):
+                        submit(spec, attempt + 1)
+                    else:
+                        results[spec.job_id] = self._finalize(
+                            JobResult(
+                                job_id=spec.job_id,
+                                car_key=spec.car_key,
+                                status="timeout",
+                                attempts=attempt,
+                                wall_seconds=now - t0,
+                                error=f"timed out after {self.config.timeout_s} s",
+                            )
+                        )
+        finally:
+            # Don't block on abandoned (timed-out) workers.
+            executor.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    # -------------------------------------------------------------- helpers
+
+    def _maybe_retry(
+        self, spec: JobSpec, attempt: int, error: Optional[BaseException]
+    ) -> bool:
+        """Record a failed attempt; True if the job should be retried."""
+        will_retry = attempt <= self.config.max_retries
+        if error is not None:
+            self.metrics.counter("attempts_failed").inc()
+            self.events.emit(
+                "job_attempt_failed",
+                job_id=spec.job_id,
+                attempt=attempt,
+                error=repr(error),
+                will_retry=will_retry,
+            )
+        if not will_retry:
+            return False
+        delay = self.config.backoff_s(attempt)
+        self.metrics.counter("jobs_retried").inc()
+        self.events.emit(
+            "job_retry", job_id=spec.job_id, attempt=attempt + 1, delay_s=round(delay, 6)
+        )
+        self.sleep(delay)
+        return True
+
+    def _finalize(self, result: JobResult) -> JobResult:
+        if result.ok:
+            self.metrics.counter("jobs_completed").inc()
+            self.metrics.histogram("job_wall_seconds").observe(result.wall_seconds)
+            for stage, seconds in result.stage_seconds.items():
+                self.metrics.histogram(f"stage.{stage}_seconds").observe(seconds)
+            if self.checkpoint is not None:
+                self.checkpoint.record(result)
+        elif result.status == "timeout":
+            self.metrics.counter("jobs_timeout").inc()
+        else:
+            self.metrics.counter("jobs_failed").inc()
+        self.events.emit(
+            "job_finished",
+            job_id=result.job_id,
+            status=result.status,
+            attempts=result.attempts,
+            wall_seconds=round(result.wall_seconds, 6),
+        )
+        return result

@@ -37,6 +37,17 @@ class SimClock:
     # Alias used by components that conceptually "wait".
     sleep = advance
 
+    def perf(self) -> float:
+        """Monotonic performance counter in simulated seconds.
+
+        Drop-in replacement for :func:`time.perf_counter` wherever runtime
+        metrics are collected under simulation (:mod:`repro.runtime`), so
+        deterministic tests never touch wall-clock APIs.  The reading is the
+        simulated time itself: only differences are meaningful, exactly like
+        the real performance counter.
+        """
+        return self._now
+
 
 class SkewedClock:
     """A view of a :class:`SimClock` with a constant offset and drift rate.

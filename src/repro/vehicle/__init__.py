@@ -41,6 +41,7 @@ from .fleet import (
     build_fleet,
     expected_ecr_counts,
     expected_esv_counts,
+    ground_truth_formulas,
 )
 
 __all__ = [
@@ -80,4 +81,5 @@ __all__ = [
     "build_fleet",
     "expected_ecr_counts",
     "expected_esv_counts",
+    "ground_truth_formulas",
 ]

@@ -478,6 +478,24 @@ def _populate_bmw_routines(ecus: List[SimulatedEcu]) -> None:
     cluster.add_routine(Routine(0x13, "Turn Light Test (KOMBI)"))
 
 
+def ground_truth_formulas(vehicle: Vehicle) -> Dict[str, Formula]:
+    """Hidden manufacturer formulas of a fleet car, keyed by pipeline id.
+
+    Keys use the identifier scheme of the reverse-engineering reports
+    (``"uds:F400"``, ``"kwp:01/0"``), so evaluation code — the CLI fleet
+    table, :mod:`repro.runtime.job` and the examples — can look up each
+    recovered ESV's ground truth directly.
+    """
+    truth: Dict[str, Formula] = {}
+    for ecu in vehicle.ecus:
+        for point in ecu.uds_data_points.values():
+            truth[f"uds:{point.did:04X}"] = point.formula
+        for group in ecu.kwp_groups.values():
+            for index, measurement in enumerate(group.measurements):
+                truth[f"kwp:{group.local_id:02X}/{index}"] = measurement.formula
+    return truth
+
+
 def build_fleet(clock: Optional[SimClock] = None) -> Dict[str, Vehicle]:
     """Instantiate all 18 vehicles (sharing ``clock`` when provided)."""
     return {key: build_car(key, clock) for key in CAR_SPECS}

@@ -52,7 +52,31 @@ class TestPersistence:
         meta = json.loads((directory / "meta.json").read_text())
         meta["format_version"] = 99
         (directory / "meta.json").write_text(json.dumps(meta))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unsupported capture format"):
+            load_capture(directory)
+
+    def test_nonexistent_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not a capture directory"):
+            load_capture(tmp_path / "nope")
+
+    @pytest.mark.parametrize(
+        "missing", ["meta.json", "can.log", "video.jsonl", "segments.json"]
+    )
+    def test_missing_file_named_in_error(self, capture_d, tmp_path, missing):
+        directory = save_capture(capture_d, tmp_path / "cap")
+        (directory / missing).unlink()
+        with pytest.raises(ValueError, match=missing.replace(".", r"\.")):
+            load_capture(directory)
+
+    def test_missing_clicks_log_is_tolerated(self, capture_d, tmp_path):
+        directory = save_capture(capture_d, tmp_path / "cap")
+        (directory / "clicks.jsonl").unlink()
+        assert load_capture(directory).clicks == []
+
+    def test_corrupt_meta_rejected(self, capture_d, tmp_path):
+        directory = save_capture(capture_d, tmp_path / "cap")
+        (directory / "meta.json").write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt JSON"):
             load_capture(directory)
 
 
@@ -77,6 +101,25 @@ class TestCli:
         )
         text = report_path.read_text()
         assert "Car P" in text and "ESVs reversed" in text
+
+    def test_fleet_run_with_resume(self, tmp_path, capsys):
+        resume = tmp_path / "sweep"
+        args = ["fleet-run", "--cars", "C", "--duration", "8", "--resume", str(resume)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "Results digest:" in first and "1/1 jobs ok" in first
+        assert (resume / "run_report.json").exists()
+        assert (resume / "events.jsonl").exists()
+
+        # Second invocation resumes from the checkpoint: same digest, no re-run.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "1 resumed from checkpoint" in second
+        digest = [l for l in first.splitlines() if l.startswith("Results digest:")]
+        assert digest[0] in second
+
+    def test_fleet_run_rejects_unknown_car(self, capsys):
+        assert main(["fleet-run", "--cars", "Z"]) == 2
 
     def test_collect_unknown_car(self, capsys):
         assert main(["collect", "--car", "Z", "--out", "/tmp/nope"]) == 2

@@ -20,6 +20,20 @@ class TestSimClock:
         with pytest.raises(ValueError):
             SimClock().advance(-1.0)
 
+    def test_perf_counter_tracks_simulated_time(self):
+        clock = SimClock(5.0)
+        start = clock.perf()
+        clock.advance(2.5)
+        assert clock.perf() - start == pytest.approx(2.5)
+
+    def test_perf_is_monotonic(self):
+        clock = SimClock()
+        readings = []
+        for step in [0.1, 0.0, 3.0]:
+            clock.advance(step)
+            readings.append(clock.perf())
+        assert readings == sorted(readings)
+
 
 class TestSkewedClock:
     def test_offset(self):
