@@ -1,0 +1,126 @@
+"""GP inference-engine performance: compiled vs interpreted, serial vs
+parallel.
+
+The perf features are exactness-preserving (compiled evaluation applies
+the same primitives in the same order; the fitness cache returns the float
+the evaluation produced; per-ESV threads only reorder independent work),
+so this bench *asserts* result identity and *reports* the measured
+speedups — wall-clock ratios vary with the machine, the correctness
+contract does not.
+
+Set ``GP_PERF_QUICK=1`` (the CI smoke mode) to run a reduced case set at a
+small GP budget.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+from repro.core import DPReverser, GpConfig
+from repro.core.response_analysis import infer_formula
+
+QUICK = bool(os.environ.get("GP_PERF_QUICK"))
+
+#: Timing rounds per engine; the minimum total is reported, which filters
+#: container scheduling noise without changing what is measured.
+ROUNDS = 1 if QUICK else 5
+
+FAST = GpConfig(seed=2)  # the default engine: compiled + cached
+if QUICK:
+    FAST = replace(FAST, population_size=100, generations=8)
+SLOW = replace(FAST, compiled=False, fitness_cache=False)
+
+
+def formula_cases(fleet, keys=("K", "B"), limit=2 if QUICK else 8):
+    """The hardest inference targets: two-variable KWP ESVs."""
+    cases = []
+    for key in keys:
+        context = fleet.context(key)
+        truth = fleet.ground_truth(key)
+        for match in context.matches:
+            if len(cases) >= limit:
+                return cases
+            __, __, is_enum = truth[match.identifier]
+            if is_enum:
+                continue
+            observations = context.grouped[match.identifier]
+            series = context.series.get(match.label)
+            if series is None or not series.is_numeric:
+                continue
+            cases.append((match.identifier, observations, series))
+    return cases
+
+
+def _time_engine(cases, config):
+    """Best-of-ROUNDS total inference time + the per-case results."""
+    results = None
+    best = float("inf")
+    for __ in range(ROUNDS):
+        start = time.perf_counter()
+        round_results = [
+            infer_formula(observations, series, config)
+            for __, observations, series in cases
+        ]
+        best = min(best, time.perf_counter() - start)
+        if results is None:
+            results = round_results
+    return best, results
+
+
+def test_compiled_vs_interpreted(benchmark, report_file, fleet):
+    cases = formula_cases(fleet)
+    assert len(cases) >= 2
+
+    def run():
+        fast_s, fast_results = _time_engine(cases, FAST)
+        slow_s, slow_results = _time_engine(cases, SLOW)
+        return fast_s, slow_s, fast_results, slow_results
+
+    fast_s, slow_s, fast_results, slow_results = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Correctness is the assertion: identical inferred expressions and
+    # fitness at equal seeds, engine by engine.
+    for (identifier, *_), fast, slow in zip(cases, fast_results, slow_results):
+        assert (fast is None) == (slow is None), identifier
+        if fast is not None:
+            assert fast.description == slow.description, identifier
+            assert fast.fitness == slow.fitness, identifier
+
+    speedup = slow_s / fast_s if fast_s else float("inf")
+    report_file(
+        f"Per-formula engine ({len(cases)} KWP ESVs, best of {ROUNDS} round(s)"
+        f"{', quick mode' if QUICK else ''}):"
+    )
+    report_file(f"  interpreted (compiled=False, cache=False): {slow_s/len(cases)*1000:7.0f} ms/formula")
+    report_file(f"  compiled + fitness cache (default):        {fast_s/len(cases)*1000:7.0f} ms/formula")
+    report_file(f"  speedup: {speedup:.2f}x, identical formulas on all {len(cases)} ESVs")
+    report_file()
+
+
+def test_serial_vs_parallel_esvs(benchmark, report_file, fleet):
+    context = fleet.context("K")
+
+    def reverse(workers):
+        reverser = DPReverser(FAST, gp_workers=workers)
+        start = time.perf_counter()
+        report = reverser.infer(context)
+        return time.perf_counter() - start, report
+
+    def run():
+        serial_s, serial_report = reverse(1)
+        parallel_s, parallel_report = reverse(4)
+        return serial_s, parallel_s, serial_report, parallel_report
+
+    serial_s, parallel_s, serial_report, parallel_report = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    assert serial_report.to_dict() == parallel_report.to_dict()
+
+    n = len(serial_report.formula_esvs)
+    report_file(f"Per-ESV parallel inference (car K, {n} formula ESVs):")
+    report_file(f"  gp_workers=1: {serial_s:6.2f} s")
+    report_file(f"  gp_workers=4: {parallel_s:6.2f} s (thread pool; GIL-bound"
+                " evolution limits scaling — identical report asserted)")

@@ -64,7 +64,8 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
 
     capture = load_capture(args.capture)
     start = time.perf_counter()
-    report = DPReverser(GpConfig(seed=args.seed)).reverse_engineer(capture)
+    config = GpConfig(seed=args.seed, compiled=args.gp_compiled)
+    report = DPReverser(config, gp_workers=args.gp_workers).reverse_engineer(capture)
     elapsed = time.perf_counter() - start
     if args.format == "json":
         text = report.to_json()
@@ -145,7 +146,10 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
 
     try:
         specs = fleet_job_specs(
-            args.cars, seed=args.seed, read_duration_s=args.duration
+            args.cars,
+            seed=args.seed,
+            read_duration_s=args.duration,
+            gp_workers=args.gp_workers,
         )
     except ValueError as error:
         print(f"{error}; see `list-cars`", file=sys.stderr)
@@ -239,6 +243,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json", "markdown"), default="text"
     )
     reverse.add_argument("--seed", type=int, default=2)
+    reverse.add_argument(
+        "--gp-workers",
+        type=int,
+        default=1,
+        help="threads for per-ESV formula inference (identical results)",
+    )
+    reverse.add_argument(
+        "--gp-compiled",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the compiled GP evaluator (--no-gp-compiled falls back "
+        "to the recursive interpreter; results are bit-identical)",
+    )
     reverse.set_defaults(func=_cmd_reverse)
 
     scan = commands.add_parser("scan", help="actively enumerate a car's identifiers")
@@ -275,6 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_run.add_argument("--duration", type=float, default=30.0)
     fleet_run.add_argument("--seed", type=int, default=2)
+    fleet_run.add_argument(
+        "--gp-workers",
+        type=int,
+        default=1,
+        help="per-ESV inference threads inside each job (identical results)",
+    )
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
     attack = commands.add_parser("attack", help="run the Tab. 13 attack set")

@@ -2,6 +2,8 @@
 
 from .functions import DEFAULT_FUNCTION_NAMES, FUNCTION_SET, GpFunction
 from .tree import Node, random_tree
+from .cache import FitnessCache
+from .compile import CompiledProgram, compile_tree, tree_key
 from .engine import GeneticProgrammer, GpConfig, GpResult, polish_constants
 from .simplify import fold_constants, pretty
 
@@ -11,6 +13,10 @@ __all__ = [
     "GpFunction",
     "Node",
     "random_tree",
+    "FitnessCache",
+    "CompiledProgram",
+    "compile_tree",
+    "tree_key",
     "GeneticProgrammer",
     "GpConfig",
     "GpResult",

@@ -1,0 +1,188 @@
+"""Compiled evaluation of expression trees.
+
+The recursive :meth:`~repro.core.gp.tree.Node.evaluate` pays per node for a
+Python call, an ``np.errstate`` enter/exit and a child-list allocation —
+dominating GP fitness evaluation, where a population of hundreds of small
+trees is evaluated every generation over short column arrays.
+
+:func:`compile_tree` flattens a tree once (a single pre-order walk) into a
+postfix program: variable loads, constant loads, and function applications
+executed over an operand stack of numpy arrays.  The program applies the
+*same* function primitives to the *same* operands in the *same* order the
+recursive evaluator does, so results are bit-identical — the property the
+engine's serial==parallel and compiled==interpreted digest invariants rest
+on.  The same walk also yields the tree's size, depth and a canonical
+structural key, so the parsimony penalty and the fitness cache
+(:mod:`repro.core.gp.cache`) stop re-walking trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tree import Node
+
+#: Program opcodes.
+OP_VAR = 0  # push columns[payload]
+OP_CONST = 1  # push a full array of the constant
+OP_CALL1 = 2  # pop one operand, push payload(operand)
+OP_CALL2 = 3  # pop two operands, push payload(a, b)
+
+
+class CompiledProgram:
+    """A flattened expression tree: postfix code plus structural metadata."""
+
+    __slots__ = ("code", "size", "key")
+
+    def __init__(
+        self,
+        code: List[Tuple[int, object]],
+        size: int,
+        key: Tuple,
+    ) -> None:
+        self.code = code
+        self.size = size
+        self.key = key
+
+    @property
+    def depth(self) -> int:
+        """Tree depth, folded from the code on demand.
+
+        Lazy because the engine's hot loop never reads it — population
+        evaluation only needs :attr:`size` (parsimony) and :attr:`key`
+        (cache) — so :func:`compile_tree` skips the depth bookkeeping.
+        """
+        depths: List[int] = []
+        pop = depths.pop
+        push = depths.append
+        for op, __ in self.code:
+            if op == OP_CALL2:
+                right = pop()
+                left = pop()
+                push((right if right > left else left) + 1)
+            elif op == OP_CALL1:
+                push(pop() + 1)
+            else:
+                push(1)
+        return depths[-1]
+
+    def execute(
+        self,
+        columns: Sequence[np.ndarray],
+        const_cache: Optional[Dict[float, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Run the program over the dataset's column arrays.
+
+        ``const_cache`` (owned by the caller, valid for one dataset) reuses
+        the materialised constant arrays across evaluations; the arrays are
+        never mutated downstream, so sharing is safe.
+        """
+        with np.errstate(all="ignore"):
+            return self.execute_unchecked(columns, const_cache)
+
+    def execute_unchecked(
+        self,
+        columns: Sequence[np.ndarray],
+        const_cache: Optional[Dict[float, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """:meth:`execute` without the ``np.errstate`` guard.
+
+        For callers that already hold an ``errstate(all="ignore")`` context
+        around a whole batch of executions — entering/leaving the context
+        per tree is measurable at population scale.
+        """
+        stack: List[np.ndarray] = []
+        push = stack.append
+        pop = stack.pop
+        template = columns[0]
+        for op, payload in self.code:
+            if op == OP_CALL2:
+                b = pop()
+                push(payload(pop(), b))
+            elif op == OP_CALL1:
+                push(payload(pop()))
+            elif op == OP_VAR:
+                push(columns[payload])
+            else:  # OP_CONST
+                if const_cache is None:
+                    push(np.full_like(template, payload, dtype=float))
+                else:
+                    array = const_cache.get(payload)
+                    if array is None:
+                        array = np.full_like(template, payload, dtype=float)
+                        const_cache[payload] = array
+                    push(array)
+        return stack[-1]
+
+
+#: Interned ``(OP_VAR, i)`` instructions for the low variable indices
+#: every real dataset uses (grown on demand).
+_VAR_INSTR: Dict[int, Tuple[int, int]] = {}
+
+#: Interned call/constant instructions.  Call entries are keyed by the
+#: function *name* — the same identity the canonical key uses — so two
+#: functions sharing a name would collide here exactly as they already
+#: would in the fitness cache.  Constant entries are keyed by float
+#: equality (which folds ``-0.0`` onto ``0.0``; the protected primitives
+#: cannot distinguish the two, so fitness is unaffected).
+_INSTR: Dict[object, Tuple[int, object]] = {}
+
+
+def compile_tree(tree: Node) -> CompiledProgram:
+    """Flatten ``tree`` into a :class:`CompiledProgram` (one walk).
+
+    Uses the reversed right-first pre-order trick: visiting ``(root,
+    right, left)`` and reversing yields the ``(left, right, root)``
+    postfix order, so no sentinel bookkeeping is needed.
+
+    Because every instruction is interned (one tuple object per distinct
+    variable, constant, or function), the instruction sequence itself is
+    the canonical structural key — ``tuple(code)`` — with no separate
+    token list to build.
+    """
+    # Right-first pre-order walk; reversed(walk) is postfix order.
+    walk: List[Node] = []
+    stack: List[Node] = [tree]
+    while stack:
+        node = stack.pop()
+        walk.append(node)
+        if node.children:
+            stack.extend(node.children)  # right child pops (visits) first
+
+    code: List[Tuple[int, object]] = []
+    append = code.append
+    for node in reversed(walk):
+        var_index = node.var_index
+        if var_index is not None:
+            instr = _VAR_INSTR.get(var_index)
+            if instr is None:
+                instr = _VAR_INSTR[var_index] = (OP_VAR, var_index)
+            append(instr)
+            continue
+        constant = node.constant
+        if constant is not None:
+            instr = _INSTR.get(constant)
+            if instr is None:
+                instr = _INSTR[constant] = (OP_CONST, constant)
+            append(instr)
+            continue
+        name = node.function.name
+        instr = _INSTR.get(name)
+        if instr is None:
+            function = node.function
+            opcode = OP_CALL2 if function.arity == 2 else OP_CALL1
+            instr = _INSTR[name] = (opcode, function.func)
+        append(instr)
+    return CompiledProgram(code, len(walk), tuple(code))
+
+
+def tree_key(tree: Node) -> Tuple:
+    """Canonical structural key: equal iff the trees are identical.
+
+    The key is the postfix instruction sequence itself — interned
+    ``(opcode, payload)`` tuples — which uniquely decodes because every
+    instruction has a fixed arity, exactly like any RPN encoding.
+    """
+    return compile_tree(tree).key

@@ -20,12 +20,15 @@ evaluation tractable in pure Python).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .cache import FitnessCache
+from .compile import CompiledProgram, compile_tree
 from .functions import DEFAULT_FUNCTION_NAMES
 from .tree import Node, random_tree
 
@@ -58,6 +61,24 @@ class GpConfig:
     #: gplearn-like engine (the paper's prototype), where the Tab. 2
     #: range normalisation carries the whole burden.
     linear_scaling: bool = True
+    #: Evaluate trees through the flattened postfix programs of
+    #: :mod:`repro.core.gp.compile` instead of the recursive
+    #: :meth:`Node.evaluate`.  Bit-identical results (same primitives,
+    #: same order), several times faster; off = the reference interpreter.
+    compiled: bool = True
+    #: Memoise fitness per canonical tree structure
+    #: (:mod:`repro.core.gp.cache`).  Exact — a hit returns the float the
+    #: evaluation produced — so results are unchanged either way.
+    fitness_cache: bool = True
+    #: Subsample-then-escalate fitness (OFF by default — it changes which
+    #: trees win, so default results stay untouched): when > 0 and the
+    #: dataset is larger, every candidate is first scored on this many
+    #: evenly spaced samples and only the top :attr:`subsample_top`
+    #: fraction is re-scored on the full dataset.
+    subsample_size: int = 0
+    #: Fraction of the population promoted to full evaluation in
+    #: subsample mode.
+    subsample_top: float = 0.3
 
 
 @dataclass
@@ -69,16 +90,32 @@ class GpResult:
     generations_run: int
     expression: str
     n_variables: int
+    #: Fitness-cache statistics for this run (None when caching is off).
+    cache_stats: Optional[dict] = None
 
     def predict(self, xs: Sequence[float]) -> float:
         return self.tree.evaluate_point(xs)
 
 
 class GeneticProgrammer:
-    """Evolves expression trees against a dataset."""
+    """Evolves expression trees against a dataset.
 
-    def __init__(self, config: Optional[GpConfig] = None) -> None:
+    ``cache`` optionally injects a shared :class:`FitnessCache` (bound to
+    one dataset) so several engine instances — e.g. the restart attempts
+    of :mod:`repro.core.response_analysis` — reuse each other's
+    evaluations.  When omitted, a fresh cache is created per :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GpConfig] = None,
+        cache: Optional[FitnessCache] = None,
+    ) -> None:
         self.config = config or GpConfig()
+        self._shared_cache = cache
+        self._cache: Optional[FitnessCache] = None
+        self._const_cache: dict = {}
+        self._parent_nodes: dict = {}
 
     # ---------------------------------------------------------------- fitness
 
@@ -104,6 +141,10 @@ class GeneticProgrammer:
             predictions = tree.evaluate(columns)
         except (ValueError, OverflowError):
             return float("inf")
+        return self._mae_from_predictions(predictions, y)
+
+    def _mae_from_predictions(self, predictions: np.ndarray, y: np.ndarray) -> float:
+        """The shared back half of the fitness: scaling, trimming, mean."""
         if predictions.shape != y.shape:
             predictions = np.broadcast_to(predictions, y.shape).astype(float)
         if not np.all(np.isfinite(predictions)):
@@ -166,25 +207,316 @@ class GeneticProgrammer:
             return float("inf")
         return float(np.mean(errors))
 
-    def _penalised(self, mae: float, tree: Node) -> float:
+    def _penalised(self, mae: float, size: int) -> float:
         if not np.isfinite(mae):
             return float("inf")
-        return mae + self.config.parsimony * tree.size()
+        return mae + self.config.parsimony * size
+
+    # ------------------------------------------------------- compiled fitness
+
+    def _program_mae(
+        self,
+        program: CompiledProgram,
+        columns: List[np.ndarray],
+        y: np.ndarray,
+        tag: str = "full",
+    ) -> float:
+        """Fitness of one compiled tree, through the cache when enabled.
+
+        ``tag`` separates cache entries computed on different views of the
+        dataset (full vs subsample) — one cache instance, disjoint keys.
+        """
+        cache = self._cache
+        if cache is not None:
+            key = (tag, program.key)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        try:
+            predictions = program.execute(columns, self._const_cache)
+        except (ValueError, OverflowError):
+            mae = float("inf")
+        else:
+            mae = self._mae_from_predictions(predictions, y)
+        if cache is not None:
+            cache.put(key, mae)
+        return mae
+
+    def _fitness(self, tree: Node, columns: List[np.ndarray], y: np.ndarray) -> float:
+        """Single-tree fitness through the configured evaluation engine."""
+        if not self.config.compiled:
+            return self._scaled_mae(tree, columns, y)
+        return self._program_mae(compile_tree(tree), columns, y)
+
+    def _evaluate_population(
+        self,
+        population: List[Node],
+        columns: List[np.ndarray],
+        y: np.ndarray,
+    ) -> Tuple[List[float], List[int]]:
+        """Fitness and size for every tree in one batch.
+
+        The compiled path flattens each tree once (yielding its size for
+        the parsimony penalty as a by-product), consults the fitness
+        cache, executes the cache misses, and runs the fitness *math*
+        (linear scaling, trim, refit) batched over the whole population as
+        matrix operations — the same scalar operations the per-tree code
+        applies, so the floats are bit-identical (reductions whose result
+        depends on accumulation order, the BLAS dot products, stay
+        per-row).  When ``subsample_size`` is on, candidates are scored on
+        an evenly spaced subsample first and only the top
+        ``subsample_top`` fraction is re-scored on the full dataset.
+        """
+        config = self.config
+        if not config.compiled:
+            maes = [self._scaled_mae(tree, columns, y) for tree in population]
+            return maes, [tree.size() for tree in population]
+        programs = [compile_tree(tree) for tree in population]
+        sizes = [program.size for program in programs]
+        n = y.shape[0]
+        if config.subsample_size and 0 < config.subsample_size < n:
+            indices = np.linspace(0, n - 1, config.subsample_size).astype(int)
+            sub_columns = [column[indices] for column in columns]
+            sub_y = y[indices]
+            sub_maes = self._batched_fitness(programs, sub_columns, sub_y, "sub")
+            promoted = int(np.ceil(len(programs) * config.subsample_top))
+            order = np.argsort(sub_maes, kind="stable")[: max(1, promoted)]
+            chosen = [programs[index] for index in order]
+            full_maes = self._batched_fitness(chosen, columns, y, "full")
+            maes = list(sub_maes)
+            for index, mae in zip(order, full_maes):
+                maes[index] = mae
+            return maes, sizes
+        return self._batched_fitness(programs, columns, y, "full"), sizes
+
+    def _batched_fitness(
+        self,
+        programs: List[CompiledProgram],
+        columns: List[np.ndarray],
+        y: np.ndarray,
+        tag: str,
+    ) -> List[float]:
+        """Cache-aware batched fitness for a list of compiled programs."""
+        cache = self._cache
+        maes: List[Optional[float]] = [None] * len(programs)
+        pending: List[Tuple[Tuple, List[int]]] = []
+        if cache is not None:
+            slots: dict = {}
+            for index, program in enumerate(programs):
+                key = (tag, program.key)
+                cached = cache.get(key)
+                if cached is not None:
+                    maes[index] = cached
+                elif key in slots:
+                    # Duplicate structure within the batch: evaluate once.
+                    pending[slots[key]][1].append(index)
+                    cache.hits += 1
+                    cache.misses -= 1
+                else:
+                    slots[key] = len(pending)
+                    pending.append((key, [index]))
+        else:
+            pending = [((tag, index), [index]) for index in range(len(programs))]
+
+        if pending:
+            rows: List[Optional[np.ndarray]] = []
+            const_cache = self._const_cache
+            with np.errstate(all="ignore"):
+                for key, indices in pending:
+                    program = programs[indices[0]]
+                    try:
+                        row = program.execute_unchecked(columns, const_cache)
+                    except (ValueError, OverflowError):
+                        row = None
+                    else:
+                        if row.shape != y.shape:
+                            row = np.broadcast_to(row, y.shape).astype(float)
+                    rows.append(row)
+            results = [float("inf")] * len(pending)
+            live = [slot for slot, row in enumerate(rows) if row is not None]
+            if live:
+                matrix = np.empty((len(live), y.shape[0]))
+                for offset, slot in enumerate(live):
+                    matrix[offset] = rows[slot]
+                batched = self._batched_maes(matrix, y)
+                for offset, slot in enumerate(live):
+                    results[slot] = float(batched[offset])
+            for (key, indices), mae in zip(pending, results):
+                for index in indices:
+                    maes[index] = mae
+                if cache is not None:
+                    cache.put(key, mae)
+        return maes  # type: ignore[return-value]
+
+    def _batched_maes(self, F: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """The per-tree fitness math, vectorised over population rows.
+
+        Every arithmetic step applies the same scalar operation the
+        per-tree :meth:`_mae_from_predictions` applies, in the same order;
+        order-sensitive reductions (means, sorts) use numpy's per-row
+        kernels, and the two least-squares dot products go through the
+        same 1-D BLAS call per row — so each row's fitness is bit-equal to
+        the per-tree result (asserted by the equivalence test suite).
+        """
+        n = y.shape[0]
+        n_trim = int(np.ceil(n * self.TRIM_FRACTION)) if n >= 10 else 0
+        keep = n - n_trim
+        with np.errstate(all="ignore"):
+            finite_rows = np.isfinite(F).all(axis=1)
+            if not self.config.linear_scaling:
+                E = np.abs(F - y)
+                valid = finite_rows & np.isfinite(E).all(axis=1)
+                if n_trim:
+                    E.sort(axis=1)
+                    maes = np.ascontiguousarray(E[:, :keep]).mean(axis=1)
+                else:
+                    maes = E.mean(axis=1)
+                maes[~valid] = np.inf
+                return maes
+
+            y_mean = y.mean()
+            y_centred = y - y_mean
+            a, b = self._batched_linear_fit(F, y_centred, y_mean, finite_rows)
+            # In-place chain, same operation order as the per-tree
+            # ``abs(a*f + b - y)`` expression.
+            E1 = a[:, None] * F
+            E1 += b[:, None]
+            E1 -= y
+            np.abs(E1, out=E1)
+            valid = finite_rows & np.isfinite(E1).all(axis=1)
+            if not n_trim:
+                maes = E1.mean(axis=1)
+                maes[~valid] = np.inf
+                return maes
+
+            inliers = np.argsort(E1, axis=1)[:, :keep]
+            f_fit = np.take_along_axis(F, inliers, axis=1)
+            y_fit = y[inliers]
+            y_mean2 = y_fit.mean(axis=1)
+            y_centred2 = y_fit - y_mean2[:, None]
+            a2, b2 = self._batched_linear_fit(f_fit, y_centred2, y_mean2, valid)
+            E2 = a2[:, None] * F
+            E2 += b2[:, None]
+            E2 -= y
+            np.abs(E2, out=E2)
+            refit_ok = np.isfinite(E2).all(axis=1)
+            E = np.where(refit_ok[:, None], E2, E1)
+            E.sort(axis=1)
+            maes = np.ascontiguousarray(E[:, :keep]).mean(axis=1)
+            maes[~valid] = np.inf
+            return maes
+
+    @staticmethod
+    def _batched_linear_fit(
+        f_fit: np.ndarray,
+        y_centred: np.ndarray,
+        y_mean,
+        rows_mask: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row-wise ``a*f+b`` least squares, dot products via 1-D BLAS.
+
+        ``y_centred`` is shared (1-D) for the full-dataset fit and per-row
+        (2-D) for the inlier refit; ``y_mean`` likewise scalar or vector.
+        A row where the variance vanishes gets ``a=0, b=y_mean`` — exactly
+        the constant-tree branch of :meth:`_linear_scaled_errors`, since
+        ``|0*f + y_mean - y|`` equals ``|y_mean - y|``.
+        """
+        f_mean = f_fit.mean(axis=1)
+        centred = f_fit - f_mean[:, None]
+        shared = y_centred.ndim == 1
+        dot = np.dot
+        nan = np.nan
+        variance_rows = []
+        a_num_rows = []
+        append_var = variance_rows.append
+        append_num = a_num_rows.append
+        if shared:
+            for row, ok in zip(centred, rows_mask.tolist()):
+                if ok:
+                    append_var(dot(row, row))
+                    append_num(dot(row, y_centred))
+                else:  # row already doomed to inf; skip the BLAS calls
+                    append_var(nan)
+                    append_num(nan)
+        else:
+            for row, y_row, ok in zip(centred, y_centred, rows_mask.tolist()):
+                if ok:
+                    append_var(dot(row, row))
+                    append_num(dot(row, y_row))
+                else:
+                    append_var(nan)
+                    append_num(nan)
+        variance = np.array(variance_rows)
+        a_num = np.array(a_num_rows)
+        const = variance < 1e-12  # NaN compares False: stays on the a-path
+        a = np.where(const, 0.0, a_num / np.where(const, 1.0, variance))
+        b = y_mean - a * f_mean
+        return a, b
 
     # -------------------------------------------------------------- operators
 
     def _tournament(self, rng, population, scores) -> Node:
-        best_index = min(
-            rng.sample(range(len(population)), min(self.config.tournament_size, len(population))),
-            key=lambda i: scores[i],
-        )
-        return population[best_index]
+        """Best of ``tournament_size`` uniformly sampled individuals.
+
+        Open-codes :meth:`random.Random.sample` over ``range(n)`` — the
+        same ``_randbelow`` draw sequence, including the pool-vs-set branch
+        at the same ``setsize`` threshold — minus its generic-sequence
+        overhead (isinstance dispatch, result-list build).  Tournaments run
+        tens of thousands of times per fit, and the rng stream must stay
+        bit-identical for seeded results to be reproducible.
+        """
+        n = len(population)
+        k = min(self.config.tournament_size, n)
+        randbelow = rng._randbelow
+        setsize = 21
+        if k > 5:
+            setsize += 4 ** math.ceil(math.log(k * 3, 4))
+        best = -1
+        best_score = math.inf
+        if n <= setsize:
+            pool = list(range(n))
+            for i in range(k):
+                j = randbelow(n - i)
+                index = pool[j]
+                pool[j] = pool[n - i - 1]
+                score = scores[index]
+                if best < 0 or score < best_score:
+                    best, best_score = index, score
+        else:
+            selected: set = set()
+            add = selected.add
+            for __ in range(k):
+                j = randbelow(n)
+                while j in selected:
+                    j = randbelow(n)
+                add(j)
+                score = scores[j]
+                if best < 0 or score < best_score:
+                    best, best_score = j, score
+        return population[best]
+
+    def _donor_nodes(self, tree: Node) -> List[Node]:
+        """Node list of a *population member*, cached for the generation.
+
+        Selection pressure makes tournaments hand back the same few parents
+        over and over; their node lists are immutable for the generation
+        (operators only ever mutate copies), so one walk per parent per
+        generation suffices.  Keyed by ``id`` — safe because the population
+        list keeps every member alive for exactly the cache's lifetime.
+        """
+        cache = self._parent_nodes
+        nodes = cache.get(id(tree))
+        if nodes is None:
+            nodes = cache[id(tree)] = tree.nodes()
+        return nodes
 
     def _crossover(self, rng, a: Node, b: Node) -> Node:
-        child = a.copy()
-        donor = b.copy()
-        target_nodes = child.nodes()
-        donor_nodes = donor.nodes()
+        # Only the selected graft is copied out of the donor — copying all
+        # of ``b`` first would allocate the whole tree to keep one subtree.
+        # rng consumption (two choices over same-length node lists) is
+        # unchanged, so evolution is bit-for-bit the same.
+        child, target_nodes = a.copy_with_nodes()
+        donor_nodes = self._donor_nodes(b)
         target = rng.choice(target_nodes)
         graft = rng.choice(donor_nodes).copy()
         if target is child:
@@ -197,8 +529,7 @@ class GeneticProgrammer:
             rng, n_variables, self.config.function_names,
             max_depth=self.config.init_depth, const_range=self.config.const_range,
         )
-        mutant = tree.copy()
-        nodes = mutant.nodes()
+        mutant, nodes = tree.copy_with_nodes()
         target = rng.choice(nodes)
         if target is mutant:
             return replacement
@@ -206,8 +537,8 @@ class GeneticProgrammer:
         return mutant
 
     def _point_mutation(self, rng, tree: Node, n_variables: int) -> Node:
-        mutant = tree.copy()
-        terminals = [n for n in mutant.nodes() if n.is_terminal]
+        mutant, nodes = tree.copy_with_nodes()
+        terminals = [n for n in nodes if n.is_terminal]
         target = rng.choice(terminals)
         if rng.random() < 0.5:
             target.var_index = rng.randrange(n_variables)
@@ -218,8 +549,8 @@ class GeneticProgrammer:
         return mutant
 
     def _constant_mutation(self, rng, tree: Node) -> Node:
-        mutant = tree.copy()
-        constants = [n for n in mutant.nodes() if n.constant is not None]
+        mutant, nodes = tree.copy_with_nodes()
+        constants = [n for n in nodes if n.constant is not None]
         if constants:
             target = rng.choice(constants)
             target.constant *= rng.uniform(0.5, 1.5)
@@ -240,6 +571,19 @@ class GeneticProgrammer:
         y = np.asarray(y_values, dtype=float)
         n_variables = x_matrix.shape[1]
         columns = [np.ascontiguousarray(x_matrix[:, i]) for i in range(n_variables)]
+
+        # Per-dataset evaluation state: the fitness cache (shared across
+        # engines when injected) and the materialised-constant cache.
+        if config.fitness_cache:
+            # `is not None`, not truthiness: an injected cache that is
+            # still empty (len 0) must not be swapped for a private one.
+            self._cache = (
+                self._shared_cache if self._shared_cache is not None else FitnessCache()
+            )
+            self._const_cache = self._cache.const_arrays
+        else:
+            self._cache = None
+            self._const_cache = {}
 
         population: List[Node] = []
         for index in range(config.population_size):
@@ -273,14 +617,16 @@ class GeneticProgrammer:
                         )
                     )
 
-        maes = [self._scaled_mae(t, columns, y) for t in population]
-        scores = [self._penalised(m, t) for m, t in zip(maes, population)]
+        maes, sizes = self._evaluate_population(population, columns, y)
+        scores = [self._penalised(m, s) for m, s in zip(maes, sizes)]
         best_index = int(np.argmin(scores))
         best_tree, best_mae = population[best_index].copy(), maes[best_index]
         generations_run = 0
 
+        depth_limit = config.max_depth + 2
         for generation in range(config.generations):
             generations_run = generation + 1
+            self._parent_nodes = {}  # per-generation donor node-list cache
             next_population: List[Node] = [best_tree.copy()]  # elitism
             while len(next_population) < config.population_size:
                 roll = rng.random()
@@ -298,13 +644,15 @@ class GeneticProgrammer:
                     child = self._constant_mutation(rng, parent)
                 else:
                     child = parent.copy()
-                if child.depth() > config.max_depth + 2:
+                # depth <= size always, so the cheaper size walk screens
+                # out almost every child before the depth walk runs.
+                if child.size() > depth_limit and child.depth() > depth_limit:
                     child = random_tree(rng, n_variables, config.function_names,
                                         config.init_depth, config.const_range)
                 next_population.append(child)
             population = next_population
-            maes = [self._scaled_mae(t, columns, y) for t in population]
-            scores = [self._penalised(m, t) for m, t in zip(maes, population)]
+            maes, sizes = self._evaluate_population(population, columns, y)
+            scores = [self._penalised(m, s) for m, s in zip(maes, sizes)]
             best_index = int(np.argmin(scores))
             if maes[best_index] < best_mae:
                 best_tree, best_mae = population[best_index].copy(), maes[best_index]
@@ -321,6 +669,7 @@ class GeneticProgrammer:
             generations_run=generations_run,
             expression=best_tree.to_infix(),
             n_variables=n_variables,
+            cache_stats=self._cache.stats() if self._cache is not None else None,
         )
 
 
@@ -358,9 +707,10 @@ class GeneticProgrammer:
         deterministically.
         """
         best = tree.copy()
-        best_score = self._scaled_mae(best, columns, y)
+        best_score = self._fitness(best, columns, y)
         if not np.isfinite(best_score):
             return tree
+        compiled = self.config.compiled
         for __ in range(3):
             improved = False
             constants = [n for n in best.nodes() if n.constant is not None]
@@ -370,9 +720,21 @@ class GeneticProgrammer:
                     original * 0.8, original * 0.9, original * 1.1, original * 1.25,
                     original - 0.1, original + 0.1, original - 0.02, original + 0.02,
                 ]
-                for candidate in candidates:
-                    node.constant = candidate
-                    score = self._scaled_mae(best, columns, y)
+                # The candidate list is fixed up front, so the greedy
+                # accept below only orders comparisons — all eight scores
+                # can be computed in one batched call on the compiled path.
+                if compiled:
+                    programs = []
+                    for candidate in candidates:
+                        node.constant = candidate
+                        programs.append(compile_tree(best))
+                    scores = self._batched_fitness(programs, columns, y, "full")
+                else:
+                    scores = []
+                    for candidate in candidates:
+                        node.constant = candidate
+                        scores.append(self._scaled_mae(best, columns, y))
+                for candidate, score in zip(candidates, scores):
                     if score < best_score - 1e-12:
                         best_score = score
                         original = candidate

@@ -9,7 +9,7 @@ whole dataset.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -57,14 +57,28 @@ class Node:
         return self.function is None
 
     def size(self) -> int:
-        if self.is_terminal:
-            return 1
-        return 1 + sum(child.size() for child in self.children)
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.children:
+                stack.extend(node.children)
+        return count
 
     def depth(self) -> int:
-        if self.is_terminal:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
+        max_depth = 1
+        stack = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            children = node.children
+            if children:
+                level += 1
+                if level > max_depth:
+                    max_depth = level
+                for child in children:
+                    stack.append((child, level))
+        return max_depth
 
     def variables_used(self) -> set:
         if self.is_terminal:
@@ -87,21 +101,79 @@ class Node:
             return self.function.func(*args)
 
     def evaluate_point(self, xs: Sequence[float]) -> float:
-        columns = [np.asarray([float(x)]) for x in xs]
-        return float(self.evaluate(columns)[0])
+        """Evaluate at a single sample without building length-1 arrays.
+
+        Uses the functions' bit-identical ``scalar`` variants (verification
+        runs this once per sample, so the array path's per-node numpy
+        overhead used to dominate every bench).  Falls back to the
+        vectorised path for custom functions with no scalar form.
+        """
+        if self.var_index is not None:
+            return float(xs[self.var_index])
+        if self.constant is not None:
+            return float(self.constant)
+        scalar = self.function.scalar
+        if scalar is None:
+            columns = [np.asarray([float(x)]) for x in xs]
+            return float(self.evaluate(columns)[0])
+        return float(scalar(*(child.evaluate_point(xs) for child in self.children)))
 
     # ------------------------------------------------------------ manipulation
 
     def copy(self) -> "Node":
-        if self.is_terminal:
-            return Node(var_index=self.var_index, constant=self.constant)
-        return Node(function=self.function, children=[c.copy() for c in self.children])
+        # Breeding copies hundreds of thousands of nodes per fit; going
+        # through __new__ skips the __init__ defaults-and-fallbacks dance.
+        clone = Node.__new__(Node)
+        clone.function = self.function
+        clone.children = [child.copy() for child in self.children]
+        clone.var_index = self.var_index
+        clone.constant = self.constant
+        return clone
+
+    def copy_with_nodes(self) -> Tuple["Node", List["Node"]]:
+        """Copy the tree and return the copy's pre-order node list too.
+
+        The breeding operators always need both (copy, then pick a node in
+        the copy); fusing them halves the tree walks per child.
+        """
+        out: List[Node] = []
+        clone = self._copy_into(out)
+        return clone, out
+
+    def _copy_into(self, out: List["Node"]) -> "Node":
+        clone = Node.__new__(Node)
+        out.append(clone)
+        children = self.children
+        if children:
+            clone.function = self.function
+            clone.children = [child._copy_into(out) for child in children]
+            clone.var_index = None
+            clone.constant = None
+        else:
+            clone.function = None
+            clone.children = []
+            clone.var_index = self.var_index
+            clone.constant = self.constant
+        return clone
 
     def nodes(self) -> List["Node"]:
         """Pre-order list of all nodes (self included)."""
-        out = [self]
-        for child in self.children:
-            out.extend(child.nodes())
+        out = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            children = node.children
+            if children:
+                # Push right-to-left so the left subtree pops first,
+                # preserving the recursive pre-order.
+                if len(children) == 2:
+                    stack.append(children[1])
+                    stack.append(children[0])
+                elif len(children) == 1:
+                    stack.append(children[0])
+                else:  # pragma: no cover - no arity>2 functions in the set
+                    stack.extend(reversed(children))
         return out
 
     def replace_child(self, old: "Node", new: "Node") -> bool:
@@ -136,14 +208,30 @@ def random_tree(
     const_range: float = 10.0,
     grow: bool = True,
 ) -> Node:
-    """Generate a random tree (grow or full initialisation)."""
+    """Generate a random tree (grow or full initialisation).
+
+    Initial populations (and restart populations) allocate hundreds of
+    thousands of nodes per inference run, so nodes are built through
+    ``__new__`` directly; the rng call sequence matches the naive
+    ``Node.var``/``Node.const`` construction exactly.
+    """
+    node = Node.__new__(Node)
     if max_depth <= 1 or (grow and rng.random() < 0.3):
+        node.function = None
+        node.children = []
         if rng.random() < 0.7:
-            return Node.var(rng.randrange(n_variables))
-        return Node.const(round(rng.uniform(-const_range, const_range), 3))
-    function = FUNCTION_SET[rng.choice(list(function_names))]
-    children = [
+            node.var_index = rng.randrange(n_variables)
+            node.constant = None
+        else:
+            node.var_index = None
+            node.constant = round(rng.uniform(-const_range, const_range), 3)
+        return node
+    function = FUNCTION_SET[rng.choice(function_names)]
+    node.function = function
+    node.children = [
         random_tree(rng, n_variables, function_names, max_depth - 1, const_range, grow)
         for __ in range(function.arity)
     ]
-    return Node(function=function, children=children)
+    node.var_index = None
+    node.constant = None
+    return node

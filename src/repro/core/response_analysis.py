@@ -22,9 +22,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..formulas import ExpressionFormula, Formula
 from .fields import EsvObservation
-from .gp import GeneticProgrammer, GpConfig, fold_constants, pretty
+from .gp import FitnessCache, GeneticProgrammer, GpConfig, fold_constants, pretty
 from .screenshot import UiSeries
 
 
@@ -245,10 +247,16 @@ MAX_RESTARTS = 3
 def _evolve_with_restarts(config: GpConfig, scaled: "ScaledDataset"):
     from dataclasses import replace as _replace
 
+    # One fitness cache spans every restart attempt: the dataset is the
+    # same, only the seed changes, and restart populations re-derive the
+    # same seeded shapes and small trees — immediate hits.
+    cache = FitnessCache() if config.fitness_cache else None
     best = None
     for attempt in range(MAX_RESTARTS):
         attempt_config = _replace(config, seed=config.seed + 7919 * attempt)
-        result = GeneticProgrammer(attempt_config).fit(scaled.x_rows, scaled.y_values)
+        result = GeneticProgrammer(attempt_config, cache=cache).fit(
+            scaled.x_rows, scaled.y_values
+        )
         if best is None or result.fitness < best.fitness:
             best = result
         if best.fitness <= RESTART_FITNESS:
@@ -273,10 +281,12 @@ def _fit_robust(
     scaled = prescale(dataset)
     result = _evolve_with_restarts(config, scaled)
 
-    residuals = [
-        abs(result.tree.evaluate_point(xs) - y)
-        for xs, y in zip(scaled.x_rows, scaled.y_values)
-    ]
+    # One vectorised evaluation; the tree primitives are bit-identical to
+    # the scalar path, so the residuals match a per-sample loop exactly.
+    x_matrix = np.asarray(scaled.x_rows, dtype=float)
+    columns = [np.ascontiguousarray(x_matrix[:, i]) for i in range(x_matrix.shape[1])]
+    predictions = result.tree.evaluate(columns)
+    residuals = list(np.abs(predictions - np.asarray(scaled.y_values)))
     sorted_residuals = sorted(residuals)
     mad = sorted_residuals[len(sorted_residuals) // 2]
     threshold = max(6.0 * 1.4826 * mad, 1e-6)

@@ -18,6 +18,7 @@ Pipeline (Fig. 6a):
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field, replace
@@ -183,6 +184,38 @@ class ReverseReport:
 
 
 @dataclass
+class _FormulaTask:
+    """One pending GP inference: everything :func:`infer_formula` needs.
+
+    ``slot`` is the ESV's position in the report, fixed at plan time so the
+    output order is identical whether the tasks run serially or fan out
+    over a worker pool.
+    """
+
+    slot: int
+    match: SemanticMatch
+    observations: List[EsvObservation]
+    series: UiSeries
+    config: GpConfig
+    protocol: str
+    formula_type: int
+
+
+@dataclass
+class _FormulaJobSpec:
+    """Duck-typed :class:`~repro.runtime.job.JobSpec` stand-in.
+
+    The runtime :class:`~repro.runtime.scheduler.Scheduler` only touches
+    ``job_id``/``car_key`` on specs, so per-ESV inference jobs can ride the
+    same pool/retry machinery without depending on the fleet job format.
+    """
+
+    job_id: str
+    car_key: str
+    task: _FormulaTask
+
+
+@dataclass
 class AnalysisContext:
     """Intermediate pipeline state, exposed so benches can reuse the exact
     same datasets with alternative inference algorithms (Tab. 10)."""
@@ -209,6 +242,7 @@ class DPReverser:
         estimate_alignment: bool = True,
         stage_hook: Optional[Callable[[str, float], None]] = None,
         perf: Optional[Callable[[], float]] = None,
+        gp_workers: int = 1,
     ) -> None:
         self.gp_config = gp_config or GpConfig()
         self.ocr_seed = ocr_seed
@@ -221,6 +255,16 @@ class DPReverser:
         #: :func:`time.perf_counter`; simulated paths pass
         #: :meth:`repro.simtime.SimClock.perf` to stay deterministic.
         self.perf = perf or time.perf_counter
+        #: Worker threads for per-ESV formula inference.  Each ESV's GP run
+        #: is independently seeded (:func:`_stable_seed`), so parallel
+        #: execution changes wall-clock only, never the inferred formulas.
+        #: Threads (not processes) because the fitness hot path lives in
+        #: numpy, which releases the GIL; scaling is therefore partial but
+        #: comes with zero pickling/startup cost inside an already
+        #: process-parallel fleet job.
+        if gp_workers < 1:
+            raise ValueError(f"need at least one GP worker, got {gp_workers}")
+        self.gp_workers = gp_workers
 
     def _timed(self, stage: str, thunk: Callable[[], object]) -> object:
         """Run ``thunk``, reporting its duration to :attr:`stage_hook`."""
@@ -347,7 +391,16 @@ class DPReverser:
         )
 
     def _infer_esvs(self, context: AnalysisContext) -> List[ReversedEsv]:
-        esvs: List[ReversedEsv] = []
+        """Plan, then execute, formula inference for every matched ESV.
+
+        Enum ESVs resolve during planning (cheap); formula ESVs become
+        :class:`_FormulaTask`\\ s that run serially or fan out over a
+        thread pool (:attr:`gp_workers`).  Each task's GP config carries a
+        seed derived from the ESV identifier alone, so the two execution
+        modes produce byte-identical reports.
+        """
+        esvs: List[Optional[ReversedEsv]] = []
+        tasks: List[_FormulaTask] = []
         for match in context.matches:
             observations = context.grouped[match.identifier]
             series = context.series.get(match.label)
@@ -373,20 +426,99 @@ class DPReverser:
             config = replace(
                 self.gp_config, seed=_stable_seed(match.identifier, self.gp_config.seed)
             )
-            inferred = infer_formula(observations, series, config)
-            esvs.append(
-                ReversedEsv(
-                    identifier=match.identifier,
+            tasks.append(
+                _FormulaTask(
+                    slot=len(esvs),
+                    match=match,
+                    observations=observations,
+                    series=series,
+                    config=config,
                     protocol=protocol,
-                    label=match.label,
-                    formula=inferred,
-                    is_enum=False,
-                    samples=[tuple(o.variables()) for o in observations],
-                    match_score=match.score,
                     formula_type=formula_type,
                 )
             )
-        return esvs
+            esvs.append(None)  # placeholder filled by the execution pass
+        if self.gp_workers > 1 and len(tasks) > 1:
+            self._infer_parallel(tasks, esvs)
+        else:
+            for task in tasks:
+                start = self.perf()
+                esvs[task.slot] = self._infer_formula_esv(task)
+                if self.stage_hook is not None:
+                    self.stage_hook("gp_formula", self.perf() - start)
+        return esvs  # type: ignore[return-value]  # every slot is filled
+
+    def _infer_formula_esv(self, task: _FormulaTask) -> ReversedEsv:
+        inferred = infer_formula(task.observations, task.series, task.config)
+        return ReversedEsv(
+            identifier=task.match.identifier,
+            protocol=task.protocol,
+            label=task.match.label,
+            formula=inferred,
+            is_enum=False,
+            samples=[tuple(o.variables()) for o in task.observations],
+            match_score=task.match.score,
+            formula_type=task.formula_type,
+        )
+
+    def _infer_parallel(
+        self, tasks: List[_FormulaTask], esvs: List[Optional[ReversedEsv]]
+    ) -> None:
+        """Fan formula tasks out over the runtime scheduler's thread pool.
+
+        Inference itself raises on bugs rather than degrading, so the pool
+        runs with retries off and any failed task is re-raised here —
+        parallel mode keeps serial mode's exception behaviour.
+        """
+        # Imported lazily: core must stay importable without the runtime
+        # layer (which itself imports core inside worker entry points).
+        from ..runtime.job import JobResult
+        from ..runtime.scheduler import Scheduler, SchedulerConfig
+
+        lock = threading.Lock()
+        outputs: Dict[str, ReversedEsv] = {}
+
+        def runner(spec: _FormulaJobSpec) -> JobResult:
+            start = self.perf()
+            esv = self._infer_formula_esv(spec.task)
+            elapsed = self.perf() - start
+            with lock:
+                outputs[spec.job_id] = esv
+                if self.stage_hook is not None:
+                    self.stage_hook("gp_formula", elapsed)
+            return JobResult(
+                job_id=spec.job_id,
+                car_key=spec.car_key,
+                status="ok",
+                stage_seconds={"gp_formula": elapsed},
+                wall_seconds=elapsed,
+            )
+
+        specs = [
+            _FormulaJobSpec(
+                job_id=f"esv-{task.slot}-{task.match.identifier}",
+                car_key=task.match.identifier,
+                task=task,
+            )
+            for task in tasks
+        ]
+        scheduler = Scheduler(
+            SchedulerConfig(
+                workers=min(self.gp_workers, len(specs)),
+                pool="thread",
+                max_retries=0,
+            ),
+            runner=runner,
+            perf=self.perf,
+        )
+        report = scheduler.run(specs)
+        failed = [result for result in report.results if not result.ok]
+        if failed:
+            raise RuntimeError(
+                f"formula inference failed for {failed[0].car_key}: {failed[0].error}"
+            )
+        for spec in specs:
+            esvs[spec.task.slot] = outputs[spec.job_id]
 
 
 def _stable_seed(identifier: str, base: int) -> int:

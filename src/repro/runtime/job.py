@@ -48,6 +48,12 @@ class JobSpec:
     #: parallel workers overlap.  Does not affect the result payload, so it
     #: is excluded from :attr:`job_id`.
     live_latency_s: float = 0.0
+    #: Threads for per-ESV GP inference inside this job (see
+    #: :attr:`repro.core.reverser.DPReverser.gp_workers`).  Each ESV's GP
+    #: run is independently seeded, so parallelism changes wall-clock only,
+    #: never the payload — excluded from :attr:`job_id` like
+    #: :attr:`live_latency_s`.
+    gp_workers: int = 1
 
     @property
     def job_id(self) -> str:
@@ -66,6 +72,7 @@ class JobSpec:
             "ocr_seed": self.ocr_seed,
             "gp_overrides": [list(pair) for pair in self.gp_overrides],
             "live_latency_s": self.live_latency_s,
+            "gp_workers": self.gp_workers,
         }
 
     @classmethod
@@ -79,6 +86,7 @@ class JobSpec:
                 (name, value) for name, value in payload.get("gp_overrides", [])
             ),
             live_latency_s=payload.get("live_latency_s", 0.0),
+            gp_workers=payload.get("gp_workers", 1),
         )
 
 
@@ -103,6 +111,10 @@ class JobResult:
     n_enum_esvs: int = 0
     n_ecrs: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Individual samples behind :attr:`stage_seconds` for stages that fire
+    #: more than once per job (one ``gp_formula`` sample per inferred ESV).
+    #: Telemetry, like the totals: excluded from the deterministic payload.
+    stage_samples: Dict[str, List[float]] = field(default_factory=dict)
     wall_seconds: float = 0.0
     error: str = ""
 
@@ -137,6 +149,10 @@ class JobResult:
                     name: round(value, 6)
                     for name, value in sorted(self.stage_seconds.items())
                 },
+                "stage_samples": {
+                    name: [round(value, 6) for value in samples]
+                    for name, samples in sorted(self.stage_samples.items())
+                },
                 "wall_seconds": round(self.wall_seconds, 6),
                 "error": self.error,
             }
@@ -157,6 +173,7 @@ class JobResult:
             n_enum_esvs=payload.get("n_enum_esvs", 0),
             n_ecrs=payload.get("n_ecrs", 0),
             stage_seconds=payload.get("stage_seconds", {}),
+            stage_samples=payload.get("stage_samples", {}),
             wall_seconds=payload.get("wall_seconds", 0.0),
             error=payload.get("error", ""),
         )
@@ -167,6 +184,7 @@ def fleet_job_specs(
     seed: int = 2,
     read_duration_s: float = 30.0,
     gp_overrides: Tuple[Tuple[str, object], ...] = (),
+    gp_workers: int = 1,
 ) -> List[JobSpec]:
     """One :class:`JobSpec` per fleet car (all 18 when ``keys`` is None)."""
     from ..vehicle import CAR_SPECS
@@ -181,6 +199,7 @@ def fleet_job_specs(
             seed=seed,
             read_duration_s=read_duration_s,
             gp_overrides=gp_overrides,
+            gp_workers=gp_workers,
         )
         for key in keys
     ]
@@ -200,9 +219,11 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
     perf = perf or time.perf_counter
     start = perf()
     stage_seconds: Dict[str, float] = {}
+    stage_samples: Dict[str, List[float]] = {}
 
     def record_stage(stage: str, elapsed: float) -> None:
         stage_seconds[stage] = stage_seconds.get(stage, 0.0) + elapsed
+        stage_samples.setdefault(stage, []).append(elapsed)
 
     car = build_car(spec.car_key)
     tool = make_tool_for_car(spec.car_key, car)
@@ -217,6 +238,7 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
         ocr_seed=spec.ocr_seed,
         stage_hook=record_stage,
         perf=perf,
+        gp_workers=spec.gp_workers,
     )
     report = reverser.reverse_engineer(capture)
 
@@ -243,5 +265,6 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
         n_enum_esvs=len(report.enum_esvs),
         n_ecrs=len(report.ecrs),
         stage_seconds=stage_seconds,
+        stage_samples=stage_samples,
         wall_seconds=perf() - start,
     )

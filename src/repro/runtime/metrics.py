@@ -11,7 +11,7 @@ layer stays deterministic under simulated time.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 
 class Counter:
@@ -42,6 +42,10 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         self._values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Observe a batch of samples (e.g. per-formula GP timings)."""
+        self._values.extend(float(value) for value in values)
 
     @property
     def count(self) -> int:

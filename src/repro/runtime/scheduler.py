@@ -287,6 +287,12 @@ class Scheduler:
             self.metrics.histogram("job_wall_seconds").observe(result.wall_seconds)
             for stage, seconds in result.stage_seconds.items():
                 self.metrics.histogram(f"stage.{stage}_seconds").observe(seconds)
+            for stage, samples in result.stage_samples.items():
+                # Per-call distributions only add information for stages
+                # that fire more than once per job (per-formula GP timing);
+                # for the rest they would just duplicate the totals above.
+                if len(samples) > 1:
+                    self.metrics.histogram(f"stage.{stage}_call_seconds").extend(samples)
             if self.checkpoint is not None:
                 self.checkpoint.record(result)
         elif result.status == "timeout":

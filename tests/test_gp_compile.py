@@ -1,0 +1,271 @@
+"""Tests for the GP performance engine: compiled evaluation, fitness
+caching, and the parallel per-ESV inference path.
+
+The engine's contract is *exact* equivalence: compilation, caching and
+parallelism are pure performance features, so every test here asserts
+bit-identical results against the reference interpreter / serial path —
+not approximate agreement.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gp import (
+    DEFAULT_FUNCTION_NAMES,
+    CompiledProgram,
+    FitnessCache,
+    GeneticProgrammer,
+    GpConfig,
+    Node,
+    compile_tree,
+    random_tree,
+    tree_key,
+)
+
+
+def _random_columns(rng: random.Random, n_variables: int, n: int, special: bool):
+    """Dataset columns, optionally salted with NaN/inf/zero specials."""
+    columns = []
+    for __ in range(n_variables):
+        values = [rng.uniform(-50.0, 50.0) for __ in range(n)]
+        if special:
+            for value in (float("nan"), float("inf"), float("-inf"), 0.0, -0.0):
+                values[rng.randrange(n)] = value
+        columns.append(np.asarray(values, dtype=float))
+    return columns
+
+
+class TestCompiledEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10_000), special=st.booleans())
+    def test_compiled_matches_recursive_bit_for_bit(self, seed, special):
+        """Property: execute() ≡ Node.evaluate on random trees, including
+        datasets containing NaN/±inf/±0.0 (the protected primitives see the
+        same operands in the same order, so even the NaN payload bits
+        agree — compared via tobytes)."""
+        rng = random.Random(seed)
+        tree = random_tree(rng, 3, DEFAULT_FUNCTION_NAMES, max_depth=5)
+        columns = _random_columns(rng, 3, 17, special)
+        program = compile_tree(tree)
+        reference = tree.evaluate(columns)
+        compiled = program.execute(columns)
+        assert np.asarray(compiled).tobytes() == np.asarray(reference).tobytes()
+        # A shared const cache must not change results either.
+        cached = program.execute(columns, const_cache={})
+        assert np.asarray(cached).tobytes() == np.asarray(reference).tobytes()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_evaluate_point_matches_vectorised(self, seed):
+        """The scalar fast path agrees with the array path per row."""
+        rng = random.Random(seed)
+        tree = random_tree(rng, 2, DEFAULT_FUNCTION_NAMES, max_depth=4)
+        columns = _random_columns(rng, 2, 9, special=False)
+        vectorised = tree.evaluate(columns)
+        if np.isscalar(vectorised) or np.ndim(vectorised) == 0:
+            vectorised = np.full_like(columns[0], float(vectorised))
+        for row in range(9):
+            xs = [float(column[row]) for column in columns]
+            assert tree.evaluate_point(xs) == vectorised[row]
+
+    def test_program_metadata_matches_tree(self):
+        rng = random.Random(7)
+        for __ in range(200):
+            tree = random_tree(rng, 3, DEFAULT_FUNCTION_NAMES, max_depth=5)
+            program = compile_tree(tree)
+            assert isinstance(program, CompiledProgram)
+            assert program.size == tree.size()
+            assert program.depth == tree.depth()
+
+
+class TestTreeKey:
+    def test_key_stable_across_copies(self):
+        tree = Node.call("add", Node.call("mul", Node.var(0), Node.const(2.5)), Node.var(1))
+        assert tree_key(tree) == tree_key(tree.copy())
+
+    def test_key_distinguishes_structure(self):
+        a = Node.call("add", Node.var(0), Node.var(1))
+        b = Node.call("add", Node.var(1), Node.var(0))
+        c = Node.call("sub", Node.var(0), Node.var(1))
+        d = Node.call("add", Node.var(0), Node.const(1.0))
+        keys = {tree_key(t) for t in (a, b, c, d)}
+        assert len(keys) == 4
+
+    def test_key_injective_on_random_trees(self):
+        """Distinct infix renderings imply distinct keys (spot check)."""
+        rng = random.Random(13)
+        by_key = {}
+        for __ in range(1500):
+            tree = random_tree(rng, 2, DEFAULT_FUNCTION_NAMES, max_depth=4)
+            key = tree_key(tree)
+            rendered = tree.to_infix()
+            assert by_key.setdefault(key, rendered) == rendered
+
+    def test_interned_instructions_are_shared(self):
+        a = compile_tree(Node.call("add", Node.var(0), Node.const(3.25)))
+        b = compile_tree(Node.call("add", Node.var(0), Node.const(3.25)))
+        assert a.key == b.key
+        assert all(left is right for left, right in zip(a.code, b.code))
+
+
+class TestFitnessCache:
+    def test_hit_miss_accounting(self):
+        cache = FitnessCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), 1.5)
+        assert cache.get(("k",)) == 1.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+        assert cache.stats()["entries"] == 1
+
+    def test_epoch_eviction(self):
+        cache = FitnessCache(max_entries=2)
+        cache.put(("a",), 1.0)
+        cache.put(("b",), 2.0)
+        cache.put(("c",), 3.0)  # table full: epoch flush, then insert
+        assert cache.evictions == 1
+        assert len(cache) == 1
+        assert cache.get(("c",)) == 3.0
+
+
+class TestFitEquivalence:
+    def dataset(self, seed=5, n=60):
+        rng = random.Random(seed)
+        xs = [(rng.uniform(1, 10), rng.uniform(1, 10)) for __ in range(n)]
+        ys = [0.2 * x[0] * x[1] + 1.3 for x in xs]
+        return xs, ys
+
+    def fit(self, **overrides):
+        xs, ys = self.dataset()
+        return GeneticProgrammer(GpConfig(seed=9, **overrides)).fit(xs, ys)
+
+    def test_compiled_and_cached_match_reference_interpreter(self):
+        """Tentpole invariant: the full evolution is identical with the
+        perf features on (default) and off — same expression, fitness and
+        generation count at equal seeds."""
+        fast = self.fit()  # compiled=True, fitness_cache=True defaults
+        slow = self.fit(compiled=False, fitness_cache=False)
+        assert fast.expression == slow.expression
+        assert fast.fitness == slow.fitness
+        assert fast.generations_run == slow.generations_run
+
+    def test_each_feature_is_independently_neutral(self):
+        reference = self.fit(compiled=False, fitness_cache=False)
+        for overrides in ({"compiled": True, "fitness_cache": False},
+                          {"compiled": False, "fitness_cache": True}):
+            result = self.fit(**overrides)
+            assert result.expression == reference.expression
+            assert result.fitness == reference.fitness
+
+    def test_cache_stats_reported(self):
+        result = self.fit()
+        assert result.cache_stats is not None
+        assert result.cache_stats["hits"] > 0
+        assert self.fit(fitness_cache=False).cache_stats is None
+
+    def test_shared_cache_across_engines(self):
+        xs, ys = self.dataset()
+        cache = FitnessCache()
+        GeneticProgrammer(GpConfig(seed=9), cache=cache).fit(xs, ys)
+        hits_before = cache.hits
+        repeat = GeneticProgrammer(GpConfig(seed=9), cache=cache).fit(xs, ys)
+        assert cache.hits > hits_before  # second run reuses the first's work
+        assert repeat.expression == self.fit().expression
+
+    def test_subsample_mode_runs_and_converges(self):
+        """Subsample-then-escalate is opt-in and approximate by design;
+        assert it works, not that it matches the exact path."""
+        result = self.fit(subsample_size=20)
+        assert np.isfinite(result.fitness)
+        assert result.fitness < 0.1
+
+
+@pytest.mark.slow
+class TestReverserParallelism:
+    """Per-ESV thread fan-out must leave the report byte-identical."""
+
+    GP = GpConfig(seed=2, generations=8, population_size=100)
+
+    def capture(self):
+        from repro.cps import DataCollector
+        from repro.tools import make_tool_for_car
+        from repro.vehicle import build_car
+
+        car = build_car("C")
+        return DataCollector(make_tool_for_car("C", car), read_duration_s=8.0).collect()
+
+    def test_parallel_report_identical_and_timed(self):
+        from repro.core import DPReverser
+
+        capture = self.capture()
+        serial_stages = []
+        serial = DPReverser(
+            self.GP, stage_hook=lambda s, e: serial_stages.append(s)
+        ).reverse_engineer(capture)
+        parallel_stages = []
+        parallel = DPReverser(
+            self.GP,
+            stage_hook=lambda s, e: parallel_stages.append(s),
+            gp_workers=4,
+        ).reverse_engineer(capture)
+        assert serial.to_dict() == parallel.to_dict()
+        n_formulas = len(serial.formula_esvs)
+        assert serial_stages.count("gp_formula") == n_formulas
+        assert parallel_stages.count("gp_formula") == n_formulas
+
+    def test_gp_workers_validation(self):
+        from repro.core import DPReverser
+
+        with pytest.raises(ValueError):
+            DPReverser(gp_workers=0)
+
+
+@pytest.mark.slow
+class TestFleetDigest:
+    """Fleet-level invariants of the perf features."""
+
+    GP = (("generations", 8), ("population_size", 100))
+
+    def test_gp_workers_leaves_results_digest_unchanged(self):
+        from repro.runtime import Scheduler, SchedulerConfig, fleet_job_specs
+
+        serial = Scheduler(SchedulerConfig()).run(
+            fleet_job_specs(["C"], read_duration_s=8.0, gp_overrides=self.GP)
+        )
+        threaded = Scheduler(SchedulerConfig()).run(
+            fleet_job_specs(
+                ["C"], read_duration_s=8.0, gp_overrides=self.GP, gp_workers=4
+            )
+        )
+        # gp_workers is excluded from the job id, so the digests are
+        # directly comparable — and must be equal.
+        assert serial.results_digest() == threaded.results_digest()
+        hists = threaded.metrics["histograms"]
+        assert hists["stage.gp_formula_call_seconds"]["count"] > 1
+
+    def test_interpreter_fallback_matches_compiled_payload(self):
+        from repro.runtime import Scheduler, SchedulerConfig, fleet_job_specs
+
+        def payload_without_id(report):
+            rows = []
+            for result in report.results:
+                row = result.deterministic_payload()
+                row.pop("job_id")  # differs only because gp_overrides differ
+                rows.append(row)
+            return rows
+
+        compiled = Scheduler(SchedulerConfig()).run(
+            fleet_job_specs(["C"], read_duration_s=8.0, gp_overrides=self.GP)
+        )
+        interpreted = Scheduler(SchedulerConfig()).run(
+            fleet_job_specs(
+                ["C"],
+                read_duration_s=8.0,
+                gp_overrides=self.GP + (("compiled", False), ("fitness_cache", False)),
+            )
+        )
+        assert payload_without_id(compiled) == payload_without_id(interpreted)
