@@ -17,7 +17,7 @@ from typing import Dict, Tuple
 
 import pytest
 
-from repro.core import AnalysisContext, DPReverser, GpConfig, ReverseReport, check_formula
+from repro.core import AnalysisContext, DPReverser, GpConfig, ReverserConfig, ReverseReport, check_formula
 from repro.cps import Capture, DataCollector
 from repro.tools import make_tool_for_car
 from repro.vehicle import CAR_SPECS, build_car
@@ -41,14 +41,14 @@ def _collect(key: str):
 def _analyze(key: str) -> AnalysisContext:
     if key not in _context_cache:
         __, capture = _collect(key)
-        _context_cache[key] = DPReverser(GpConfig(seed=2)).analyze(capture)
+        _context_cache[key] = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).analyze(capture)
     return _context_cache[key]
 
 
 def _reverse(key: str) -> ReverseReport:
     if key not in _report_cache:
         context = _analyze(key)
-        _report_cache[key] = DPReverser(GpConfig(seed=2)).infer(context)
+        _report_cache[key] = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).infer(context)
     return _report_cache[key]
 
 

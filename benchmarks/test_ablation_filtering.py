@@ -11,7 +11,7 @@ Two questions the paper's design raises but does not isolate:
 
 import pytest
 
-from repro.core import DPReverser, GpConfig, check_formula
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.core.response_analysis import build_dataset, infer_formula
 from repro.cps import DataCollector
 from repro.tools import make_tool_for_car
@@ -66,7 +66,7 @@ def test_ablation_ocr_noise_sweep(benchmark, report_file, error_rate):
     capture.tool_error_rate = error_rate
 
     def run():
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         truth = {}
         for ecu in car.ecus:
             for point in ecu.uds_data_points.values():

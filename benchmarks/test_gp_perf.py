@@ -16,7 +16,7 @@ import os
 import time
 from dataclasses import replace
 
-from repro.core import DPReverser, GpConfig
+from repro.core import DPReverser, GpConfig, ReverserConfig
 from repro.core.response_analysis import infer_formula
 
 QUICK = bool(os.environ.get("GP_PERF_QUICK"))
@@ -103,7 +103,7 @@ def test_serial_vs_parallel_esvs(benchmark, report_file, fleet):
     context = fleet.context("K")
 
     def reverse(workers):
-        reverser = DPReverser(FAST, gp_workers=workers)
+        reverser = DPReverser(ReverserConfig(gp_config=FAST, gp_workers=workers))
         start = time.perf_counter()
         report = reverser.infer(context)
         return time.perf_counter() - start, report

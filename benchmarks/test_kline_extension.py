@@ -9,7 +9,7 @@ payload-assembly stage is carrier specific.
 
 import pytest
 
-from repro.core import DPReverser, GpConfig, check_formula
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.tools import KLineDiagnosticSession, build_kline_vehicle
 
 
@@ -19,7 +19,7 @@ def test_kline_pipeline(benchmark, report_file):
     capture, messages = session.collect(duration_per_ecu_s=30.0)
 
     def run():
-        reverser = DPReverser(GpConfig(seed=2))
+        reverser = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2)))
         return reverser.infer(reverser.analyze(capture, messages=messages))
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)

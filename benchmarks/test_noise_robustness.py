@@ -1,0 +1,123 @@
+"""Noise robustness: formula recovery vs sniffer fault rate.
+
+The capture is corrupted with the seeded fault injector (drops, duplicates,
+reordering, bit errors) at multiples of the default noise profile, then the
+unchanged pipeline runs on the degraded frames.  Reported per scale:
+recovered-correct formulas over the ground-truth total, plus the decoder's
+own loss accounting — the curve shows graceful degradation, not a cliff.
+
+Set ``NOISE_SMOKE=1`` (the CI smoke mode) to run a reduced car set.
+"""
+
+import os
+import zlib
+
+import pytest
+
+from repro.can import NoiseProfile
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
+from repro.vehicle import CAR_SPECS
+
+QUICK = bool(os.environ.get("NOISE_SMOKE"))
+
+#: One car per transport keeps the sweep honest about decoder differences.
+SWEEP_CARS = ["A", "C", "E"] if QUICK else ["A", "C", "D", "E", "K", "N"]
+SWEEP_SCALES = [0.0, 1.0, 4.0] if QUICK else [0.0, 0.5, 1.0, 2.0, 4.0]
+
+#: The acceptance bar: the full fleet at the default profile.
+FLEET_CARS = SWEEP_CARS if QUICK else sorted(CAR_SPECS)
+RECOVERY_FLOOR = 0.90
+
+GP = GpConfig(seed=2)
+NOISE_SEED = 7
+
+
+def car_profile(key, scale):
+    """Scaled default profile with a per-car fault stream (same derivation
+    as ``JobSpec.noise_profile``)."""
+    if scale == 0.0:
+        return None
+    seed = (zlib.crc32(key.encode()) ^ NOISE_SEED) & 0x7FFFFFFF
+    return NoiseProfile.default(seed=seed).scaled(scale)
+
+
+def recover(fleet, key, scale):
+    """Run the pipeline on a noisy view of the car's capture; score it."""
+    __, capture = fleet.capture(key)
+    truth = fleet.ground_truth(key)
+    config = ReverserConfig(gp_config=GP, noise=car_profile(key, scale))
+    report = DPReverser(config).reverse_engineer(capture)
+    correct = 0
+    for esv in report.formula_esvs:
+        expected = truth.get(esv.identifier)
+        if expected is not None and check_formula(esv.formula, expected[1], esv.samples):
+            correct += 1
+    total = CAR_SPECS[key].formula_esvs
+    lost = report.diagnostics.stats.messages_lost if report.diagnostics else 0
+    return correct, total, lost
+
+
+def test_recovery_vs_noise_curve(benchmark, report_file, fleet):
+    def sweep():
+        rows = []
+        for scale in SWEEP_SCALES:
+            correct = total = lost = 0
+            for key in SWEEP_CARS:
+                car_correct, car_total, car_lost = recover(fleet, key, scale)
+                correct += car_correct
+                total += car_total
+                lost += car_lost
+            rows.append((scale, correct, total, lost))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report_file(
+        f"Formula recovery vs noise scale (cars {', '.join(SWEEP_CARS)}; "
+        f"default profile = 2% drop, 1% dup, 0.5% bit errors"
+        f"{', smoke mode' if QUICK else ''}):"
+    )
+    for scale, correct, total, lost in rows:
+        rate = correct / total
+        report_file(
+            f"  scale {scale:3.1f}x: {correct:3d}/{total} formulas = {rate:6.1%}"
+            f"  (transport messages lost: {lost})"
+        )
+    report_file()
+
+    # Zero noise is byte-identical to the clean pipeline: no transport
+    # losses, and recovery equals the Tab. 6 precision (which is itself
+    # below 100% — display lag and OCR noise are part of the paper).
+    scale0 = rows[0]
+    assert scale0[3] == 0
+    assert scale0[1] / scale0[2] >= 0.95
+    # Graceful degradation, not a cliff: even 4x the default fault rate
+    # costs at most a handful of formulas (GP stochasticity can also win
+    # one back, so bound both directions loosely).
+    assert rows[-1][1] >= RECOVERY_FLOOR * rows[-1][2]
+    assert rows[-1][1] <= rows[0][1] + 2
+
+
+def test_fleet_recovers_at_default_noise(benchmark, report_file, fleet):
+    """Acceptance: every fleet vehicle completes under the default profile
+    and the fleet-wide recovery stays above the floor."""
+
+    def run():
+        correct = total = 0
+        per_car = []
+        for key in FLEET_CARS:
+            car_correct, car_total, __ = recover(fleet, key, 1.0)
+            correct += car_correct
+            total += car_total
+            per_car.append((key, car_correct, car_total))
+        return correct, total, per_car
+
+    correct, total, per_car = benchmark.pedantic(run, rounds=1, iterations=1)
+    rate = correct / total
+    worst = min(per_car, key=lambda row: row[1] / row[2] if row[2] else 1.0)
+    report_file(
+        f"Full fleet at default noise ({len(FLEET_CARS)} cars): "
+        f"{correct}/{total} = {rate:.1%} recovered "
+        f"(floor {RECOVERY_FLOOR:.0%}; worst car {worst[0]}: {worst[1]}/{worst[2]})"
+    )
+    assert rate >= RECOVERY_FLOOR

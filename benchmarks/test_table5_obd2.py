@@ -9,7 +9,7 @@ raw range (e.g. Y=1.7X-22 vs Y=1.8X-40).
 import pytest
 
 from repro.can import Sniffer
-from repro.core import DPReverser, GpConfig, check_formula
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.cps import Capture, VideoRecorder
 from repro.diagnostics import obd2
 from repro.tools import IMPERIAL_PIDS, ObdTelematicsApp
@@ -42,7 +42,7 @@ def test_table5_obd2_formulas(benchmark, report_file):
     capture = collect_obd_capture()
 
     def run():
-        return DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        return DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
 

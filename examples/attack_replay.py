@@ -13,7 +13,7 @@ Usage::
 """
 
 from repro.attacks import replay_from_report, run_table13
-from repro.core import DPReverser, GpConfig
+from repro.core import DPReverser, GpConfig, ReverserConfig
 from repro.cps import DataCollector
 from repro.tools import make_tool_for_car
 from repro.vehicle import CAR_SPECS, build_car
@@ -24,7 +24,7 @@ def main() -> None:
     rented = build_car("D")
     tool = make_tool_for_car("D", rented)
     capture = DataCollector(tool, read_duration_s=30.0).collect()
-    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+    report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
     complete = [p for p in report.ecrs if p.complete]
     print(f"  recovered {len(report.esvs)} ESVs and {len(complete)} control procedures")
     for procedure in complete:

@@ -11,7 +11,7 @@ Usage::
     python examples/kline_session.py
 """
 
-from repro.core import DPReverser, GpConfig, check_formula
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.tools import KLineDiagnosticSession, build_kline_vehicle
 
 
@@ -28,7 +28,7 @@ def main() -> None:
     )
 
     print("Reverse engineering...")
-    reverser = DPReverser(GpConfig(seed=2))
+    reverser = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2)))
     report = reverser.infer(reverser.analyze(capture, messages=messages))
 
     truth = {}

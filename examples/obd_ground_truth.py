@@ -11,7 +11,7 @@ Usage::
 """
 
 from repro.can import Sniffer
-from repro.core import DPReverser, GpConfig, check_formula
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.cps import Capture, VideoRecorder
 from repro.diagnostics import obd2
 from repro.tools import IMPERIAL_PIDS, ObdTelematicsApp
@@ -40,7 +40,7 @@ def main() -> None:
         segments=[],
         tool_error_rate=0.02,
     )
-    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+    report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
 
     print(f"\n{'ESV':<34}{'Request':<10}{'Recovered formula':<44}{'Correct'}")
     correct = 0

@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro.core import DPReverser, GpConfig
+from repro.core import DPReverser, GpConfig, ReverserConfig
 from repro.cps import DataCollector
 from repro.tools import make_tool_for_car
 from repro.vehicle import CAR_SPECS, build_car
@@ -36,7 +36,7 @@ def main() -> None:
     )
 
     print("Reverse engineering...")
-    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+    report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
     print()
     print(report.summary())
 

@@ -8,15 +8,18 @@ proprietary request semantics and response formulas from sniffed traffic.
 
 Quickstart::
 
-    from repro.vehicle import build_car
-    from repro.tools import make_tool_for_car
-    from repro.cps import DataCollector
-    from repro.core import DPReverser
+    import repro
 
-    car = build_car("A")
-    tool = make_tool_for_car("A", car)
-    capture = DataCollector(tool).collect()
-    report = DPReverser().reverse_engineer(capture)
+    car = repro.build_car("A")
+    tool = repro.make_tool_for_car("A", car)
+    capture = repro.DataCollector(tool).collect()
+    report = repro.DPReverser().reverse_engineer(capture)
+
+Robustness (lossy captures)::
+
+    config = repro.ReverserConfig(noise=repro.NoiseProfile.default(seed=7))
+    report = repro.DPReverser(config).reverse_engineer(capture)
+    print(report.recovery_by_ecu())
 """
 
 __version__ = "1.0.0"
@@ -32,6 +35,27 @@ from .formulas import (
     TwoVarAffineFormula,
     formulas_equivalent,
 )
+from .can import CanFrame, CanLog, NoiseProfile, SimulatedCanBus, apply_noise
+from .transport import (
+    BmwEndpoint,
+    DecodeEvent,
+    DecoderStats,
+    IsoTpEndpoint,
+    KLineEndpoint,
+    TransportError,
+    VwTpEndpoint,
+)
+from .cps import Capture, DataCollector
+from .core import (
+    AnalysisContext,
+    DecodeDiagnostics,
+    DPReverser,
+    GpConfig,
+    ReverseReport,
+    ReverserConfig,
+)
+from .tools import make_tool_for_car
+from .vehicle import build_car
 
 __all__ = [
     "__version__",
@@ -45,4 +69,26 @@ __all__ = [
     "ProductFormula",
     "TwoVarAffineFormula",
     "formulas_equivalent",
+    "CanFrame",
+    "CanLog",
+    "NoiseProfile",
+    "SimulatedCanBus",
+    "apply_noise",
+    "BmwEndpoint",
+    "DecodeEvent",
+    "DecoderStats",
+    "IsoTpEndpoint",
+    "KLineEndpoint",
+    "TransportError",
+    "VwTpEndpoint",
+    "Capture",
+    "DataCollector",
+    "AnalysisContext",
+    "DecodeDiagnostics",
+    "DPReverser",
+    "GpConfig",
+    "ReverseReport",
+    "ReverserConfig",
+    "make_tool_for_car",
+    "build_car",
 ]

@@ -12,6 +12,7 @@ from .frame import (
 )
 from .bus import FRAME_TIME_S, BusNode, SimulatedCanBus
 from .log import CanLog, Sniffer
+from .noise import FOREIGN_IDS, FaultCounts, FaultInjector, NoiseProfile, apply_noise
 
 __all__ = [
     "MAX_DATA_LENGTH",
@@ -27,4 +28,9 @@ __all__ = [
     "SimulatedCanBus",
     "CanLog",
     "Sniffer",
+    "FOREIGN_IDS",
+    "FaultCounts",
+    "FaultInjector",
+    "NoiseProfile",
+    "apply_noise",
 ]

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..simtime import SimClock
 from .frame import CanFrame
+from .noise import FaultInjector, NoiseProfile
 
 FrameHandler = Callable[[CanFrame], None]
 
@@ -65,7 +66,12 @@ class SimulatedCanBus:
       can assert the arbitration rule directly.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None, name: str = "can0") -> None:
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        name: str = "can0",
+        noise: Optional[NoiseProfile] = None,
+    ) -> None:
         self.clock = clock or SimClock()
         self.name = name
         self._nodes: Dict[str, BusNode] = {}
@@ -73,6 +79,11 @@ class SimulatedCanBus:
         self._pending: List[tuple] = []  # heap of (can_id, seq, sender, frame)
         self._seq = 0
         self.frames_transmitted = 0
+        #: Fault injection corrupts only the *taps'* view (the sniffer):
+        #: nodes always receive faithful frames, modelling a lossy passive
+        #: tap on a healthy bus.  ``None`` / null profile = clean path.
+        self.noise = noise if noise is not None and not noise.is_null else None
+        self._injector = FaultInjector(self.noise) if self.noise else None
 
     # ------------------------------------------------------------------ nodes
 
@@ -98,6 +109,27 @@ class SimulatedCanBus:
         """Register a sniffer that sees every transmitted frame."""
         self._taps.append(handler)
 
+    def flush_noise(self) -> int:
+        """Drain any frames held in the fault injector's reorder window.
+
+        Only relevant when the bus was built with a reordering
+        :class:`NoiseProfile`; call at end of capture so the sniffer does
+        not silently lose the buffered tail.  Returns the number of frames
+        delivered to taps.
+        """
+        if self._injector is None:
+            return 0
+        tail = self._injector.flush()
+        for noisy in tail:
+            for tap in self._taps:
+                tap(noisy)
+        return len(tail)
+
+    @property
+    def noise_counts(self):
+        """Injection accounting (:class:`~repro.can.noise.FaultCounts`)."""
+        return self._injector.counts if self._injector is not None else None
+
     # ------------------------------------------------------------- immediate
 
     def transmit(self, sender: str, frame: CanFrame) -> CanFrame:
@@ -113,8 +145,13 @@ class SimulatedCanBus:
         # Taps observe the wire before receivers react: a receiver's handler
         # may transmit a response *within* this call (nested delivery), and
         # the sniffer must still record frames in wire order.
-        for tap in self._taps:
-            tap(stamped)
+        if self._injector is None:
+            for tap in self._taps:
+                tap(stamped)
+        else:
+            for noisy in self._injector.feed(stamped):
+                for tap in self._taps:
+                    tap(noisy)
         for name, node in self._nodes.items():
             if name != sender:
                 node.deliver(stamped)

@@ -59,13 +59,23 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
 
 def _cmd_reverse(args: argparse.Namespace) -> int:
-    from .core import DPReverser, GpConfig
+    from .can import NoiseProfile
+    from .core import DPReverser, GpConfig, ReverserConfig
     from .persistence import load_capture
 
+    try:
+        noise = NoiseProfile.parse(args.noise_profile, seed=args.noise_seed)
+    except ValueError as error:
+        print(f"bad --noise-profile: {error}", file=sys.stderr)
+        return 2
     capture = load_capture(args.capture)
     start = time.perf_counter()
-    config = GpConfig(seed=args.seed, compiled=args.gp_compiled)
-    report = DPReverser(config, gp_workers=args.gp_workers).reverse_engineer(capture)
+    config = ReverserConfig(
+        gp_config=GpConfig(seed=args.seed, compiled=args.gp_compiled),
+        gp_workers=args.gp_workers,
+        noise=noise,
+    )
+    report = DPReverser(config).reverse_engineer(capture)
     elapsed = time.perf_counter() - start
     if args.format == "json":
         text = report.to_json()
@@ -104,7 +114,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 
 def _run_fleet(args: argparse.Namespace) -> int:
-    from .core import DPReverser, GpConfig, check_formula
+    from .core import DPReverser, GpConfig, ReverserConfig, check_formula
     from .cps import DataCollector
     from .tools import make_tool_for_car
     from .vehicle import CAR_SPECS, build_car, ground_truth_formulas
@@ -117,10 +127,12 @@ def _run_fleet(args: argparse.Namespace) -> int:
         car = build_car(key)
         tool = make_tool_for_car(key, car)
         capture = DataCollector(tool, read_duration_s=args.duration).collect()
-        report = DPReverser(GpConfig(seed=args.seed)).reverse_engineer(capture)
+        reverser = DPReverser(ReverserConfig(gp_config=GpConfig(seed=args.seed)))
+        report = reverser.reverse_engineer(capture)
         truth = ground_truth_formulas(car)
         correct = sum(
-            check_formula(esv.formula, truth[esv.identifier], esv.samples)
+            esv.identifier in truth
+            and check_formula(esv.formula, truth[esv.identifier], esv.samples)
             for esv in report.formula_esvs
         )
         n = len(report.formula_esvs)
@@ -136,6 +148,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from .can import NoiseProfile
     from .runtime import (
         CheckpointStore,
         EventLog,
@@ -144,12 +157,23 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         fleet_job_specs,
     )
 
+    noise_spec = args.noise_profile or ""
+    try:
+        # Normalise "off"/"none" to the empty spec so disabled noise keeps
+        # job ids (and checkpoints) identical to a run without the flag.
+        if noise_spec and NoiseProfile.parse(noise_spec) is None:
+            noise_spec = ""
+    except ValueError as error:
+        print(f"bad --noise-profile: {error}", file=sys.stderr)
+        return 2
     try:
         specs = fleet_job_specs(
             args.cars,
             seed=args.seed,
             read_duration_s=args.duration,
             gp_workers=args.gp_workers,
+            noise_spec=noise_spec,
+            noise_seed=args.noise_seed,
         )
     except ValueError as error:
         print(f"{error}; see `list-cars`", file=sys.stderr)
@@ -256,6 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the compiled GP evaluator (--no-gp-compiled falls back "
         "to the recursive interpreter; results are bit-identical)",
     )
+    reverse.add_argument(
+        "--noise-profile",
+        default="",
+        help="inject capture faults before analysis: 'default' or "
+        "'drop=0.02,dup=0.01,bit=0.005,reorder=0.01,truncate=0.001,"
+        "foreign=0.01' (off when omitted)",
+    )
+    reverse.add_argument(
+        "--noise-seed",
+        type=int,
+        default=0,
+        help="seed of the fault-injection stream (deterministic per seed)",
+    )
     reverse.set_defaults(func=_cmd_reverse)
 
     scan = commands.add_parser("scan", help="actively enumerate a car's identifiers")
@@ -297,6 +334,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="per-ESV inference threads inside each job (identical results)",
+    )
+    fleet_run.add_argument(
+        "--noise-profile",
+        default="",
+        help="capture-fault profile applied inside every job (see `reverse "
+        "--noise-profile`); changes job ids, so noisy sweeps checkpoint "
+        "separately from clean ones",
+    )
+    fleet_run.add_argument(
+        "--noise-seed",
+        type=int,
+        default=0,
+        help="base fault seed; each car derives an independent stream",
     )
     fleet_run.set_defaults(func=_cmd_fleet_run)
 

@@ -17,10 +17,11 @@ everything downstream uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..can import CanFrame
+from ..transport.base import EVENT_PAYLOAD, EVENT_RESYNC, DecoderStats
 from ..transport.bmw import BmwReassembler
 from ..transport.isotp import IsoTpReassembler, PciType
 from ..transport.vwtp import VwTpReassembler
@@ -31,6 +32,10 @@ from .screening import (
     detect_transport,
     screen,
 )
+
+#: Cap on the human-readable event details kept in diagnostics; counters
+#: keep the full totals regardless.
+MAX_DETAILS = 20
 
 
 @dataclass(frozen=True)
@@ -49,6 +54,43 @@ class AssembledMessage:
         return self.payload[0] if self.payload else -1
 
 
+@dataclass
+class DecodeDiagnostics:
+    """Capture-quality accounting for one payload-assembly pass.
+
+    ``stats`` aggregates every per-CAN-id decoder; ``streams`` keeps the
+    per-id breakdown so a single sick conversation is attributable.
+    ``details`` holds the first :data:`MAX_DETAILS` error/resync
+    descriptions verbatim for reports.
+    """
+
+    transport: str = ""
+    frames: int = 0  # frames fed to decoders (after screening)
+    messages: int = 0  # payloads recovered
+    stats: DecoderStats = field(default_factory=DecoderStats)
+    streams: Dict[int, DecoderStats] = field(default_factory=dict)
+    details: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the capture decoded without a single error or resync."""
+        return self.stats.errors == 0 and self.stats.resyncs == 0
+
+    def record_detail(self, can_id: int, kind: str, detail: str) -> None:
+        if len(self.details) < MAX_DETAILS:
+            self.details.append(f"{can_id:#05x} {kind}: {detail}")
+
+    def to_dict(self) -> dict:
+        return {
+            "transport": self.transport,
+            "frames": self.frames,
+            "messages": self.messages,
+            "stats": self.stats.to_dict(),
+            "streams": {f"{cid:#x}": s.to_dict() for cid, s in sorted(self.streams.items())},
+            "details": list(self.details),
+        }
+
+
 class _StreamState:
     """Per-CAN-id reassembly state."""
 
@@ -63,48 +105,78 @@ class _StreamState:
         self.t_first: Optional[float] = None
         self.n_frames = 0
 
-    def feed(self, frame: CanFrame) -> Optional[AssembledMessage]:
+    def feed(
+        self, frame: CanFrame, diagnostics: Optional[DecodeDiagnostics] = None
+    ) -> List[AssembledMessage]:
         if self.t_first is None:
             self.t_first = frame.timestamp
         self.n_frames += 1
-        payload = self.reassembler.feed(frame)
-        if payload is None:
-            return None
-        address = None
-        if self.transport == TRANSPORT_BMW:
-            address = self.reassembler.last_address
-        message = AssembledMessage(
-            payload=payload,
-            can_id=frame.can_id,
-            t_first=self.t_first,
-            t_last=frame.timestamp,
-            n_frames=self.n_frames,
-            ecu_address=address,
-        )
-        self.t_first = None
-        self.n_frames = 0
-        return message
+        messages: List[AssembledMessage] = []
+        for event in self.reassembler.feed(frame):
+            if event.kind == EVENT_PAYLOAD:
+                address = None
+                if self.transport == TRANSPORT_BMW:
+                    address = self.reassembler.last_address
+                messages.append(
+                    AssembledMessage(
+                        payload=event.payload,
+                        can_id=frame.can_id,
+                        t_first=self.t_first,
+                        t_last=frame.timestamp,
+                        n_frames=self.n_frames,
+                        ecu_address=address,
+                    )
+                )
+                self.t_first = None
+                self.n_frames = 0
+            else:
+                if event.kind == EVENT_RESYNC:
+                    # The buffered message was abandoned; the current frame
+                    # starts the next one's timing window.
+                    self.t_first = frame.timestamp
+                    self.n_frames = 1
+                if diagnostics is not None:
+                    diagnostics.record_detail(frame.can_id, event.kind, event.detail)
+        return messages
 
 
-def assemble(frames: Iterable[CanFrame], transport: str = "") -> List[AssembledMessage]:
-    """Screen and reassemble a capture into diagnostic payloads.
+def assemble_with_diagnostics(
+    frames: Iterable[CanFrame], transport: str = ""
+) -> Tuple[List[AssembledMessage], DecodeDiagnostics]:
+    """Screen and reassemble a capture, returning decode diagnostics too.
 
     Frames are demultiplexed by CAN id (each id is one direction of one
-    conversation) and fed to a per-id reassembler in timestamp order.
+    conversation) and fed to a per-id reassembler in timestamp order.  The
+    returned :class:`DecodeDiagnostics` reports how much of the capture
+    survived decoding — on a clean capture it is all zeros except frame and
+    message totals.
     """
     frames = list(frames)
     transport = transport or detect_transport(frames)
     screened = screen(frames, transport)
+    diagnostics = DecodeDiagnostics(transport=transport, frames=len(screened))
     streams: Dict[int, _StreamState] = {}
     messages: List[AssembledMessage] = []
     for frame in screened:
         state = streams.get(frame.can_id)
         if state is None:
             state = streams[frame.can_id] = _StreamState(transport)
-        message = state.feed(frame)
-        if message is not None:
-            messages.append(message)
+        messages.extend(state.feed(frame, diagnostics))
     messages.sort(key=lambda m: m.t_last)
+    for can_id, state in sorted(streams.items()):
+        diagnostics.streams[can_id] = state.reassembler.stats
+        diagnostics.stats.merge(state.reassembler.stats)
+    diagnostics.messages = len(messages)
+    return messages, diagnostics
+
+
+def assemble(frames: Iterable[CanFrame], transport: str = "") -> List[AssembledMessage]:
+    """Screen and reassemble a capture into diagnostic payloads.
+
+    Shorthand for :func:`assemble_with_diagnostics` when the caller does
+    not need capture-quality accounting.
+    """
+    messages, __ = assemble_with_diagnostics(frames, transport)
     return messages
 
 

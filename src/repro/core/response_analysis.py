@@ -19,6 +19,7 @@ Three steps, mirroring the paper:
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -97,6 +98,18 @@ def build_dataset(
             xs = (float(obs.as_int()),)
         x_rows.append(xs)
         y_values.append(nearest.value)
+    # A corrupted capture can yield a minority of observations with a
+    # different byte count for the same ESV; keep only the dominant arity
+    # so the dataset stays rectangular for scaling and GP.
+    arities = {len(xs) for xs in x_rows}
+    if len(arities) > 1:
+        counts = Counter(len(xs) for xs in x_rows)
+        dominant = counts.most_common(1)[0][0]
+        kept = [
+            (xs, y) for xs, y in zip(x_rows, y_values) if len(xs) == dominant
+        ]
+        x_rows = [xs for xs, __ in kept]
+        y_values = [y for __, y in kept]
     return PairedDataset(x_rows, y_values)
 
 

@@ -20,20 +20,56 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 import zlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..can.noise import FaultCounts, NoiseProfile, apply_noise
 from ..cps.collector import Capture
 from ..cps.ocr import OcrEngine
 from .alignment import estimate_offset_via_obd, shift_series
-from .assembly import AssembledMessage, assemble
+from .assembly import AssembledMessage, DecodeDiagnostics, assemble_with_diagnostics
 from .ecr_analysis import EcrProcedure, attach_semantics, extract_procedures
 from .fields import EsvObservation, ExtractedFields, extract_fields
 from .gp import GpConfig
 from .request_analysis import SemanticMatch, match_semantics
 from .response_analysis import InferredFormula, infer_formula
 from .screenshot import FilterReport, UiSeries, analyze_video, extract_ui_series
+
+
+@dataclass(frozen=True)
+class ReverserConfig:
+    """Every knob of the reverse-engineering pipeline in one place.
+
+    Replaces the kwarg list :class:`DPReverser` used to grow one parameter
+    at a time; legacy keyword arguments are still accepted (with a
+    :class:`DeprecationWarning`) and merged over these defaults.
+    """
+
+    #: GP search parameters for formula inference (default: paper settings).
+    gp_config: Optional[GpConfig] = None
+    #: Seed of the simulated OCR engine reading the tool's UI video.
+    ocr_seed: int = 23
+    #: Estimate and correct the camera-vs-sniffer clock offset (§3.3).
+    estimate_alignment: bool = True
+    #: Called as ``stage_hook(stage_name, elapsed_seconds)`` at every
+    #: pipeline stage boundary.  The runtime subsystem installs a recorder
+    #: here to build per-stage wall-clock histograms.
+    stage_hook: Optional[Callable[[str, float], None]] = None
+    #: Performance counter used to time stages.  Defaults to the real
+    #: :func:`time.perf_counter`; simulated paths pass
+    #: :meth:`repro.simtime.SimClock.perf` to stay deterministic.
+    perf: Optional[Callable[[], float]] = None
+    #: Worker threads for per-ESV formula inference.
+    gp_workers: int = 1
+    #: Fault injection applied to the capture before payload assembly —
+    #: models a lossy OBD sniffer on a healthy bus.  ``None`` (the
+    #: default) leaves the capture byte-identical to the clean pipeline.
+    noise: Optional[NoiseProfile] = None
+
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(ReverserConfig))
 
 
 @dataclass
@@ -75,6 +111,11 @@ class ReverseReport:
     filter_reports: Dict[str, FilterReport]
     n_messages: int
     n_frames: int
+    #: Capture-quality accounting from payload assembly (``None`` for
+    #: pre-assembled message paths such as K-Line byte logs).
+    diagnostics: Optional[DecodeDiagnostics] = None
+    #: Fault-injection totals when the pipeline ran with a noise profile.
+    noise_counts: Optional[FaultCounts] = None
 
     @property
     def formula_esvs(self) -> List[ReversedEsv]:
@@ -90,9 +131,41 @@ class ReverseReport:
                 return esv
         return None
 
-    def to_dict(self) -> dict:
-        """JSON-serialisable form of the report (for tooling pipelines)."""
+    def recovery_by_ecu(self) -> Dict[str, Dict[str, int]]:
+        """Recovered-vs-lost message counts per conversation (CAN id).
+
+        Empty when the capture carried no decode diagnostics (pre-assembled
+        message paths).  ``lost`` counts multi-frame messages abandoned by
+        a decoder resync; ``errors`` counts discarded malformed frames.
+        """
+        if self.diagnostics is None:
+            return {}
         return {
+            f"{can_id:#x}": {
+                "recovered": stats.payloads,
+                "lost": stats.messages_lost,
+                "errors": stats.errors,
+            }
+            for can_id, stats in sorted(self.diagnostics.streams.items())
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the report (for tooling pipelines).
+
+        The ``capture_quality`` key appears only when decoding was not
+        perfectly clean, keeping clean-run output (and everything hashed
+        from it) byte-identical to the pre-noise pipeline.
+        """
+        quality = None
+        if self.diagnostics is not None and not self.diagnostics.clean:
+            quality = {
+                "decode": self.diagnostics.to_dict(),
+                "recovery_by_ecu": self.recovery_by_ecu(),
+            }
+            if self.noise_counts is not None:
+                quality["noise"] = self.noise_counts.to_dict()
+        return {
+            **({"capture_quality": quality} if quality else {}),
             "model": self.model,
             "tool_name": self.tool_name,
             "transport": self.transport,
@@ -171,6 +244,12 @@ class ReverseReport:
             f"({len(self.formula_esvs)} with formulas, {len(self.enum_esvs)} enum)",
             f"Control procedures: {len(self.ecrs)}",
         ]
+        if self.diagnostics is not None and not self.diagnostics.clean:
+            stats = self.diagnostics.stats
+            lines.append(
+                f"Capture quality: {stats.errors} decode errors, "
+                f"{stats.resyncs} resyncs, {stats.messages_lost} messages lost"
+            )
         for esv in self.esvs:
             if esv.formula is not None:
                 lines.append(
@@ -230,31 +309,63 @@ class AnalysisContext:
     filter_reports: Dict[str, FilterReport]
     matches: List[SemanticMatch]
     offset: Optional[float]
+    #: Capture-quality accounting from payload assembly (``None`` when the
+    #: caller supplied pre-assembled messages).
+    diagnostics: Optional[DecodeDiagnostics] = None
+    #: Fault-injection totals when the capture passed through a noise
+    #: profile before assembly.
+    noise_counts: Optional[FaultCounts] = None
 
 
 class DPReverser:
-    """The reverse-engineering pipeline."""
+    """The reverse-engineering pipeline.
 
-    def __init__(
-        self,
-        gp_config: Optional[GpConfig] = None,
-        ocr_seed: int = 23,
-        estimate_alignment: bool = True,
-        stage_hook: Optional[Callable[[str, float], None]] = None,
-        perf: Optional[Callable[[], float]] = None,
-        gp_workers: int = 1,
-    ) -> None:
-        self.gp_config = gp_config or GpConfig()
-        self.ocr_seed = ocr_seed
-        self.estimate_alignment = estimate_alignment
-        #: Called as ``stage_hook(stage_name, elapsed_seconds)`` at every
-        #: pipeline stage boundary.  The runtime subsystem installs a
-        #: recorder here to build per-stage wall-clock histograms.
-        self.stage_hook = stage_hook
-        #: Performance counter used to time stages.  Defaults to the real
-        #: :func:`time.perf_counter`; simulated paths pass
-        #: :meth:`repro.simtime.SimClock.perf` to stay deterministic.
-        self.perf = perf or time.perf_counter
+    Configured with a single :class:`ReverserConfig`::
+
+        reverser = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2)))
+
+    Legacy call shapes — a bare :class:`GpConfig` as the first argument, or
+    the old keyword arguments (``ocr_seed=``, ``gp_workers=``, ...) — still
+    work but emit a :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, config: Optional[ReverserConfig] = None, **legacy) -> None:
+        warned = False
+        if isinstance(config, GpConfig):
+            warnings.warn(
+                "passing a GpConfig to DPReverser is deprecated; use "
+                "ReverserConfig(gp_config=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            warned = True
+            legacy.setdefault("gp_config", config)
+            config = None
+        if legacy:
+            unknown = sorted(set(legacy) - _CONFIG_FIELDS)
+            if unknown:
+                raise TypeError(
+                    f"DPReverser got unexpected keyword arguments: {unknown}"
+                )
+            if not warned:
+                warnings.warn(
+                    "DPReverser keyword arguments are deprecated; pass a "
+                    "ReverserConfig instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = replace(config or ReverserConfig(), **legacy)
+        self.config = config or ReverserConfig()
+        if self.config.gp_workers < 1:
+            raise ValueError(
+                f"need at least one GP worker, got {self.config.gp_workers}"
+            )
+        # Resolved attribute surface; existing call sites read these.
+        self.gp_config = self.config.gp_config or GpConfig()
+        self.ocr_seed = self.config.ocr_seed
+        self.estimate_alignment = self.config.estimate_alignment
+        self.stage_hook = self.config.stage_hook
+        self.perf = self.config.perf or time.perf_counter
         #: Worker threads for per-ESV formula inference.  Each ESV's GP run
         #: is independently seeded (:func:`_stable_seed`), so parallel
         #: execution changes wall-clock only, never the inferred formulas.
@@ -262,9 +373,9 @@ class DPReverser:
         #: numpy, which releases the GIL; scaling is therefore partial but
         #: comes with zero pickling/startup cost inside an already
         #: process-parallel fleet job.
-        if gp_workers < 1:
-            raise ValueError(f"need at least one GP worker, got {gp_workers}")
-        self.gp_workers = gp_workers
+        self.gp_workers = self.config.gp_workers
+        noise = self.config.noise
+        self.noise = noise if noise is not None and not noise.is_null else None
 
     def _timed(self, stage: str, thunk: Callable[[], object]) -> object:
         """Run ``thunk``, reporting its duration to :attr:`stage_hook`."""
@@ -291,10 +402,19 @@ class DPReverser:
         """
         from .screening import detect_transport
 
+        diagnostics: Optional[DecodeDiagnostics] = None
+        noise_counts: Optional[FaultCounts] = None
         if messages is None:
             frames = list(capture.can_log)
+            if self.noise is not None:
+                noise_counts = FaultCounts()
+                frames = self._timed(
+                    "noise", lambda: apply_noise(frames, self.noise, noise_counts)
+                )
             transport = transport or detect_transport(frames)
-            messages = self._timed("assemble", lambda: assemble(frames, transport))
+            messages, diagnostics = self._timed(
+                "assemble", lambda: assemble_with_diagnostics(frames, transport)
+            )
         else:
             transport = transport or "kline"
             messages = sorted(messages, key=lambda m: m.t_last)
@@ -332,6 +452,8 @@ class DPReverser:
             filter_reports=reports,
             matches=matches,
             offset=offset,
+            diagnostics=diagnostics,
+            noise_counts=noise_counts,
         )
 
     def _match(
@@ -388,6 +510,8 @@ class DPReverser:
             filter_reports=context.filter_reports,
             n_messages=len(context.messages),
             n_frames=len(context.capture.can_log),
+            diagnostics=context.diagnostics,
+            noise_counts=context.noise_counts,
         )
 
     def _infer_esvs(self, context: AnalysisContext) -> List[ReversedEsv]:

@@ -16,7 +16,8 @@ pipeline needs no per-vehicle configuration.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections import Counter
+from typing import Dict, Iterable, List
 
 from ..can import CanFrame, CanLog
 from ..transport.isotp import PciType
@@ -54,29 +55,39 @@ def detect_transport(frames: Iterable[CanFrame]) -> str:
             and frame.data[1] in (0xC0, 0xD0)
         ):
             return TRANSPORT_VWTP
-    # BMW heuristic: per-id constant first byte + valid PCI at offset 1,
+    # BMW heuristic: per-id *dominant* first byte + valid PCI at offset 1,
     # while offset 0 is *not* a globally valid PCI for a decent fraction.
+    # A lossy sniffer tap flips the occasional bit, so strict per-id
+    # constancy would abandon the whole BMW decode over a single corrupted
+    # frame; instead require the most common first byte to account for the
+    # overwhelming majority of each id's traffic.
     votes_bmw = 0
     votes_isotp = 0
-    first_bytes = {}
+    first_bytes: Dict[int, Counter] = {}
     for frame in frames:
         if len(frame.data) < 2:
             continue
-        first_bytes.setdefault(frame.can_id, set()).add(frame.data[0])
+        first_bytes.setdefault(frame.can_id, Counter())[frame.data[0]] += 1
         pci0 = _isotp_pci_nibble(frame.data, 0)
         pci1 = _isotp_pci_nibble(frame.data, 1)
         if pci0 in (0x0, 0x1, 0x2, 0x3):
             # Could still be BMW if byte 0 is an address that happens to
-            # have a low nibble; disambiguate via per-id constancy below.
+            # have a low nibble; disambiguate via per-id dominance below.
             votes_isotp += 1
         if pci1 in (0x0, 0x1, 0x2, 0x3):
             votes_bmw += 1
-    constant_first = [ids for ids in first_bytes.values() if len(ids) == 1]
+    dominant = {
+        can_id: counts.most_common(1)[0]
+        for can_id, counts in first_bytes.items()
+    }
     if (
         first_bytes
-        and len(constant_first) == len(first_bytes)
+        and all(
+            count >= 0.9 * sum(first_bytes[can_id].values())
+            for can_id, (__, count) in dominant.items()
+        )
         and votes_bmw >= votes_isotp
-        and any(next(iter(ids)) not in range(0x00, 0x40) for ids in first_bytes.values())
+        and any(byte not in range(0x00, 0x40) for byte, __ in dominant.values())
     ):
         return TRANSPORT_BMW
     return TRANSPORT_ISOTP

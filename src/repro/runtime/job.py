@@ -54,6 +54,15 @@ class JobSpec:
     #: never the payload — excluded from :attr:`job_id` like
     #: :attr:`live_latency_s`.
     gp_workers: int = 1
+    #: Capture-noise profile in :meth:`~repro.can.NoiseProfile.parse` form
+    #: (e.g. ``"default"`` or ``"drop=0.02,dup=0.01"``).  Empty string =
+    #: clean capture.  Changes the outcome, so it contributes to
+    #: :attr:`job_id` — but only when set, keeping clean-run ids (and
+    #: checkpoints/digests) identical to the pre-noise format.
+    noise_spec: str = ""
+    #: Base seed for fault injection; each car derives an independent
+    #: stream from it (see :meth:`noise_profile`).
+    noise_seed: int = 0
 
     @property
     def job_id(self) -> str:
@@ -62,7 +71,23 @@ class JobSpec:
             f"{self.car_key}|seed={self.seed}|dur={self.read_duration_s:g}"
             f"|ocr={self.ocr_seed}|gp={sorted(self.gp_overrides)!r}"
         )
+        if self.noise_spec:
+            blob += f"|noise={self.noise_spec}|nseed={self.noise_seed}"
         return f"car-{self.car_key.lower()}-{zlib.crc32(blob.encode()) & 0xFFFFFFFF:08x}"
+
+    def noise_profile(self):
+        """The per-car :class:`~repro.can.NoiseProfile`, or ``None``.
+
+        The profile's seed mixes :attr:`noise_seed` with the car key so
+        every vehicle in a sweep sees an independent fault stream while the
+        whole sweep stays reproducible from one integer.
+        """
+        if not self.noise_spec:
+            return None
+        from ..can import NoiseProfile
+
+        derived = (zlib.crc32(self.car_key.encode()) ^ self.noise_seed) & 0x7FFFFFFF
+        return NoiseProfile.parse(self.noise_spec, seed=derived)
 
     def to_dict(self) -> dict:
         return {
@@ -73,6 +98,8 @@ class JobSpec:
             "gp_overrides": [list(pair) for pair in self.gp_overrides],
             "live_latency_s": self.live_latency_s,
             "gp_workers": self.gp_workers,
+            "noise_spec": self.noise_spec,
+            "noise_seed": self.noise_seed,
         }
 
     @classmethod
@@ -87,6 +114,8 @@ class JobSpec:
             ),
             live_latency_s=payload.get("live_latency_s", 0.0),
             gp_workers=payload.get("gp_workers", 1),
+            noise_spec=payload.get("noise_spec", ""),
+            noise_seed=payload.get("noise_seed", 0),
         )
 
 
@@ -117,6 +146,11 @@ class JobResult:
     stage_samples: Dict[str, List[float]] = field(default_factory=dict)
     wall_seconds: float = 0.0
     error: str = ""
+    #: Transport decode accounting for this job's capture (frames decoded,
+    #: errors, resyncs, messages lost...).  Telemetry: a clean run reports
+    #: zeros that digest comparisons must not depend on, so it is excluded
+    #: from :meth:`deterministic_payload` like the timings are.
+    transport_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -155,6 +189,7 @@ class JobResult:
                 },
                 "wall_seconds": round(self.wall_seconds, 6),
                 "error": self.error,
+                "transport_counts": dict(sorted(self.transport_counts.items())),
             }
         )
         return payload
@@ -176,6 +211,7 @@ class JobResult:
             stage_samples=payload.get("stage_samples", {}),
             wall_seconds=payload.get("wall_seconds", 0.0),
             error=payload.get("error", ""),
+            transport_counts=payload.get("transport_counts", {}),
         )
 
 
@@ -185,6 +221,8 @@ def fleet_job_specs(
     read_duration_s: float = 30.0,
     gp_overrides: Tuple[Tuple[str, object], ...] = (),
     gp_workers: int = 1,
+    noise_spec: str = "",
+    noise_seed: int = 0,
 ) -> List[JobSpec]:
     """One :class:`JobSpec` per fleet car (all 18 when ``keys`` is None)."""
     from ..vehicle import CAR_SPECS
@@ -200,6 +238,8 @@ def fleet_job_specs(
             read_duration_s=read_duration_s,
             gp_overrides=gp_overrides,
             gp_workers=gp_workers,
+            noise_spec=noise_spec,
+            noise_seed=noise_seed,
         )
         for key in keys
     ]
@@ -211,7 +251,7 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
     Deterministic given ``spec``; raises on pipeline errors (the scheduler
     owns retry/timeout policy, not the worker).
     """
-    from ..core import DPReverser, GpConfig, check_formula
+    from ..core import DPReverser, GpConfig, ReverserConfig, check_formula
     from ..cps import DataCollector
     from ..tools import make_tool_for_car
     from ..vehicle import build_car, ground_truth_formulas
@@ -234,11 +274,14 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
     record_stage("collect", perf() - collect_start)
 
     reverser = DPReverser(
-        GpConfig(seed=spec.seed, **dict(spec.gp_overrides)),
-        ocr_seed=spec.ocr_seed,
-        stage_hook=record_stage,
-        perf=perf,
-        gp_workers=spec.gp_workers,
+        ReverserConfig(
+            gp_config=GpConfig(seed=spec.seed, **dict(spec.gp_overrides)),
+            ocr_seed=spec.ocr_seed,
+            stage_hook=record_stage,
+            perf=perf,
+            gp_workers=spec.gp_workers,
+            noise=spec.noise_profile(),
+        )
     )
     report = reverser.reverse_engineer(capture)
 
@@ -249,10 +292,19 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
     for esv, row in zip(report.esvs, report_dict["esvs"]):
         row = dict(row)
         if not esv.is_enum and esv.formula is not None:
-            correct = check_formula(esv.formula, truth[esv.identifier], esv.samples)
+            # Under fault injection a corrupted frame can fabricate an
+            # identifier with no ground truth; count it as incorrect.
+            expected = truth.get(esv.identifier)
+            correct = expected is not None and check_formula(
+                esv.formula, expected, esv.samples
+            )
             n_correct += int(correct)
             row["correct"] = bool(correct)
         esv_rows.append(row)
+
+    transport_counts: Dict[str, int] = {}
+    if report.diagnostics is not None:
+        transport_counts = report.diagnostics.stats.to_dict()
 
     return JobResult(
         job_id=spec.job_id,
@@ -267,4 +319,5 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
         stage_seconds=stage_seconds,
         stage_samples=stage_samples,
         wall_seconds=perf() - start,
+        transport_counts=transport_counts,
     )

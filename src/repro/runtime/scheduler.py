@@ -293,6 +293,12 @@ class Scheduler:
                 # for the rest they would just duplicate the totals above.
                 if len(samples) > 1:
                     self.metrics.histogram(f"stage.{stage}_call_seconds").extend(samples)
+            for name, value in result.transport_counts.items():
+                # Fleet-wide capture-quality counters (transport.errors,
+                # transport.resyncs, ...): summed across jobs so a sweep's
+                # report shows how much of every capture survived decoding.
+                if value:
+                    self.metrics.counter(f"transport.{name}").inc(value)
             if self.checkpoint is not None:
                 self.checkpoint.record(result)
         elif result.status == "timeout":

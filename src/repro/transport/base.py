@@ -10,18 +10,114 @@ matching §3.2 of the paper:
   protocol;
 * :mod:`repro.transport.bmw` — BMW/Mini style extended addressing where the
   first byte of every frame carries the target ECU id.
+
+Decoders are built for *sniffed* traffic, which is lossy and interleaved:
+instead of returning one optional payload per frame (and raising on the
+first malformed frame), :meth:`TransportDecoder.feed` returns a list of
+:class:`DecodeEvent`\\ s.  A clean frame mid-message yields ``[]``; a frame
+completing a message yields a ``payload`` event; malformed or
+out-of-sequence input yields ``error`` / ``resync`` events while the
+decoder keeps going.  Every decoder carries a :class:`DecoderStats` with
+the running error accounting, which the payload-assembly stage aggregates
+into capture-quality diagnostics.
+
+:meth:`TransportDecoder.feed_payloads` is the thin compatibility wrapper
+over the event stream: one optional payload per frame, raising
+:class:`TransportError` in strict mode — the contract simulated endpoints
+(which see a faithful bus, not a noisy tap) still want.
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..can import CanFrame
 
+#: :attr:`DecodeEvent.kind` values.
+EVENT_PAYLOAD = "payload"
+EVENT_ERROR = "error"
+EVENT_RESYNC = "resync"
+
 
 class TransportError(Exception):
-    """Raised on malformed or out-of-sequence transport frames."""
+    """Raised on malformed or out-of-sequence transport frames.
+
+    Only strict-mode paths (:meth:`TransportDecoder.feed_payloads` on a
+    simulated endpoint) raise this; the event API reports the same
+    conditions as ``error`` events without aborting the stream.
+    """
+
+
+@dataclass(frozen=True)
+class DecodeEvent:
+    """One decoder observation for a fed frame.
+
+    ``kind`` is one of:
+
+    ``payload``
+        A diagnostic message completed; :attr:`payload` carries its bytes.
+    ``error``
+        The frame was malformed or impossible in the current state and was
+        discarded; decoder state is unchanged.
+    ``resync``
+        The stream lost synchronisation (sequence gap, interrupted
+        multi-frame message, buffer overflow); the in-progress message was
+        abandoned and the decoder re-locked onto the stream.
+
+    :attr:`detail` is a short human-readable diagnosis used in reports and
+    error counters; it never affects control flow.
+    """
+
+    kind: str
+    payload: Optional[bytes] = None
+    detail: str = ""
+
+    @classmethod
+    def message(cls, payload: bytes) -> "DecodeEvent":
+        return cls(EVENT_PAYLOAD, payload=payload)
+
+    @classmethod
+    def error(cls, detail: str) -> "DecodeEvent":
+        return cls(EVENT_ERROR, detail=detail)
+
+    @classmethod
+    def resync(cls, detail: str) -> "DecodeEvent":
+        return cls(EVENT_RESYNC, detail=detail)
+
+
+@dataclass
+class DecoderStats:
+    """Per-decoder error accounting (one instance per reassembly stream)."""
+
+    frames: int = 0  # frames fed (control frames included)
+    payloads: int = 0  # complete messages recovered
+    errors: int = 0  # discarded frames / malformed input
+    resyncs: int = 0  # lost-sync recoveries
+    messages_lost: int = 0  # in-progress messages abandoned by a resync
+    bytes_discarded: int = 0  # buffered bytes thrown away on resync
+    overflows: int = 0  # bounded-buffer overflows (subset of resyncs)
+
+    def merge(self, other: "DecoderStats") -> None:
+        self.frames += other.frames
+        self.payloads += other.payloads
+        self.errors += other.errors
+        self.resyncs += other.resyncs
+        self.messages_lost += other.messages_lost
+        self.bytes_discarded += other.bytes_discarded
+        self.overflows += other.overflows
+
+    def to_dict(self) -> dict:
+        return {
+            "frames": self.frames,
+            "payloads": self.payloads,
+            "errors": self.errors,
+            "resyncs": self.resyncs,
+            "messages_lost": self.messages_lost,
+            "bytes_discarded": self.bytes_discarded,
+            "overflows": self.overflows,
+        }
 
 
 class TransportEncoder(abc.ABC):
@@ -33,8 +129,33 @@ class TransportEncoder(abc.ABC):
 
 
 class TransportDecoder(abc.ABC):
-    """Reassemble diagnostic payloads from a frame stream (receiver side)."""
+    """Reassemble diagnostic payloads from a frame stream (receiver side).
+
+    Subclasses set :attr:`strict` and :attr:`stats` (the base constructor
+    does both) and implement :meth:`feed`.  ``strict`` only changes what
+    :meth:`feed_payloads` does with error events; the event API itself
+    never raises on stream content.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.stats = DecoderStats()
 
     @abc.abstractmethod
-    def feed(self, frame: CanFrame) -> Optional[bytes]:
-        """Consume one frame; return a complete payload when one finishes."""
+    def feed(self, frame: CanFrame) -> List[DecodeEvent]:
+        """Consume one frame; return the decode events it produced."""
+
+    def feed_payloads(self, frame: CanFrame) -> Optional[bytes]:
+        """Compatibility wrapper: one optional payload per frame.
+
+        In strict mode the first ``error`` or ``resync`` event raises
+        :class:`TransportError` with the event's detail, restoring the
+        historical fail-fast contract; lenient mode swallows them.
+        """
+        payload: Optional[bytes] = None
+        for event in self.feed(frame):
+            if event.kind == EVENT_PAYLOAD:
+                payload = event.payload
+            elif self.strict:
+                raise TransportError(event.detail or event.kind)
+        return payload

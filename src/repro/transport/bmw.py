@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..can import CanFrame, MAX_DATA_LENGTH
-from .base import TransportDecoder, TransportError
+from .base import EVENT_PAYLOAD, DecodeEvent, TransportDecoder, TransportError
 from .isotp import IsoTpReassembler, segment
 
 
@@ -44,7 +44,11 @@ class BmwReassembler(TransportDecoder):
     """
 
     def __init__(self, strict: bool = True) -> None:
+        super().__init__(strict)
         self._inner = IsoTpReassembler(strict=strict)
+        # One accounting stream: the inner decoder counts everything that
+        # reaches it, and the address-layer errors below are added on top.
+        self.stats = self._inner.stats
         self.current_address: Optional[int] = None
         self.last_address: Optional[int] = None
 
@@ -52,9 +56,13 @@ class BmwReassembler(TransportDecoder):
         self._inner.reset()
         self.current_address = None
 
-    def feed(self, frame: CanFrame) -> Optional[bytes]:
+    def feed(self, frame: CanFrame) -> List[DecodeEvent]:
         if len(frame.data) < 2:
-            raise TransportError(f"BMW frame too short: {frame.data.hex()}")
+            # Too short to hold address byte + PCI; never reaches the inner
+            # decoder, so count it here.
+            self.stats.frames += 1
+            self.stats.errors += 1
+            return [DecodeEvent.error(f"BMW frame too short: {frame.data.hex()}")]
         self.current_address = frame.data[0]
         stripped = CanFrame(
             frame.can_id,
@@ -63,10 +71,10 @@ class BmwReassembler(TransportDecoder):
             extended=frame.extended,
             channel=frame.channel,
         )
-        payload = self._inner.feed(stripped)
-        if payload is not None:
+        events = self._inner.feed(stripped)
+        if any(event.kind == EVENT_PAYLOAD for event in events):
             self.last_address = self.current_address
-        return payload
+        return events
 
 
 class BmwEndpoint:
@@ -101,7 +109,7 @@ class BmwEndpoint:
     def _on_frame(self, frame: CanFrame) -> None:
         if frame.can_id != self.rx_id:
             return
-        payload = self._reassembler.feed(frame)
+        payload = self._reassembler.feed_payloads(frame)
         if payload is not None:
             if self.on_message is not None:
                 self.on_message(payload)

@@ -33,7 +33,7 @@ from enum import IntEnum
 from typing import Dict, List, Optional
 
 from ..can import CanFrame, MAX_DATA_LENGTH
-from .base import TransportDecoder, TransportEncoder, TransportError
+from .base import DecodeEvent, TransportDecoder, TransportEncoder, TransportError
 
 SF_MAX_PAYLOAD = 7
 FF_PAYLOAD = 6
@@ -142,13 +142,24 @@ def segment(
 class IsoTpReassembler(TransportDecoder):
     """Stateful reassembly of one direction of an ISO-TP conversation.
 
-    Feed frames in capture order; whenever a message completes, :meth:`feed`
-    returns its payload.  Flow-control frames are ignored (they carry no
-    payload), matching Step 1 of the paper's diagnostic-frames analysis.
+    Feed frames in capture order; :meth:`feed` returns the
+    :class:`~repro.transport.base.DecodeEvent`\\ s each frame produced — a
+    ``payload`` event whenever a message completes.  Flow-control frames are
+    ignored (they carry no payload), matching Step 1 of the paper's
+    diagnostic-frames analysis.
+
+    Built for sniffed traffic, the decoder never raises on stream content:
+
+    * a duplicate consecutive frame (the sequence number just consumed) is
+      dropped with an ``error`` event — the message still completes;
+    * any other sequence gap abandons the message with a ``resync`` event
+      and the decoder re-locks on the next SF/FF;
+    * a new first frame or a single frame arriving mid-message abandons the
+      old message (``resync``) and processes the new frame normally.
     """
 
     def __init__(self, strict: bool = True) -> None:
-        self.strict = strict
+        super().__init__(strict)
         self._buffer = bytearray()
         self._expected_length = 0
         self._next_sequence = 0
@@ -160,55 +171,87 @@ class IsoTpReassembler(TransportDecoder):
         self._next_sequence = 0
         self._in_progress = False
 
-    def feed(self, frame: CanFrame) -> Optional[bytes]:
+    def _abandon(self, detail: str, overflow: bool = False) -> DecodeEvent:
+        """Drop the in-progress message and account the loss."""
+        self.stats.resyncs += 1
+        self.stats.messages_lost += 1
+        self.stats.bytes_discarded += len(self._buffer)
+        if overflow:
+            self.stats.overflows += 1
+        self.reset()
+        return DecodeEvent.resync(detail)
+
+    def _error(self, detail: str) -> DecodeEvent:
+        self.stats.errors += 1
+        return DecodeEvent.error(detail)
+
+    def feed(self, frame: CanFrame) -> List[DecodeEvent]:
+        self.stats.frames += 1
         data = frame.data
-        kind = pci_type(data)
+        try:
+            kind = pci_type(data)
+        except TransportError as exc:
+            return [self._error(str(exc))]
         if kind == PciType.FLOW_CONTROL:
-            return None
+            return []
+        events: List[DecodeEvent] = []
         if kind == PciType.SINGLE:
             length = data[0] & 0x0F
             if length == 0 or length > SF_MAX_PAYLOAD or length > len(data) - 1:
-                raise TransportError(f"bad single-frame length in {data.hex()}")
-            if self._in_progress and self.strict:
-                raise TransportError("single frame interrupted a multi-frame message")
+                return events + [self._error(f"bad single-frame length in {data.hex()}")]
+            if self._in_progress:
+                events.append(
+                    self._abandon("single frame interrupted a multi-frame message")
+                )
             self.reset()
-            return bytes(data[1 : 1 + length])
+            self.stats.payloads += 1
+            events.append(DecodeEvent.message(bytes(data[1 : 1 + length])))
+            return events
         if kind == PciType.FIRST:
             if len(data) < 3:
-                raise TransportError(f"truncated first frame {data.hex()}")
-            self._expected_length = ((data[0] & 0x0F) << 8) | data[1]
+                return events + [self._error(f"truncated first frame {data.hex()}")]
+            length = ((data[0] & 0x0F) << 8) | data[1]
             # A first frame announcing a tiny length is malformed.  The
             # threshold is the *extended-addressing* single-frame maximum
             # (6), since those streams reach us with the address stripped.
-            if self._expected_length <= SF_MAX_PAYLOAD - 1:
-                raise TransportError(
-                    f"first frame announces {self._expected_length} bytes, "
-                    "which would fit a single frame"
+            if length <= SF_MAX_PAYLOAD - 1:
+                return events + [
+                    self._error(
+                        f"first frame announces {length} bytes, "
+                        "which would fit a single frame"
+                    )
+                ]
+            if self._in_progress:
+                events.append(
+                    self._abandon("first frame interrupted a multi-frame message")
                 )
+            self._expected_length = length
             self._buffer = bytearray(data[2:])
             self._next_sequence = 1
             self._in_progress = True
-            return None
+            return events
         # Consecutive frame.
         if not self._in_progress:
-            if self.strict:
-                raise TransportError("consecutive frame without a first frame")
-            return None
+            return [self._error("consecutive frame without a first frame")]
         sequence = data[0] & 0x0F
         if sequence != self._next_sequence:
-            if self.strict:
-                raise TransportError(
+            if sequence == (self._next_sequence - 1) % 16:
+                # The frame we just consumed, seen again: a duplicated
+                # capture, not a lost one.  Ignore it and keep the message.
+                return [self._error(f"duplicate consecutive frame {sequence}")]
+            return [
+                self._abandon(
                     f"sequence gap: expected {self._next_sequence}, got {sequence}"
                 )
-            self.reset()
-            return None
+            ]
         self._next_sequence = (self._next_sequence + 1) % 16
         self._buffer.extend(data[1:])
         if len(self._buffer) >= self._expected_length:
             payload = bytes(self._buffer[: self._expected_length])
             self.reset()
-            return payload
-        return None
+            self.stats.payloads += 1
+            return [DecodeEvent.message(payload)]
+        return []
 
 
 class IsoTpSegmenter(TransportEncoder):
@@ -278,7 +321,7 @@ class IsoTpEndpoint:
                 self._awaiting_fc = False
             # WAIT keeps _awaiting_fc set: the sender holds until the next FC.
             return
-        payload = self._reassembler.feed(frame)
+        payload = self._reassembler.feed_payloads(frame)
         if kind == PciType.FIRST:
             self._receiving_multi = True
             self._cf_since_fc = 0

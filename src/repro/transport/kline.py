@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from ..simtime import SimClock
-from .base import TransportError
+from .base import DecoderStats, TransportError
 
 DEFAULT_BAUD = 10400
 BITS_PER_BYTE = 10  # start + 8 data + stop
@@ -71,18 +71,45 @@ class KLineMessage:
     checksum_ok: bool
 
 
+# A maximal ISO 14230-2 message is 4 header bytes + 255 payload + checksum
+# (260 bytes).  Anything buffered beyond that is a corrupted length field
+# holding the parser hostage; bound the buffer and shift to resynchronise.
+MAX_BUFFERED_BYTES = 320
+
+
 class KLineFrameParser:
-    """Incremental de-framing of a K-Line byte stream (one direction)."""
+    """Incremental de-framing of a K-Line byte stream (one direction).
+
+    Carries a :class:`~repro.transport.base.DecoderStats` mirroring the CAN
+    decoders' accounting: ``frames`` counts bytes fed, ``payloads`` counts
+    messages with a valid checksum, ``errors`` counts checksum failures,
+    ``resyncs`` counts format-byte scans that dropped garbage, and
+    ``overflows`` counts bounded-buffer evictions.
+    """
 
     def __init__(self) -> None:
         self._buffer: List[Tuple[float, int]] = []
+        self.stats = DecoderStats()
 
     def reset(self) -> None:
         self._buffer.clear()
 
     def feed(self, timestamp: float, byte: int) -> Optional[KLineMessage]:
+        self.stats.frames += 1
         self._buffer.append((timestamp, byte))
-        return self._try_parse()
+        if len(self._buffer) > MAX_BUFFERED_BYTES:
+            # Corrupted header announced more bytes than any real message
+            # has; evict the stuck format byte so the scan can re-lock.
+            self._buffer.pop(0)
+            self.stats.bytes_discarded += 1
+            self.stats.overflows += 1
+            self.stats.resyncs += 1
+            self.stats.messages_lost += 1
+        dropped_before = self.stats.bytes_discarded
+        message = self._try_parse()
+        if self.stats.bytes_discarded > dropped_before:
+            self.stats.resyncs += 1
+        return message
 
     def _try_parse(self) -> Optional[KLineMessage]:
         if len(self._buffer) < 4:
@@ -91,6 +118,7 @@ class KLineFrameParser:
         if not fmt & FMT_ADDRESS_MODE:
             # Resynchronise: drop garbage until a plausible format byte.
             self._buffer.pop(0)
+            self.stats.bytes_discarded += 1
             return self._try_parse()
         length = fmt & MAX_SHORT_LENGTH
         if length:
@@ -102,6 +130,7 @@ class KLineFrameParser:
             length = self._buffer[3][1]
             if length == 0:
                 self._buffer.pop(0)
+                self.stats.bytes_discarded += 1
                 return self._try_parse()
         total = header_len + length + 1  # + checksum byte
         if len(self._buffer) < total:
@@ -116,6 +145,10 @@ class KLineFrameParser:
             checksum_ok=checksum(raw[:-1]) == raw[-1],
         )
         del self._buffer[:total]
+        if message.checksum_ok:
+            self.stats.payloads += 1
+        else:
+            self.stats.errors += 1
         return message
 
 
@@ -230,12 +263,17 @@ class KLineTester(KLineEndpoint):
         return message.payload if message else None
 
 
-def parse_capture(capture: List[KLineByte]) -> List[KLineMessage]:
+def parse_capture(
+    capture: List[KLineByte], stats: Optional[DecoderStats] = None
+) -> List[KLineMessage]:
     """Offline de-framing of a sniffed K-Line byte log.
 
     The K-Line counterpart of the CAN payload-assembly stage: diagnostic
     payloads are recovered purely from the byte stream (header lengths +
-    checksums), interleaved request/response directions included.
+    checksums), interleaved request/response directions included.  Pass a
+    :class:`~repro.transport.base.DecoderStats` to collect the parser's
+    error accounting (a truncated in-progress message at end of capture is
+    counted as lost).
     """
     parser = KLineFrameParser()
     messages: List[KLineMessage] = []
@@ -246,6 +284,11 @@ def parse_capture(capture: List[KLineByte]) -> List[KLineMessage]:
                 messages.append(message)
             # on checksum failure the parser already consumed the bytes;
             # the next message resynchronises via the format-byte scan
+    if parser._buffer:
+        parser.stats.bytes_discarded += len(parser._buffer)
+        parser.stats.messages_lost += 1
+    if stats is not None:
+        stats.merge(parser.stats)
     return messages
 
 

@@ -30,7 +30,7 @@ from enum import Enum
 from typing import List, Optional
 
 from ..can import CanFrame, MAX_DATA_LENGTH
-from .base import TransportDecoder, TransportError
+from .base import DecodeEvent, TransportDecoder, TransportError
 
 BROADCAST_ID_BASE = 0x200
 SETUP_REQUEST_OPCODE = 0xC0
@@ -114,15 +114,32 @@ def segment_vwtp(payload: bytes, can_id: int, start_sequence: int = 0) -> List[C
     return frames
 
 
+# TP 2.0 data frames carry no length field, so a missed last-packet opcode
+# would otherwise grow the buffer without bound.  Cap at the same 4095-byte
+# ceiling ISO-TP's 12-bit length imposes; no real diagnostic message is
+# larger.
+MAX_BUFFERED_BYTES = 0xFFF
+
+
 class VwTpReassembler(TransportDecoder):
     """Reassemble one direction of a TP 2.0 data stream.
 
     Matches the paper exactly: data frames carry no length field, so the
-    opcode's last-packet bit delimits messages.
+    opcode's last-packet bit delimits messages.  :meth:`feed` returns
+    :class:`~repro.transport.base.DecodeEvent`\\ s and never raises on
+    stream content:
+
+    * a duplicated data frame (the sequence number just consumed) is
+      dropped with an ``error`` event;
+    * any other sequence gap abandons the buffered message (``resync``) and
+      the gapped frame starts a fresh one — without a length field that is
+      the only way to re-lock;
+    * exceeding :data:`MAX_BUFFERED_BYTES` (a lost last-packet opcode)
+      abandons the buffer with a ``resync`` marked as an overflow.
     """
 
     def __init__(self, strict: bool = True) -> None:
-        self.strict = strict
+        super().__init__(strict)
         self._buffer = bytearray()
         self._next_sequence: Optional[int] = None
 
@@ -130,25 +147,50 @@ class VwTpReassembler(TransportDecoder):
         self._buffer.clear()
         self._next_sequence = None
 
-    def feed(self, frame: CanFrame) -> Optional[bytes]:
+    def _abandon(self, detail: str, overflow: bool = False) -> DecodeEvent:
+        self.stats.resyncs += 1
+        self.stats.messages_lost += 1
+        self.stats.bytes_discarded += len(self._buffer)
+        if overflow:
+            self.stats.overflows += 1
+        self.reset()
+        return DecodeEvent.resync(detail)
+
+    def feed(self, frame: CanFrame) -> List[DecodeEvent]:
+        self.stats.frames += 1
         kind = classify_vwtp_frame(frame)
         if kind != VwTpFrameKind.DATA:
-            return None
+            return []
+        events: List[DecodeEvent] = []
         sequence = frame.data[0] & 0x0F
         if self._next_sequence is not None and sequence != self._next_sequence:
-            if self.strict:
-                raise TransportError(
+            if sequence == (self._next_sequence - 1) % 16:
+                # The frame we just consumed, captured twice.
+                self.stats.errors += 1
+                return [DecodeEvent.error(f"duplicate TP 2.0 data frame {sequence}")]
+            events.append(
+                self._abandon(
                     f"TP 2.0 sequence gap: expected {self._next_sequence}, "
                     f"got {sequence}"
                 )
-            self.reset()
+            )
         self._next_sequence = (sequence + 1) % 16
         self._buffer.extend(frame.data[1:])
+        if len(self._buffer) > MAX_BUFFERED_BYTES:
+            events.append(
+                self._abandon(
+                    "TP 2.0 buffer overflow: no last-packet opcode within "
+                    f"{MAX_BUFFERED_BYTES} bytes",
+                    overflow=True,
+                )
+            )
+            return events
         if is_last_packet(frame):
             payload = bytes(self._buffer)
             self._buffer = bytearray()
-            return payload
-        return None
+            self.stats.payloads += 1
+            events.append(DecodeEvent.message(payload))
+        return events
 
 
 class VwTpEndpoint:
@@ -228,7 +270,7 @@ class VwTpEndpoint:
             return
         if kind != VwTpFrameKind.DATA:
             return
-        payload = self._reassembler.feed(frame)
+        payload = self._reassembler.feed_payloads(frame)
         self._frames_since_ack += 1
         if is_last_packet(frame) or (
             self.block_size and self._frames_since_ack >= self.block_size

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.can import CanFrame, SimulatedCanBus
 from repro.simtime import SimClock
 from repro.transport import (
+    EVENT_ERROR,
     BmwEndpoint,
     BmwReassembler,
     TransportError,
@@ -39,9 +40,10 @@ class TestReassembly:
         reassembler = BmwReassembler()
         result = None
         for frame in segment_bmw(payload, 0x6F1, ecu_address=0x43):
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == payload
         assert reassembler.last_address == 0x43
+        assert reassembler.stats.payloads == 1
 
     def test_first_byte_ignored_in_payload(self):
         """The paper: "we ignore the first byte and put the remaining
@@ -49,12 +51,18 @@ class TestReassembly:
         payload = b"\x62\xf4\x00\x10"
         reassembler = BmwReassembler()
         for frame in segment_bmw(payload, 0x6F1, ecu_address=0x60):
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == payload  # no 0x60 inside
 
     def test_short_frame_rejected(self):
         with pytest.raises(TransportError):
-            BmwReassembler().feed(CanFrame(0x6F1, b"\x29"))
+            BmwReassembler().feed_payloads(CanFrame(0x6F1, b"\x29"))
+
+    def test_short_frame_lenient_emits_error_event(self):
+        reassembler = BmwReassembler(strict=False)
+        events = reassembler.feed(CanFrame(0x6F1, b"\x29"))
+        assert [e.kind for e in events] == [EVENT_ERROR]
+        assert reassembler.stats.errors == 1
 
 
 class TestEndpoint:
@@ -86,6 +94,6 @@ def test_bmw_roundtrip_property(payload, address):
     reassembler = BmwReassembler()
     result = None
     for frame in segment_bmw(payload, 0x6F1, ecu_address=address):
-        result = reassembler.feed(frame)
+        result = reassembler.feed_payloads(frame)
     assert result == payload
     assert reassembler.last_address == address

@@ -8,7 +8,7 @@ runs of collection + reverse engineering must agree bit for bit.
 import pytest
 
 from repro.apps import analyze_corpus, build_corpus
-from repro.core import DPReverser, GpConfig
+from repro.core import DPReverser, GpConfig, ReverserConfig
 from repro.cps import DataCollector
 from repro.tools import make_tool_for_car
 from repro.vehicle import build_car
@@ -18,7 +18,7 @@ def run_pipeline(key):
     car = build_car(key)
     tool = make_tool_for_car(key, car)
     capture = DataCollector(tool, read_duration_s=15.0).collect()
-    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+    report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
     return capture, report
 
 
@@ -47,8 +47,8 @@ class TestDeterminism:
         car = build_car("P")
         tool = make_tool_for_car("P", car)
         capture = DataCollector(tool, read_duration_s=15.0).collect()
-        report_a = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
-        report_b = DPReverser(GpConfig(seed=99)).reverse_engineer(capture)
+        report_a = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
+        report_b = DPReverser(ReverserConfig(gp_config=GpConfig(seed=99))).reverse_engineer(capture)
         by_id_a = {e.identifier: e for e in report_a.formula_esvs}
         by_id_b = {e.identifier: e for e in report_b.formula_esvs}
         assert set(by_id_a) == set(by_id_b)

@@ -11,7 +11,7 @@ import random
 import pytest
 
 from repro.can import CanFrame, CanLog
-from repro.core import DPReverser, GpConfig, assemble, extract_fields
+from repro.core import DPReverser, GpConfig, ReverserConfig, assemble, extract_fields
 from repro.cps import Capture, DataCollector
 from repro.tools import make_tool_for_car
 from repro.vehicle import build_car
@@ -49,7 +49,7 @@ class TestFrameLoss:
     def test_pipeline_still_reverses_majority_at_low_loss(self, clean_capture):
         rng = random.Random(9)
         frames = [f for f in clean_capture.can_log if rng.random() > 0.02]
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(
             with_frames(clean_capture, frames)
         )
         assert len(report.esvs) >= 12  # of 17 on Car D
@@ -97,7 +97,7 @@ class TestDeadEcu:
         binding.endpoint.on_message = lambda payload: None
         tool = make_tool_for_car("D", car)
         capture = DataCollector(tool, read_duration_s=10.0).collect()
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         engine_dids = {f"uds:{d:04X}" for d in car.ecu("Engine").uds_data_points}
         reversed_ids = {e.identifier for e in report.esvs}
         assert not engine_dids & reversed_ids  # nothing from the dead ECU
@@ -110,7 +110,7 @@ class TestDegenerateInputs:
             model="empty", tool_name="none", can_log=CanLog(), video=[],
             clicks=[], segments=[], tool_error_rate=0.0,
         )
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         assert report.esvs == [] and report.ecrs == []
 
     def test_video_only_capture(self, clean_capture):
@@ -119,12 +119,12 @@ class TestDegenerateInputs:
             video=clean_capture.video, clicks=[], segments=clean_capture.segments,
             tool_error_rate=0.02,
         )
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         assert report.esvs == []
 
     def test_traffic_only_capture(self, clean_capture):
         capture = with_frames(clean_capture, list(clean_capture.can_log))
         capture.video = []
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         assert report.esvs == []  # no screen text -> no semantics
         assert report.ecrs  # ECR procedures come from traffic alone

@@ -79,7 +79,7 @@ class TestGatewayPipeline:
     def test_reverse_engineering_through_gateway(self):
         """The pipeline's view from the OBD port is unchanged by the
         gateway, so everything still reverses."""
-        from repro.core import DPReverser, GpConfig, check_formula
+        from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
         from repro.core.fields import extract_fields
         from repro.core.assembly import assemble
 
@@ -99,7 +99,7 @@ class TestGatewayPipeline:
 class TestGatewayFullPipeline:
     def test_collector_and_reverser_through_gateway(self):
         """The complete CPS loop works unchanged on a gateway topology."""
-        from repro.core import DPReverser, GpConfig, check_formula
+        from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
         from repro.cps import DataCollector
         from repro.formulas import AffineFormula, ProductFormula
         from repro.tools import TOOL_PROFILES
@@ -127,7 +127,7 @@ class TestGatewayFullPipeline:
         tool.load_vehicle_database()
         tool._show_home()
         capture = DataCollector(tool, read_duration_s=25.0).collect()
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
 
         assert len(report.formula_esvs) == 2
         truth = {

@@ -199,18 +199,22 @@ class TestReverserParallelism:
         return DataCollector(make_tool_for_car("C", car), read_duration_s=8.0).collect()
 
     def test_parallel_report_identical_and_timed(self):
-        from repro.core import DPReverser
+        from repro.core import DPReverser, ReverserConfig
 
         capture = self.capture()
         serial_stages = []
         serial = DPReverser(
-            self.GP, stage_hook=lambda s, e: serial_stages.append(s)
+            ReverserConfig(
+                gp_config=self.GP, stage_hook=lambda s, e: serial_stages.append(s)
+            )
         ).reverse_engineer(capture)
         parallel_stages = []
         parallel = DPReverser(
-            self.GP,
-            stage_hook=lambda s, e: parallel_stages.append(s),
-            gp_workers=4,
+            ReverserConfig(
+                gp_config=self.GP,
+                stage_hook=lambda s, e: parallel_stages.append(s),
+                gp_workers=4,
+            )
         ).reverse_engineer(capture)
         assert serial.to_dict() == parallel.to_dict()
         n_formulas = len(serial.formula_esvs)
@@ -218,10 +222,10 @@ class TestReverserParallelism:
         assert parallel_stages.count("gp_formula") == n_formulas
 
     def test_gp_workers_validation(self):
-        from repro.core import DPReverser
+        from repro.core import DPReverser, ReverserConfig
 
         with pytest.raises(ValueError):
-            DPReverser(gp_workers=0)
+            DPReverser(ReverserConfig(gp_workers=0))
 
 
 @pytest.mark.slow

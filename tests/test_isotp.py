@@ -7,6 +7,9 @@ from hypothesis import strategies as st
 from repro.can import CanFrame, SimulatedCanBus
 from repro.simtime import SimClock
 from repro.transport import (
+    EVENT_ERROR,
+    EVENT_PAYLOAD,
+    EVENT_RESYNC,
     FlowControl,
     FlowStatus,
     IsoTpEndpoint,
@@ -68,56 +71,87 @@ class TestSegmentation:
 class TestReassembly:
     def test_single_frame(self):
         reassembler = IsoTpReassembler()
-        payload = reassembler.feed(CanFrame(0x7E0, b"\x02\x10\x03\x00\x00\x00\x00\x00"))
+        payload = reassembler.feed_payloads(
+            CanFrame(0x7E0, b"\x02\x10\x03\x00\x00\x00\x00\x00")
+        )
         assert payload == b"\x10\x03"
 
     def test_multi_frame_roundtrip(self):
         payload = bytes(range(50))
         reassembler = IsoTpReassembler()
-        results = [reassembler.feed(f) for f in segment(payload, 0x7E0)]
+        results = [reassembler.feed_payloads(f) for f in segment(payload, 0x7E0)]
         assert results[-1] == payload
         assert all(r is None for r in results[:-1])
 
+    def test_feed_emits_payload_events(self):
+        payload = bytes(range(50))
+        reassembler = IsoTpReassembler()
+        events = []
+        for frame in segment(payload, 0x7E0):
+            events.extend(reassembler.feed(frame))
+        assert [e.kind for e in events] == [EVENT_PAYLOAD]
+        assert events[0].payload == payload
+        assert reassembler.stats.payloads == 1
+        assert reassembler.stats.errors == 0
+
     def test_flow_control_ignored(self):
         reassembler = IsoTpReassembler()
-        assert reassembler.feed(CanFrame(0x7E0, b"\x30\x00\x00")) is None
+        assert reassembler.feed(CanFrame(0x7E0, b"\x30\x00\x00")) == []
 
     def test_sequence_gap_strict_raises(self):
         frames = segment(bytes(30), 0x7E0)
         reassembler = IsoTpReassembler(strict=True)
-        reassembler.feed(frames[0])
+        reassembler.feed_payloads(frames[0])
         with pytest.raises(TransportError):
-            reassembler.feed(frames[2])  # skipped frames[1]
+            reassembler.feed_payloads(frames[2])  # skipped frames[1]
 
-    def test_sequence_gap_lenient_resets(self):
+    def test_sequence_gap_lenient_resyncs(self):
         frames = segment(bytes(30), 0x7E0)
         reassembler = IsoTpReassembler(strict=False)
-        reassembler.feed(frames[0])
-        assert reassembler.feed(frames[2]) is None
+        reassembler.feed_payloads(frames[0])
+        events = reassembler.feed(frames[2])
+        assert [e.kind for e in events] == [EVENT_RESYNC]
+        assert reassembler.stats.resyncs == 1
+        assert reassembler.stats.messages_lost == 1
         # A fresh message still works afterwards.
         for frame in segment(b"\x01\x02", 0x7E0):
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == b"\x01\x02"
+
+    def test_duplicate_consecutive_ignored(self):
+        payload = bytes(range(30))
+        frames = segment(payload, 0x7E0)
+        reassembler = IsoTpReassembler(strict=False)
+        result = None
+        for frame in frames:
+            result = reassembler.feed_payloads(frame)
+            if frame is frames[1]:
+                # Replay the frame we just consumed: error event, no reset.
+                events = reassembler.feed(frame)
+                assert [e.kind for e in events] == [EVENT_ERROR]
+        assert result == payload
 
     def test_consecutive_without_first_strict_raises(self):
         reassembler = IsoTpReassembler(strict=True)
         with pytest.raises(TransportError):
-            reassembler.feed(CanFrame(0x7E0, b"\x21\x01\x02\x03\x04\x05\x06\x07"))
+            reassembler.feed_payloads(
+                CanFrame(0x7E0, b"\x21\x01\x02\x03\x04\x05\x06\x07")
+            )
 
     def test_zero_length_single_frame_rejected(self):
         reassembler = IsoTpReassembler()
         with pytest.raises(TransportError):
-            reassembler.feed(CanFrame(0x7E0, b"\x00\x01"))
+            reassembler.feed_payloads(CanFrame(0x7E0, b"\x00\x01"))
 
     def test_back_to_back_messages(self):
         reassembler = IsoTpReassembler()
         first = segment(bytes(range(10)), 0x7E0)
         second = segment(b"\xaa\xbb", 0x7E0)
         for frame in first:
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == bytes(range(10))
         for frame in second:
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == b"\xaa\xbb"
 
 
@@ -187,7 +221,7 @@ def test_segment_reassemble_roundtrip(payload):
     reassembler = IsoTpReassembler()
     result = None
     for frame in segment(payload, 0x7E0):
-        result = reassembler.feed(frame)
+        result = reassembler.feed_payloads(frame)
     assert result == payload
 
 
@@ -198,5 +232,5 @@ def test_roundtrip_any_capacity(payload, capacity):
     reassembler = IsoTpReassembler()
     result = None
     for frame in segment(payload, 0x700, frame_capacity=capacity):
-        result = reassembler.feed(frame)
+        result = reassembler.feed_payloads(frame)
     assert result == payload

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import DPReverser, GpConfig, check_formula
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.simtime import SimClock
 from repro.tools import KLineDiagnosticSession, build_kline_vehicle
 from repro.transport import TransportError
@@ -137,7 +137,7 @@ class TestKLineSession:
         vehicle = build_kline_vehicle()
         session = KLineDiagnosticSession(vehicle)
         capture, messages = session.collect(duration_per_ecu_s=30.0)
-        reverser = DPReverser(GpConfig(seed=2))
+        reverser = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2)))
         report = reverser.infer(reverser.analyze(capture, messages=messages))
         truth = {}
         for ecu in vehicle.ecus.values():

@@ -1,0 +1,187 @@
+"""Tests for the seeded fault-injection layer (`repro.can.noise`).
+
+The noise model is the tentpole of the robustness work: every fault is
+drawn from a seeded PRNG, so a (profile, input) pair must always produce
+the same corrupted capture — noisy runs are as reproducible as clean ones.
+"""
+
+import pytest
+
+from repro.can import (
+    FOREIGN_IDS,
+    CanFrame,
+    FaultCounts,
+    FaultInjector,
+    NoiseProfile,
+    SimulatedCanBus,
+    apply_noise,
+)
+from repro.simtime import SimClock
+
+
+def make_frames(n=400, can_id=0x7E8):
+    return [
+        CanFrame(can_id, bytes([i & 0xFF] * 8), timestamp=0.001 * i)
+        for i in range(n)
+    ]
+
+
+class TestNoiseProfile:
+    @pytest.mark.parametrize("spec", ["", "off", "none", "0"])
+    def test_null_specs_parse_to_none(self, spec):
+        assert NoiseProfile.parse(spec) is None
+
+    def test_default_spec(self):
+        profile = NoiseProfile.parse("default", seed=9)
+        assert profile.seed == 9
+        assert profile.p_drop == NoiseProfile.DEFAULT_RATES["p_drop"]
+        assert profile.p_duplicate == NoiseProfile.DEFAULT_RATES["p_duplicate"]
+        assert profile.p_bit_error == NoiseProfile.DEFAULT_RATES["p_bit_error"]
+
+    def test_key_value_spec(self):
+        profile = NoiseProfile.parse("drop=0.1,dup=0.05,bit=0.01,window=5")
+        assert profile.p_drop == 0.1
+        assert profile.p_duplicate == 0.05
+        assert profile.p_bit_error == 0.01
+        assert profile.reorder_window == 5
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseProfile.parse("garble=0.5")
+
+    def test_dict_roundtrip(self):
+        profile = NoiseProfile.default(seed=3).scaled(0.5)
+        assert NoiseProfile.from_dict(profile.to_dict()) == profile
+
+    def test_is_null(self):
+        assert NoiseProfile().is_null
+        assert not NoiseProfile.default().is_null
+        assert NoiseProfile.default().scaled(0.0).is_null
+
+    def test_with_seed(self):
+        assert NoiseProfile.default(seed=1).with_seed(2) == NoiseProfile.default(seed=2)
+
+
+class TestFaultInjector:
+    def test_seeded_runs_identical(self):
+        frames = make_frames()
+        profile = NoiseProfile.default(seed=11)
+        first = apply_noise(frames, profile)
+        second = apply_noise(frames, profile)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        frames = make_frames()
+        assert apply_noise(frames, NoiseProfile.default(seed=1)) != apply_noise(
+            frames, NoiseProfile.default(seed=2)
+        )
+
+    def test_null_profile_is_identity(self):
+        frames = make_frames()
+        assert apply_noise(frames, None) == frames
+        assert apply_noise(frames, NoiseProfile()) == frames
+
+    def test_timestamps_stay_monotone_under_reordering(self):
+        frames = make_frames()
+        profile = NoiseProfile(seed=5, p_reorder=0.3, reorder_window=4)
+        noisy = apply_noise(frames, profile)
+        stamps = [f.timestamp for f in noisy]
+        assert stamps == sorted(stamps)
+
+    def test_counts_reconcile(self):
+        frames = make_frames()
+        counts = FaultCounts()
+        noisy = apply_noise(frames, NoiseProfile.default(seed=4), counts)
+        assert counts.frames_in == len(frames)
+        assert counts.frames_out == len(noisy)
+        assert counts.frames_out == (
+            counts.frames_in - counts.dropped + counts.duplicated + counts.foreign
+        )
+
+    def test_foreign_frames_use_foreign_ids(self):
+        frames = make_frames()
+        noisy = apply_noise(frames, NoiseProfile(seed=2, p_foreign=0.2))
+        foreign = [f for f in noisy if f.can_id != 0x7E8]
+        assert foreign
+        assert {f.can_id for f in foreign} <= set(FOREIGN_IDS)
+
+    def test_capture_fraction_truncates(self):
+        frames = make_frames(100)
+        noisy = apply_noise(frames, NoiseProfile(seed=0, capture_fraction=0.25))
+        assert len(noisy) == 25
+
+    def test_flush_drains_reorder_window(self):
+        profile = NoiseProfile(seed=1, p_reorder=1.0, reorder_window=3)
+        injector = FaultInjector(profile)
+        emitted = []
+        for frame in make_frames(10):
+            emitted.extend(injector.feed(frame))
+        emitted.extend(injector.flush())
+        assert len(emitted) == 10
+
+
+class TestNoisyBus:
+    def run_bus(self, noise):
+        bus = SimulatedCanBus(SimClock(), noise=noise)
+        tapped = []
+        bus.add_tap(tapped.append)
+        from repro.can.bus import BusNode
+
+        receiver = bus.attach(BusNode("receiver"))
+        sender = bus.attach(BusNode("sender"))
+        for i in range(200):
+            sender.send(CanFrame(0x7E0, bytes([i & 0xFF] * 8)))
+        bus.flush_noise()
+        return bus, tapped, receiver
+
+    def test_nodes_receive_faithfully_while_tap_degrades(self):
+        noise = NoiseProfile(seed=3, p_drop=0.5)
+        bus, tapped, receiver = self.run_bus(noise)
+        assert len(receiver.received) == 200  # the bus itself is healthy
+        assert len(tapped) < 200  # the sniffer's view is lossy
+        assert bus.noise_counts.dropped == 200 - len(tapped)
+
+    def test_clean_bus_has_no_injector(self):
+        bus, tapped, receiver = self.run_bus(None)
+        assert len(tapped) == 200
+        assert bus.noise_counts is None
+        assert bus.flush_noise() == 0
+
+    def test_null_profile_equivalent_to_clean(self):
+        __, clean, __ = self.run_bus(None)
+        __, null, __ = self.run_bus(NoiseProfile())
+        assert [(f.can_id, f.data) for f in clean] == [
+            (f.can_id, f.data) for f in null
+        ]
+
+
+class TestJobNoiseIdentity:
+    """Zero-noise specs must not perturb job identity or payloads."""
+
+    def test_job_id_unchanged_without_noise(self):
+        from repro.runtime import fleet_job_specs
+
+        plain = fleet_job_specs(["A"])[0]
+        explicit = fleet_job_specs(["A"], noise_spec="", noise_seed=0)[0]
+        assert plain.job_id == explicit.job_id
+        assert plain.noise_profile() is None
+
+    def test_noise_spec_changes_job_id_and_derives_per_car_seed(self):
+        from repro.runtime import fleet_job_specs
+
+        noisy_a, noisy_b = fleet_job_specs(
+            ["A", "B"], noise_spec="default", noise_seed=7
+        )
+        plain = fleet_job_specs(["A"])[0]
+        assert noisy_a.job_id != plain.job_id
+        # Per-car seed derivation: different cars get different fault streams.
+        assert noisy_a.noise_profile().seed != noisy_b.noise_profile().seed
+
+    def test_spec_dict_roundtrip_keeps_noise(self):
+        from repro.runtime import JobSpec
+
+        spec = JobSpec(car_key="A", noise_spec="drop=0.1", noise_seed=3)
+        restored = JobSpec.from_dict(spec.to_dict())
+        assert restored.noise_spec == "drop=0.1"
+        assert restored.noise_seed == 3
+        assert restored.job_id == spec.job_id

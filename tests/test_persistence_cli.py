@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.core import DPReverser, GpConfig
+from repro.core import DPReverser, GpConfig, ReverserConfig
 from repro.cps import DataCollector
 from repro.persistence import load_capture, save_capture
 from repro.tools import make_tool_for_car
@@ -41,8 +41,8 @@ class TestPersistence:
     def test_loaded_capture_reverses_identically(self, capture_d, tmp_path):
         directory = save_capture(capture_d, tmp_path / "cap")
         loaded = load_capture(directory)
-        original = DPReverser(GpConfig(seed=2)).reverse_engineer(capture_d)
-        reloaded = DPReverser(GpConfig(seed=2)).reverse_engineer(loaded)
+        original = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture_d)
+        reloaded = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(loaded)
         assert {e.identifier: e.label for e in original.esvs} == {
             e.identifier: e.label for e in reloaded.esvs
         }

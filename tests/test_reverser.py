@@ -3,7 +3,7 @@
 import pytest
 
 from repro.attacks import replay_from_report
-from repro.core import DPReverser, GpConfig, check_formula
+from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.cps import DataCollector
 from repro.tools import make_tool_for_car
 from repro.vehicle import build_car
@@ -29,7 +29,7 @@ def report_d():
     car = build_car("D")
     tool = make_tool_for_car("D", car)
     capture = DataCollector(tool, read_duration_s=30.0).collect()
-    report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+    report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
     return car, capture, report
 
 
@@ -96,7 +96,7 @@ class TestPipelineOnKwpCar:
         car = build_car("C")
         tool = make_tool_for_car("C", car)
         capture = DataCollector(tool, read_duration_s=30.0).collect()
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         truth = ground_truth(car)
         assert report.transport == "vwtp"
         assert len(report.formula_esvs) == 5
@@ -116,9 +116,11 @@ class TestCameraOffsetCorrection:
         # Without OBD anchors in this capture the offset stays None, so the
         # matching must fail or degrade; with estimate_alignment disabled
         # semantics collapse entirely.  This documents the failure mode.
-        reverser = DPReverser(GpConfig(seed=2), estimate_alignment=False)
+        reverser = DPReverser(
+            ReverserConfig(gp_config=GpConfig(seed=2), estimate_alignment=False)
+        )
         report = reverser.reverse_engineer(capture)
-        aligned = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        aligned = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         # Correct pairing needs alignment; the offset capture must reverse
         # at most as many ESVs as the synchronised pipeline on Car D.
         assert len(report.esvs) <= len(aligned.esvs) + 1
@@ -133,7 +135,7 @@ class TestObdAnchorAlignment:
         capture = DataCollector(
             tool, read_duration_s=20.0, camera_offset_s=2.0
         ).collect()
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         # The estimate includes the camera's snap delay (~0.15 s).
         assert report.camera_offset_estimate == pytest.approx(2.0, abs=0.3)
         assert len(report.formula_esvs) == 12  # full Car D coverage

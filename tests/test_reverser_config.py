@@ -1,0 +1,87 @@
+"""Tests for `ReverserConfig` and the deprecated DPReverser call shapes.
+
+This file is the sanctioned home of the legacy kwargs — everything else in
+the repo constructs `DPReverser(ReverserConfig(...))`.
+"""
+
+import warnings
+
+import pytest
+
+from repro.can import NoiseProfile
+from repro.core import DPReverser, GpConfig, ReverserConfig
+
+
+def deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestModernShape:
+    def test_config_resolves_attributes(self):
+        gp = GpConfig(seed=5)
+        reverser = DPReverser(
+            ReverserConfig(gp_config=gp, ocr_seed=7, gp_workers=3)
+        )
+        assert reverser.gp_config is gp
+        assert reverser.ocr_seed == 7
+        assert reverser.gp_workers == 3
+        assert reverser.config.estimate_alignment is True
+
+    def test_no_warning(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            DPReverser(ReverserConfig(gp_config=GpConfig(seed=2)))
+        assert not deprecations(record)
+
+    def test_defaults(self):
+        reverser = DPReverser()
+        assert isinstance(reverser.gp_config, GpConfig)
+        assert reverser.noise is None
+
+    def test_gp_workers_validated(self):
+        with pytest.raises(ValueError):
+            DPReverser(ReverserConfig(gp_workers=0))
+
+    def test_null_noise_profile_resolves_to_none(self):
+        reverser = DPReverser(ReverserConfig(noise=NoiseProfile()))
+        assert reverser.noise is None
+        noisy = DPReverser(ReverserConfig(noise=NoiseProfile.default(seed=1)))
+        assert noisy.noise == NoiseProfile.default(seed=1)
+
+
+class TestLegacyShapes:
+    def test_positional_gp_config_warns_once(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            reverser = DPReverser(GpConfig(seed=9))
+        assert len(deprecations(record)) == 1
+        assert reverser.gp_config == GpConfig(seed=9)
+
+    def test_legacy_kwargs_warn_and_apply(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            reverser = DPReverser(ocr_seed=11, gp_workers=2)
+        assert len(deprecations(record)) == 1
+        assert reverser.ocr_seed == 11
+        assert reverser.gp_workers == 2
+
+    def test_positional_plus_kwargs_single_warning(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            reverser = DPReverser(GpConfig(seed=9), estimate_alignment=False)
+        assert len(deprecations(record)) == 1
+        assert reverser.gp_config == GpConfig(seed=9)
+        assert reverser.estimate_alignment is False
+
+    def test_unknown_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                DPReverser(gp_confg=GpConfig(seed=2))  # typo'd name
+
+    def test_legacy_and_modern_resolve_identically(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            legacy = DPReverser(GpConfig(seed=4), gp_workers=2)
+        modern = DPReverser(ReverserConfig(gp_config=GpConfig(seed=4), gp_workers=2))
+        assert legacy.config == modern.config

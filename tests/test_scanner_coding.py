@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import DPReverser, GpConfig
+from repro.core import DPReverser, GpConfig, ReverserConfig
 from repro.cps import DataCollector
 from repro.scanner import DiagnosticScanner, scan_vehicle
 from repro.tools import make_tool_for_car
@@ -57,7 +57,7 @@ class TestScanner:
         car = build_car("P")
         tool = make_tool_for_car("P", car)
         capture = DataCollector(tool, read_duration_s=15.0).collect()
-        report = DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        report = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
         passive_dids = {
             int(e.identifier.split(":")[1], 16)
             for e in report.esvs
@@ -111,7 +111,7 @@ class TestReportExport:
         car = build_car("D")
         tool = make_tool_for_car("D", car)
         capture = DataCollector(tool, read_duration_s=15.0).collect()
-        return DPReverser(GpConfig(seed=2)).reverse_engineer(capture)
+        return DPReverser(ReverserConfig(gp_config=GpConfig(seed=2))).reverse_engineer(capture)
 
     def test_json_roundtrips(self, report):
         data = json.loads(report.to_json())

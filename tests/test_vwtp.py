@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 from repro.can import CanFrame, SimulatedCanBus
 from repro.simtime import SimClock
 from repro.transport import (
+    EVENT_ERROR,
+    EVENT_RESYNC,
     TransportError,
     VwTpEndpoint,
     VwTpFrameKind,
@@ -71,30 +73,50 @@ class TestReassembly:
         reassembler = VwTpReassembler()
         result = None
         for frame in segment_vwtp(payload, 0x740):
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == payload
+        assert reassembler.stats.payloads == 1
 
     def test_control_frames_ignored(self):
         reassembler = VwTpReassembler()
-        assert reassembler.feed(CanFrame(0x740, b"\xa0\x0f\x8a\xff\x32\xff")) is None
-        assert reassembler.feed(CanFrame(0x740, b"\xb1")) is None
+        assert reassembler.feed(CanFrame(0x740, b"\xa0\x0f\x8a\xff\x32\xff")) == []
+        assert reassembler.feed(CanFrame(0x740, b"\xb1")) == []
 
     def test_sequence_gap_strict_raises(self):
         frames = segment_vwtp(bytes(30), 0x740)
         reassembler = VwTpReassembler(strict=True)
-        reassembler.feed(frames[0])
+        reassembler.feed_payloads(frames[0])
         with pytest.raises(TransportError):
-            reassembler.feed(frames[2])
+            reassembler.feed_payloads(frames[2])
+
+    def test_sequence_gap_lenient_resyncs(self):
+        frames = segment_vwtp(bytes(30), 0x740)
+        reassembler = VwTpReassembler(strict=False)
+        reassembler.feed_payloads(frames[0])
+        events = reassembler.feed(frames[2])
+        assert [e.kind for e in events] == [EVENT_RESYNC]
+        assert reassembler.stats.resyncs == 1
+        assert reassembler.stats.messages_lost == 1
+
+    def test_duplicate_data_frame_ignored(self):
+        frames = segment_vwtp(bytes(30), 0x740)
+        reassembler = VwTpReassembler(strict=False)
+        result = reassembler.feed_payloads(frames[0])
+        events = reassembler.feed(frames[0])  # exact replay
+        assert [e.kind for e in events] == [EVENT_ERROR]
+        for frame in frames[1:]:
+            result = reassembler.feed_payloads(frame)
+        assert result == bytes(30)
 
     def test_consecutive_messages_continue_sequence(self):
         reassembler = VwTpReassembler()
         first = segment_vwtp(b"\x01\x02\x03", 0x740, start_sequence=0)
         for frame in first:
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == b"\x01\x02\x03"
         second = segment_vwtp(b"\x04\x05", 0x740, start_sequence=1)
         for frame in second:
-            result = reassembler.feed(frame)
+            result = reassembler.feed_payloads(frame)
         assert result == b"\x04\x05"
 
 
@@ -158,5 +180,5 @@ def test_vwtp_roundtrip_property(payload, start):
     reassembler = VwTpReassembler()
     result = None
     for frame in segment_vwtp(payload, 0x740, start_sequence=start):
-        result = reassembler.feed(frame)
+        result = reassembler.feed_payloads(frame)
     assert result == payload
