@@ -1,15 +1,19 @@
 """GP inference-engine performance: compiled vs interpreted, serial vs
-parallel.
+parallel backends, cold vs warm formula memo.
 
 The perf features are exactness-preserving (compiled evaluation applies
 the same primitives in the same order; the fitness cache returns the float
-the evaluation produced; per-ESV threads only reorder independent work),
+the evaluation produced; worker pools only reorder independent per-ESV
+work and merge in slot order; the memo replays the exact stored result),
 so this bench *asserts* result identity and *reports* the measured
 speedups — wall-clock ratios vary with the machine, the correctness
 contract does not.
 
 Set ``GP_PERF_QUICK=1`` (the CI smoke mode) to run a reduced case set at a
-small GP budget.
+small GP budget with 2-worker pools.  Timing *assertions* (the >=2.5x
+process-pool target, the warm-memo floor) additionally require
+``GP_PERF_ASSERT_TIMING=1``: they are only meaningful on a multi-core,
+lightly loaded host, so CI opts in explicitly instead of flaking.
 """
 
 import os
@@ -20,6 +24,10 @@ from repro.core import DPReverser, GpConfig, ReverserConfig
 from repro.core.response_analysis import infer_formula
 
 QUICK = bool(os.environ.get("GP_PERF_QUICK"))
+ASSERT_TIMING = bool(os.environ.get("GP_PERF_ASSERT_TIMING"))
+
+#: Pool width for the backend comparison (kept small in CI smoke mode).
+WORKERS = 2 if QUICK else 4
 
 #: Timing rounds per engine; the minimum total is reported, which filters
 #: container scheduling noise without changing what is measured.
@@ -102,25 +110,96 @@ def test_compiled_vs_interpreted(benchmark, report_file, fleet):
 def test_serial_vs_parallel_esvs(benchmark, report_file, fleet):
     context = fleet.context("K")
 
-    def reverse(workers):
-        reverser = DPReverser(ReverserConfig(gp_config=FAST, gp_workers=workers))
+    def reverse(workers, backend):
+        reverser = DPReverser(
+            ReverserConfig(gp_config=FAST, gp_workers=workers, gp_backend=backend)
+        )
         start = time.perf_counter()
         report = reverser.infer(context)
         return time.perf_counter() - start, report
 
     def run():
-        serial_s, serial_report = reverse(1)
-        parallel_s, parallel_report = reverse(4)
-        return serial_s, parallel_s, serial_report, parallel_report
+        timings = {}
+        reports = {}
+        for backend, workers in (
+            ("serial", 1),
+            ("thread", WORKERS),
+            ("process", WORKERS),
+        ):
+            timings[backend], reports[backend] = reverse(workers, backend)
+        return timings, reports
 
-    serial_s, parallel_s, serial_report, parallel_report = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
+    timings, reports = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    assert serial_report.to_dict() == parallel_report.to_dict()
+    serial_report = reports["serial"]
+    assert serial_report.to_dict() == reports["thread"].to_dict()
+    assert serial_report.to_dict() == reports["process"].to_dict()
 
     n = len(serial_report.formula_esvs)
-    report_file(f"Per-ESV parallel inference (car K, {n} formula ESVs):")
-    report_file(f"  gp_workers=1: {serial_s:6.2f} s")
-    report_file(f"  gp_workers=4: {parallel_s:6.2f} s (thread pool; GIL-bound"
-                " evolution limits scaling — identical report asserted)")
+    thread_x = timings["serial"] / timings["thread"]
+    process_x = timings["serial"] / timings["process"]
+    report_file(
+        f"Per-ESV inference backends (car K, {n} formula ESVs, "
+        f"{WORKERS} workers{', quick mode' if QUICK else ''}):"
+    )
+    report_file(f"  serial:       {timings['serial']:6.2f} s")
+    report_file(
+        f"  thread pool:  {timings['thread']:6.2f} s = {thread_x:.2f}x "
+        "(GIL-bound evolution limits scaling)"
+    )
+    report_file(
+        f"  process pool: {timings['process']:6.2f} s = {process_x:.2f}x "
+        f"(scales with physical cores; this host has {os.cpu_count()})"
+    )
+    report_file("  identical report asserted on every backend")
+    if ASSERT_TIMING:
+        assert process_x >= 2.5, (
+            f"process backend only {process_x:.2f}x over serial "
+            f"(GP_PERF_ASSERT_TIMING demands >=2.5x at {WORKERS} workers)"
+        )
+
+
+def test_memo_cold_vs_warm(benchmark, report_file, fleet, tmp_path):
+    context = fleet.context("K")
+    memo_dir = str(tmp_path / "memo")
+
+    def reverse():
+        reverser = DPReverser(
+            ReverserConfig(gp_config=FAST, gp_memo_dir=memo_dir)
+        )
+        start = time.perf_counter()
+        report = reverser.infer(context)
+        return time.perf_counter() - start, report, reverser.memo_stats
+
+    def run():
+        baseline = DPReverser(ReverserConfig(gp_config=FAST)).infer(context)
+        cold_s, cold_report, cold_stats = reverse()
+        warm_s, warm_report, warm_stats = reverse()
+        return baseline, cold_s, cold_report, cold_stats, warm_s, warm_report, warm_stats
+
+    baseline, cold_s, cold_report, cold_stats, warm_s, warm_report, warm_stats = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    n = len(baseline.formula_esvs)
+    # The memo must change wall-clock only: identical reports, every ESV
+    # solved exactly once (cold) then recalled without GP (warm).
+    assert cold_report.to_dict() == baseline.to_dict()
+    assert warm_report.to_dict() == baseline.to_dict()
+    assert cold_stats == {"hits": 0, "misses": n}
+    assert warm_stats == {"hits": n, "misses": 0}
+    assert warm_s < cold_s, "warm memo run should never be slower than cold"
+
+    report_file(
+        f"Formula memo (car K, {n} formula ESVs"
+        f"{', quick mode' if QUICK else ''}):"
+    )
+    report_file(f"  cold (solve + store): {cold_s:6.2f} s ({n} misses)")
+    report_file(
+        f"  warm (recall only):   {warm_s:6.2f} s ({n} hits, "
+        f"{cold_s / warm_s:.0f}x faster, identical report asserted)"
+    )
+    if ASSERT_TIMING:
+        assert warm_s < cold_s / 3, (
+            f"warm memo run {warm_s:.2f} s not well under cold {cold_s:.2f} s"
+        )

@@ -20,6 +20,7 @@ Two scenarios:
    container may have a single core).
 """
 
+import os
 import time
 
 from repro.runtime import JobSpec, Scheduler, SchedulerConfig
@@ -91,7 +92,8 @@ def test_runtime_scaling(benchmark, report_file):
     report_file(
         f"  cpu-only (process pool): serial {out['t_cpu_serial']:.1f} s -> "
         f"parallel {out['t_cpu_parallel']:.1f} s = {cpu_speedup:.2f}x "
-        f"(core-count dependent, not asserted)"
+        f"(core-count dependent, not asserted; this host has "
+        f"{os.cpu_count()} core(s))"
     )
     report_file(
         f"  results digest (serial == parallel): {serial.results_digest()[:16]}..."

@@ -73,9 +73,12 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
     config = ReverserConfig(
         gp_config=GpConfig(seed=args.seed, compiled=args.gp_compiled),
         gp_workers=args.gp_workers,
+        gp_backend=args.gp_backend,
+        gp_memo_dir=args.gp_memo,
         noise=noise,
     )
-    report = DPReverser(config).reverse_engineer(capture)
+    reverser = DPReverser(config)
+    report = reverser.reverse_engineer(capture)
     elapsed = time.perf_counter() - start
     if args.format == "json":
         text = report.to_json()
@@ -83,6 +86,12 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
         text = report.to_markdown()
     else:
         text = report.summary() + f"\n\nReverse engineering took {elapsed:.1f} s"
+        if args.gp_memo:
+            stats = reverser.memo_stats
+            text += (
+                f" (formula memo: {stats['hits']} hit(s), "
+                f"{stats['misses']} miss(es))"
+            )
     if args.report:
         Path(args.report).write_text(text + "\n")
         print(f"report written to {args.report}")
@@ -172,6 +181,8 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             read_duration_s=args.duration,
             gp_workers=args.gp_workers,
+            gp_backend=args.gp_backend,
+            gp_memo_dir=args.gp_memo,
             noise_spec=noise_spec,
             noise_seed=args.noise_seed,
         )
@@ -271,7 +282,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--gp-workers",
         type=int,
         default=1,
-        help="threads for per-ESV formula inference (identical results)",
+        help="workers for per-ESV formula inference (identical results)",
+    )
+    reverse.add_argument(
+        "--gp-backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="per-ESV inference backend; auto uses a process pool when "
+        "--gp-workers > 1 (results are identical on every backend)",
+    )
+    reverse.add_argument(
+        "--gp-memo",
+        metavar="DIR",
+        default="",
+        help="formula memo directory: runs over already-solved ESV "
+        "datasets recall the stored formulas instead of re-running GP",
     )
     reverse.add_argument(
         "--gp-compiled",
@@ -333,7 +358,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--gp-workers",
         type=int,
         default=1,
-        help="per-ESV inference threads inside each job (identical results)",
+        help="per-ESV inference workers inside each job (identical results)",
+    )
+    fleet_run.add_argument(
+        "--gp-backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="per-ESV inference backend inside each job; auto uses a "
+        "process pool when --gp-workers > 1",
+    )
+    fleet_run.add_argument(
+        "--gp-memo",
+        metavar="DIR",
+        default="",
+        help="formula memo directory shared by every job: re-runs and "
+        "resumed sweeps recall already-solved ESVs instead of re-running GP",
     )
     fleet_run.add_argument(
         "--noise-profile",

@@ -178,6 +178,29 @@ def compile_tree(tree: Node) -> CompiledProgram:
     return CompiledProgram(code, len(walk), tuple(code))
 
 
+def prime_instruction_tables(
+    function_names: Optional[Sequence[str]] = None, n_variables: int = 4
+) -> None:
+    """Pre-intern the instructions a GP run is guaranteed to need.
+
+    Called from process-pool worker initializers so every worker starts
+    with warm variable/function tables instead of growing them under the
+    first population's compile burst.  Cheap and idempotent; the dominant
+    worker warm-up cost (importing numpy and this package under a spawn
+    start method) is paid simply by importing this module.
+    """
+    from .functions import FUNCTION_SET
+
+    for index in range(n_variables):
+        if index not in _VAR_INSTR:
+            _VAR_INSTR[index] = (OP_VAR, index)
+    for name in function_names or FUNCTION_SET:
+        if name not in _INSTR:
+            function = FUNCTION_SET[name]
+            opcode = OP_CALL2 if function.arity == 2 else OP_CALL1
+            _INSTR[name] = (opcode, function.func)
+
+
 def tree_key(tree: Node) -> Tuple:
     """Canonical structural key: equal iff the trees are identical.
 

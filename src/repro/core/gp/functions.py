@@ -96,6 +96,13 @@ class GpFunction:
     #: only define the vectorised form; evaluation falls back to arrays).
     scalar: Optional[Callable[..., float]] = None
 
+    def __reduce__(self):
+        # Pickle by name: the lambda ``scalar`` variants defeat the default
+        # protocol, and by-name reconstruction makes unpickled trees point
+        # at the interned FUNCTION_SET entries — which the process GP
+        # backend relies on for cross-process tree transport.
+        return (_function_from_name, (self.name,))
+
 
 FUNCTION_SET: Dict[str, GpFunction] = {
     f.name: f
@@ -118,6 +125,11 @@ FUNCTION_SET: Dict[str, GpFunction] = {
 }
 
 assert len(FUNCTION_SET) == 14, "the paper's prototype supports 14 functions"
+
+
+def _function_from_name(name: str) -> GpFunction:
+    """Unpickle hook for :meth:`GpFunction.__reduce__`."""
+    return FUNCTION_SET[name]
 
 #: Default subset used for evolution.  Trig stays out of the default mix
 #: (vehicle formulas are arithmetic); it remains available via

@@ -18,16 +18,23 @@ Three steps, mirroring the paper:
 
 from __future__ import annotations
 
-import math
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..formulas import ExpressionFormula, Formula
+from ..formulas import Formula
 from .fields import EsvObservation
-from .gp import FitnessCache, GeneticProgrammer, GpConfig, fold_constants, pretty
+from .gp import (
+    FitnessCache,
+    GeneticProgrammer,
+    GpConfig,
+    Node,
+    fold_constants,
+    tree_from_tokens,
+    tree_to_tokens,
+)
 from .screenshot import UiSeries
 
 
@@ -195,25 +202,64 @@ class InferredFormula:
         return self.formula(xs)
 
 
+class ScaledTreeFormula(Formula):
+    """A recovered formula: constant-folded GP tree plus the Tab. 2 factors.
+
+    Evaluates ``Y = f(X * xf) / yf`` through the tree's scalar fast path —
+    exactly the operations the closure this class replaced applied, in the
+    same order, so reports are byte-identical to the pre-class pipeline.
+    A plain class (no closure) because recovered formulas now have to
+    cross process boundaries (the process GP backend pickles them back to
+    the parent) and run boundaries (the on-disk formula memo stores them
+    as JSON via :meth:`to_payload`/:meth:`from_payload`).
+    """
+
+    def __init__(
+        self,
+        tree: Node,
+        x_factors: Sequence[float],
+        y_factor: float,
+        unit: str = "",
+    ) -> None:
+        self.tree = tree  # already constant-folded
+        self.x_factors = tuple(x_factors)
+        self.y_factor = y_factor
+        self.arity = len(self.x_factors)
+        self.unit = unit
+
+    def __call__(self, xs: Sequence[float]) -> float:
+        scaled_xs = [x * factor for x, factor in zip(xs, self.x_factors)]
+        return self.tree.evaluate_point(scaled_xs) / self.y_factor
+
+    def describe(self) -> str:
+        inner = self.tree.to_infix()
+        for index, factor in enumerate(self.x_factors):
+            if factor != 1.0:
+                inner = inner.replace(f"X{index}", f"(X{index} * {factor:g})")
+        if self.y_factor != 1.0:
+            return f"Y = ({inner}) / {self.y_factor:g}"
+        return f"Y = ({inner})"
+
+    def to_payload(self) -> dict:
+        """JSON-able form; exact round trip via :meth:`from_payload`."""
+        return {
+            "tree": tree_to_tokens(self.tree),
+            "x_factors": list(self.x_factors),
+            "y_factor": self.y_factor,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ScaledTreeFormula":
+        return cls(
+            tree=tree_from_tokens(payload["tree"]),
+            x_factors=[float(f) for f in payload["x_factors"]],
+            y_factor=float(payload["y_factor"]),
+        )
+
+
 def _wrap_scaled_tree(tree, scaled: ScaledDataset, interpretation: str) -> Formula:
     """Fold the Tab. 2 factors back: Y = f(X*xf) / yf  (post-processing)."""
-    x_factors = scaled.x_factors
-    y_factor = scaled.y_factor
-    folded = fold_constants(tree)
-
-    def evaluate(xs: Sequence[float]) -> float:
-        scaled_xs = [x * factor for x, factor in zip(xs, x_factors)]
-        return folded.evaluate_point(scaled_xs) / y_factor
-
-    inner = folded.to_infix()
-    for index, factor in enumerate(x_factors):
-        if factor != 1.0:
-            inner = inner.replace(f"X{index}", f"(X{index} * {factor:g})")
-    description = f"Y = ({inner})"
-    if y_factor != 1.0:
-        description = f"Y = ({inner}) / {y_factor:g}"
-    arity = len(x_factors)
-    return ExpressionFormula(evaluate, arity=arity, description=description)
+    return ScaledTreeFormula(fold_constants(tree), scaled.x_factors, scaled.y_factor)
 
 
 def infer_formula(

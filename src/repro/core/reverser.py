@@ -18,10 +18,10 @@ Pipeline (Fig. 6a):
 
 from __future__ import annotations
 
-import threading
 import time
 import warnings
 import zlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -32,10 +32,14 @@ from .alignment import estimate_offset_via_obd, shift_series
 from .assembly import AssembledMessage, DecodeDiagnostics, assemble_with_diagnostics
 from .ecr_analysis import EcrProcedure, attach_semantics, extract_procedures
 from .fields import EsvObservation, ExtractedFields, extract_fields
-from .gp import GpConfig
+from .formula_memo import FormulaMemo, dataset_key
+from .gp import GpConfig, prime_instruction_tables
 from .request_analysis import SemanticMatch, match_semantics
 from .response_analysis import InferredFormula, infer_formula
 from .screenshot import FilterReport, UiSeries, analyze_video, extract_ui_series
+
+#: Execution backends for per-ESV formula inference.
+_GP_BACKENDS = frozenset({"auto", "serial", "thread", "process"})
 
 
 @dataclass(frozen=True)
@@ -61,8 +65,18 @@ class ReverserConfig:
     #: :func:`time.perf_counter`; simulated paths pass
     #: :meth:`repro.simtime.SimClock.perf` to stay deterministic.
     perf: Optional[Callable[[], float]] = None
-    #: Worker threads for per-ESV formula inference.
+    #: Worker count for per-ESV formula inference (1 = serial in-process).
     gp_workers: int = 1
+    #: Execution backend for per-ESV formula inference: ``"auto"`` picks a
+    #: process pool whenever ``gp_workers > 1`` (the GP hot path is pure
+    #: Python, so only processes escape the GIL), ``"serial"``/``"thread"``
+    #: /``"process"`` force a specific backend.  Every backend produces
+    #: byte-identical reports; only wall-clock differs.
+    gp_backend: str = "auto"
+    #: Directory of the cross-run formula memo store
+    #: (:class:`~repro.core.formula_memo.FormulaMemo`).  Empty string
+    #: disables memoisation.
+    gp_memo_dir: str = ""
     #: Fault injection applied to the capture before payload assembly —
     #: models a lossy OBD sniffer on a healthy bus.  ``None`` (the
     #: default) leaves the capture byte-identical to the clean pipeline.
@@ -264,15 +278,22 @@ class ReverseReport:
 
 @dataclass
 class _FormulaTask:
-    """One pending GP inference: everything :func:`infer_formula` needs.
+    """One pending GP inference, lean enough to cross a process boundary.
+
+    Carries only what :func:`infer_formula` needs — the paired dataset,
+    the per-ESV seeded :class:`GpConfig` and the identity scalars for the
+    resulting :class:`ReversedEsv`.  Never the reverser, capture or bus
+    objects: the pickled payload stays a few kilobytes per ESV.
 
     ``slot`` is the ESV's position in the report, fixed at plan time so the
     output order is identical whether the tasks run serially or fan out
-    over a worker pool.
+    over a thread or process pool.
     """
 
     slot: int
-    match: SemanticMatch
+    identifier: str
+    label: str
+    match_score: float
     observations: List[EsvObservation]
     series: UiSeries
     config: GpConfig
@@ -281,17 +302,77 @@ class _FormulaTask:
 
 
 @dataclass
-class _FormulaJobSpec:
-    """Duck-typed :class:`~repro.runtime.job.JobSpec` stand-in.
+class _TaskOutcome:
+    """What one executed formula task sends back to the planner.
 
-    The runtime :class:`~repro.runtime.scheduler.Scheduler` only touches
-    ``job_id``/``car_key`` on specs, so per-ESV inference jobs can ride the
-    same pool/retry machinery without depending on the fleet job format.
+    ``elapsed`` is telemetry for the parent's ``gp_formula`` stage hook —
+    the hook itself cannot cross a process boundary, so workers report
+    timings in the result object and the parent replays them during the
+    deterministic slot-order merge.
     """
 
-    job_id: str
-    car_key: str
-    task: _FormulaTask
+    slot: int
+    esv: ReversedEsv
+    elapsed: float
+    memo_hit: Optional[bool]  # None when memoisation was off
+
+
+def _execute_formula_task(
+    task: _FormulaTask, memo: Optional[FormulaMemo]
+) -> Tuple[ReversedEsv, Optional[bool]]:
+    """Run (or recall) one ESV's inference.  Shared by every backend."""
+    memo_hit: Optional[bool] = None
+    if memo is not None:
+        key = dataset_key(task.observations, task.series, task.config)
+        memo_hit, inferred = memo.get(key)
+        if not memo_hit:
+            inferred = infer_formula(task.observations, task.series, task.config)
+            memo.put(key, inferred)
+    else:
+        inferred = infer_formula(task.observations, task.series, task.config)
+    esv = ReversedEsv(
+        identifier=task.identifier,
+        protocol=task.protocol,
+        label=task.label,
+        formula=inferred,
+        is_enum=False,
+        samples=[tuple(o.variables()) for o in task.observations],
+        match_score=task.match_score,
+        formula_type=task.formula_type,
+    )
+    return esv, memo_hit
+
+
+#: Per-process state for the ``process`` GP backend, installed once per pool
+#: worker by :func:`_gp_worker_init`.  Module-level because
+#: :class:`ProcessPoolExecutor` only ships module-level callables.
+_WORKER_MEMO: Optional[FormulaMemo] = None
+
+
+def _gp_worker_init(memo_dir: str) -> None:
+    """Warm one pool worker: instruction tables and the memo handle.
+
+    Runs inside the child process right after it starts (spawn-safe — it
+    touches only module-level state), so every task submitted afterwards
+    finds hot compiled-tree instruction tables instead of repaying the
+    lazy-initialisation cost, and a single memo handle instead of
+    reopening the store per task.
+    """
+    global _WORKER_MEMO
+    prime_instruction_tables()
+    _WORKER_MEMO = FormulaMemo(memo_dir) if memo_dir else None
+
+
+def _run_formula_task(task: _FormulaTask) -> _TaskOutcome:
+    """Process-pool entry point: execute one task against worker state.
+
+    Timing uses the real clock — the parent's injected ``perf`` counter
+    cannot cross the process boundary — which is fine because ``elapsed``
+    is telemetry only, never part of the report payload.
+    """
+    start = time.perf_counter()
+    esv, memo_hit = _execute_formula_task(task, _WORKER_MEMO)
+    return _TaskOutcome(task.slot, esv, time.perf_counter() - start, memo_hit)
 
 
 @dataclass
@@ -360,20 +441,32 @@ class DPReverser:
             raise ValueError(
                 f"need at least one GP worker, got {self.config.gp_workers}"
             )
+        if self.config.gp_backend not in _GP_BACKENDS:
+            raise ValueError(
+                f"unknown gp_backend {self.config.gp_backend!r}; "
+                f"choose one of {sorted(_GP_BACKENDS)}"
+            )
         # Resolved attribute surface; existing call sites read these.
         self.gp_config = self.config.gp_config or GpConfig()
         self.ocr_seed = self.config.ocr_seed
         self.estimate_alignment = self.config.estimate_alignment
         self.stage_hook = self.config.stage_hook
         self.perf = self.config.perf or time.perf_counter
-        #: Worker threads for per-ESV formula inference.  Each ESV's GP run
-        #: is independently seeded (:func:`_stable_seed`), so parallel
-        #: execution changes wall-clock only, never the inferred formulas.
-        #: Threads (not processes) because the fitness hot path lives in
-        #: numpy, which releases the GIL; scaling is therefore partial but
-        #: comes with zero pickling/startup cost inside an already
-        #: process-parallel fleet job.
+        #: Worker count for per-ESV formula inference.  Each ESV's GP run
+        #: is independently seeded (:func:`_stable_seed`) and outcomes
+        #: merge back in slot order, so parallel execution changes
+        #: wall-clock only, never the report.  The fitness hot path is the
+        #: compiled-program interpreter loop: Python bytecode dispatching
+        #: numpy calls on arrays of a few dozen samples, so the GIL is held
+        #: nearly the whole time and threads serialise on it.  Real speedup
+        #: needs the ``process`` backend, which ``"auto"`` selects whenever
+        #: ``gp_workers > 1``.
         self.gp_workers = self.config.gp_workers
+        self.gp_backend = self.config.gp_backend
+        self.gp_memo_dir = str(self.config.gp_memo_dir or "")
+        #: Formula-memo traffic accumulated across :meth:`infer` calls;
+        #: stays all-zero while memoisation is off.
+        self.memo_stats = {"hits": 0, "misses": 0}
         noise = self.config.noise
         self.noise = noise if noise is not None and not noise.is_null else None
 
@@ -518,10 +611,11 @@ class DPReverser:
         """Plan, then execute, formula inference for every matched ESV.
 
         Enum ESVs resolve during planning (cheap); formula ESVs become
-        :class:`_FormulaTask`\\ s that run serially or fan out over a
-        thread pool (:attr:`gp_workers`).  Each task's GP config carries a
-        seed derived from the ESV identifier alone, so the two execution
-        modes produce byte-identical reports.
+        lean, picklable :class:`_FormulaTask`\\ s that run on the
+        configured backend (:attr:`gp_backend` / :attr:`gp_workers`).
+        Each task's GP config carries a seed derived from the ESV
+        identifier alone, and outcomes merge back in slot order, so every
+        backend produces byte-identical reports.
         """
         esvs: List[Optional[ReversedEsv]] = []
         tasks: List[_FormulaTask] = []
@@ -553,7 +647,9 @@ class DPReverser:
             tasks.append(
                 _FormulaTask(
                     slot=len(esvs),
-                    match=match,
+                    identifier=match.identifier,
+                    label=match.label,
+                    match_score=match.score,
                     observations=observations,
                     series=series,
                     config=config,
@@ -562,87 +658,78 @@ class DPReverser:
                 )
             )
             esvs.append(None)  # placeholder filled by the execution pass
-        if self.gp_workers > 1 and len(tasks) > 1:
-            self._infer_parallel(tasks, esvs)
-        else:
-            for task in tasks:
-                start = self.perf()
-                esvs[task.slot] = self._infer_formula_esv(task)
-                if self.stage_hook is not None:
-                    self.stage_hook("gp_formula", self.perf() - start)
+        for outcome in sorted(self._execute_tasks(tasks), key=lambda o: o.slot):
+            esvs[outcome.slot] = outcome.esv
+            if outcome.memo_hit is not None:
+                self.memo_stats["hits" if outcome.memo_hit else "misses"] += 1
+            if self.stage_hook is not None:
+                self.stage_hook("gp_formula", outcome.elapsed)
         return esvs  # type: ignore[return-value]  # every slot is filled
 
-    def _infer_formula_esv(self, task: _FormulaTask) -> ReversedEsv:
-        inferred = infer_formula(task.observations, task.series, task.config)
-        return ReversedEsv(
-            identifier=task.match.identifier,
-            protocol=task.protocol,
-            label=task.match.label,
-            formula=inferred,
-            is_enum=False,
-            samples=[tuple(o.variables()) for o in task.observations],
-            match_score=task.match.score,
-            formula_type=task.formula_type,
-        )
+    def _resolve_backend(self, n_tasks: int) -> str:
+        """The backend one inference pass actually uses.
 
-    def _infer_parallel(
-        self, tasks: List[_FormulaTask], esvs: List[Optional[ReversedEsv]]
-    ) -> None:
-        """Fan formula tasks out over the runtime scheduler's thread pool.
-
-        Inference itself raises on bugs rather than degrading, so the pool
-        runs with retries off and any failed task is re-raised here —
-        parallel mode keeps serial mode's exception behaviour.
+        A single worker or a single task always runs serially in-process
+        (no pool is worth starting); ``"auto"`` otherwise picks the
+        process pool, the only backend the GIL lets scale.
         """
-        # Imported lazily: core must stay importable without the runtime
-        # layer (which itself imports core inside worker entry points).
-        from ..runtime.job import JobResult
-        from ..runtime.scheduler import Scheduler, SchedulerConfig
+        if self.gp_workers == 1 or n_tasks <= 1:
+            return "serial"
+        if self.gp_backend == "auto":
+            return "process"
+        return self.gp_backend
 
-        lock = threading.Lock()
-        outputs: Dict[str, ReversedEsv] = {}
+    def _execute_tasks(self, tasks: List[_FormulaTask]) -> List[_TaskOutcome]:
+        """Run every planned task on the resolved backend.
 
-        def runner(spec: _FormulaJobSpec) -> JobResult:
-            start = self.perf()
-            esv = self._infer_formula_esv(spec.task)
-            elapsed = self.perf() - start
-            with lock:
-                outputs[spec.job_id] = esv
-                if self.stage_hook is not None:
-                    self.stage_hook("gp_formula", elapsed)
-            return JobResult(
-                job_id=spec.job_id,
-                car_key=spec.car_key,
-                status="ok",
-                stage_seconds={"gp_formula": elapsed},
-                wall_seconds=elapsed,
-            )
+        Inference raises on bugs rather than degrading, and both pool
+        backends re-raise the first task exception out of ``result()`` —
+        parallel modes keep serial mode's exception behaviour.
+        """
+        if not tasks:
+            return []
+        backend = self._resolve_backend(len(tasks))
+        if backend == "process":
+            return self._run_tasks_process(tasks)
+        memo = FormulaMemo(self.gp_memo_dir) if self.gp_memo_dir else None
+        if backend == "thread":
+            return self._run_tasks_thread(tasks, memo)
+        return [self._run_one(task, memo) for task in tasks]
 
-        specs = [
-            _FormulaJobSpec(
-                job_id=f"esv-{task.slot}-{task.match.identifier}",
-                car_key=task.match.identifier,
-                task=task,
-            )
-            for task in tasks
-        ]
-        scheduler = Scheduler(
-            SchedulerConfig(
-                workers=min(self.gp_workers, len(specs)),
-                pool="thread",
-                max_retries=0,
-            ),
-            runner=runner,
-            perf=self.perf,
-        )
-        report = scheduler.run(specs)
-        failed = [result for result in report.results if not result.ok]
-        if failed:
-            raise RuntimeError(
-                f"formula inference failed for {failed[0].car_key}: {failed[0].error}"
-            )
-        for spec in specs:
-            esvs[spec.task.slot] = outputs[spec.job_id]
+    def _run_one(
+        self, task: _FormulaTask, memo: Optional[FormulaMemo]
+    ) -> _TaskOutcome:
+        """Serial/thread task execution, timed with the injected clock."""
+        start = self.perf()
+        esv, memo_hit = _execute_formula_task(task, memo)
+        return _TaskOutcome(task.slot, esv, self.perf() - start, memo_hit)
+
+    def _run_tasks_thread(
+        self, tasks: List[_FormulaTask], memo: Optional[FormulaMemo]
+    ) -> List[_TaskOutcome]:
+        """Thread-pool backend: zero startup cost, GIL-bound scaling."""
+        with ThreadPoolExecutor(
+            max_workers=min(self.gp_workers, len(tasks))
+        ) as pool:
+            futures = [pool.submit(self._run_one, task, memo) for task in tasks]
+            return [future.result() for future in futures]
+
+    def _run_tasks_process(self, tasks: List[_FormulaTask]) -> List[_TaskOutcome]:
+        """Process-pool backend: persistent warmed workers, lean payloads.
+
+        Workers are initialised once (:func:`_gp_worker_init`) and then
+        receive only pickled :class:`_FormulaTask` payloads; results carry
+        the stage timings and memo flags back because neither
+        :attr:`stage_hook` nor the parent memo handle can cross the
+        process boundary.
+        """
+        with ProcessPoolExecutor(
+            max_workers=min(self.gp_workers, len(tasks)),
+            initializer=_gp_worker_init,
+            initargs=(self.gp_memo_dir,),
+        ) as pool:
+            futures = [pool.submit(_run_formula_task, task) for task in tasks]
+            return [future.result() for future in futures]
 
 
 def _stable_seed(identifier: str, base: int) -> int:

@@ -15,6 +15,7 @@ recorded data can be fed to the pipeline):
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -45,6 +46,19 @@ def write_json_atomic(path: Union[str, Path], payload: object, indent: int = 2) 
     tmp.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
     os.replace(tmp, path)
     return path
+
+
+def canonical_digest(payload: object) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``.
+
+    Canonical = sorted keys, tight separators — the same bytes regardless
+    of dict insertion order, which is what makes the digest usable as an
+    identity: :meth:`repro.runtime.report.RunReport.results_digest` hashes
+    fleet results with it, and the GP formula memo keys its entries on the
+    digest of each ESV's dataset.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def read_json(path: Union[str, Path]) -> object:

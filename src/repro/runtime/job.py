@@ -48,12 +48,21 @@ class JobSpec:
     #: parallel workers overlap.  Does not affect the result payload, so it
     #: is excluded from :attr:`job_id`.
     live_latency_s: float = 0.0
-    #: Threads for per-ESV GP inference inside this job (see
+    #: Workers for per-ESV GP inference inside this job (see
     #: :attr:`repro.core.reverser.DPReverser.gp_workers`).  Each ESV's GP
     #: run is independently seeded, so parallelism changes wall-clock only,
     #: never the payload — excluded from :attr:`job_id` like
     #: :attr:`live_latency_s`.
     gp_workers: int = 1
+    #: Per-ESV inference backend (``"auto"``/``"serial"``/``"thread"``/
+    #: ``"process"``).  Every backend produces byte-identical payloads, so
+    #: this is execution policy like :attr:`gp_workers` — excluded from
+    #: :attr:`job_id`.
+    gp_backend: str = "auto"
+    #: Directory of the cross-run formula memo store (empty = off).  Memo
+    #: hits replay the exact stored result, so the payload is unchanged —
+    #: excluded from :attr:`job_id`.
+    gp_memo_dir: str = ""
     #: Capture-noise profile in :meth:`~repro.can.NoiseProfile.parse` form
     #: (e.g. ``"default"`` or ``"drop=0.02,dup=0.01"``).  Empty string =
     #: clean capture.  Changes the outcome, so it contributes to
@@ -98,6 +107,8 @@ class JobSpec:
             "gp_overrides": [list(pair) for pair in self.gp_overrides],
             "live_latency_s": self.live_latency_s,
             "gp_workers": self.gp_workers,
+            "gp_backend": self.gp_backend,
+            "gp_memo_dir": self.gp_memo_dir,
             "noise_spec": self.noise_spec,
             "noise_seed": self.noise_seed,
         }
@@ -114,6 +125,8 @@ class JobSpec:
             ),
             live_latency_s=payload.get("live_latency_s", 0.0),
             gp_workers=payload.get("gp_workers", 1),
+            gp_backend=payload.get("gp_backend", "auto"),
+            gp_memo_dir=payload.get("gp_memo_dir", ""),
             noise_spec=payload.get("noise_spec", ""),
             noise_seed=payload.get("noise_seed", 0),
         )
@@ -221,6 +234,8 @@ def fleet_job_specs(
     read_duration_s: float = 30.0,
     gp_overrides: Tuple[Tuple[str, object], ...] = (),
     gp_workers: int = 1,
+    gp_backend: str = "auto",
+    gp_memo_dir: str = "",
     noise_spec: str = "",
     noise_seed: int = 0,
 ) -> List[JobSpec]:
@@ -238,6 +253,8 @@ def fleet_job_specs(
             read_duration_s=read_duration_s,
             gp_overrides=gp_overrides,
             gp_workers=gp_workers,
+            gp_backend=gp_backend,
+            gp_memo_dir=gp_memo_dir,
             noise_spec=noise_spec,
             noise_seed=noise_seed,
         )
@@ -280,6 +297,8 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
             stage_hook=record_stage,
             perf=perf,
             gp_workers=spec.gp_workers,
+            gp_backend=spec.gp_backend,
+            gp_memo_dir=spec.gp_memo_dir,
             noise=spec.noise_profile(),
         )
     )

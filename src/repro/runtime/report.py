@@ -9,13 +9,12 @@ scheduler's equivalence tests and the scaling benchmark assert.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
 
-from ..persistence import write_json_atomic
+from ..persistence import canonical_digest, write_json_atomic
 from .job import JobResult
 
 
@@ -59,12 +58,9 @@ class RunReport:
 
     def results_digest(self) -> str:
         """SHA-256 over the deterministic payloads, in job-id order."""
-        canonical = json.dumps(
-            [result.deterministic_payload() for result in self.results],
-            sort_keys=True,
-            separators=(",", ":"),
+        return canonical_digest(
+            [result.deterministic_payload() for result in self.results]
         )
-        return hashlib.sha256(canonical.encode()).hexdigest()
 
     def to_dict(self) -> dict:
         return {

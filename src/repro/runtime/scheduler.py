@@ -38,6 +38,37 @@ from .report import RunReport
 
 POOL_KINDS = ("serial", "thread", "process")
 
+#: The per-process runner installed by :func:`_process_worker_init`.
+#: Module-level because :class:`ProcessPoolExecutor` only ships
+#: module-level callables to workers.
+_WORKER_RUNNER: Optional[Callable[[JobSpec], JobResult]] = None
+
+
+def _process_worker_init(runner: Callable[[JobSpec], JobResult]) -> None:
+    """Set up one pool worker: install the runner, warm the hot paths.
+
+    Runs once per worker process, so each job submission afterwards ships
+    only its lean :class:`JobSpec` — the runner is never re-pickled per
+    submit — and the first job in every worker no longer pays the lazy
+    imports and compiled-tree table initialisation that :func:`run_job`
+    would otherwise trigger (visible as first-job latency under ``spawn``
+    start methods, where workers do not inherit the parent's modules).
+    """
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner
+    from ..core.gp import prime_instruction_tables
+
+    # Touch the modules run_job imports lazily inside the worker.
+    from .. import cps, tools, vehicle  # noqa: F401
+
+    prime_instruction_tables()
+
+
+def _invoke_worker_runner(spec: JobSpec) -> JobResult:
+    """Process-pool submit target: run ``spec`` on the installed runner."""
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    return _WORKER_RUNNER(spec)
+
 
 @dataclass
 class SchedulerConfig:
@@ -173,16 +204,25 @@ class Scheduler:
     # ----------------------------------------------------------------- pool
 
     def _run_pool(self, specs: Sequence[JobSpec]) -> Dict[str, JobResult]:
-        executor_cls = (
-            ThreadPoolExecutor if self.config.pool == "thread" else ProcessPoolExecutor
-        )
-        executor = executor_cls(max_workers=self.config.workers)
+        if self.config.pool == "thread":
+            executor = ThreadPoolExecutor(max_workers=self.config.workers)
+            submit_target = self.runner
+        else:
+            # Persistent warmed workers: the runner crosses the process
+            # boundary once (at pool start), and each submission afterwards
+            # pickles only the JobSpec.
+            executor = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                initializer=_process_worker_init,
+                initargs=(self.runner,),
+            )
+            submit_target = _invoke_worker_runner
         results: Dict[str, JobResult] = {}
         pending: Dict[Future, Tuple[JobSpec, int, float]] = {}
 
         def submit(spec: JobSpec, attempt: int) -> None:
             self.events.emit("job_started", job_id=spec.job_id, attempt=attempt)
-            pending[executor.submit(self.runner, spec)] = (spec, attempt, self.perf())
+            pending[executor.submit(submit_target, spec)] = (spec, attempt, self.perf())
 
         try:
             for spec in specs:
