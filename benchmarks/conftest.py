@@ -17,6 +17,8 @@ from typing import Dict, Tuple
 
 import pytest
 
+import bench_io
+
 from repro.core import AnalysisContext, DPReverser, GpConfig, ReverserConfig, ReverseReport, check_formula
 from repro.cps import Capture, DataCollector
 from repro.tools import make_tool_for_car
@@ -113,6 +115,42 @@ def report_file(request):
     _initialised_reports.add(path)
     with path.open(mode) as handle:
         handle.write("\n".join(lines) + "\n")
+
+
+_bench_accumulators: Dict[str, dict] = {}
+
+
+@pytest.fixture()
+def bench_artifact(request):
+    """Accumulate structured metrics into benchmarks/results/BENCH_<name>.json.
+
+    Call ``bench_artifact(metrics, units, config=...)`` any number of times
+    (parametrised tests included); the artifact is rewritten after each
+    test with everything the module has recorded so far, mirroring how
+    :func:`report_file` accumulates the text table.  Schema and writer live
+    in :mod:`bench_io`; CI uploads the artifacts and diffs them against the
+    committed baselines with ``scripts/bench_compare.py``.
+    """
+    name = request.module.__name__.replace("test_", "")
+    state = _bench_accumulators.setdefault(
+        name, {"metrics": {}, "units": {}, "config": {}}
+    )
+
+    def record(
+        metrics: Dict[str, float],
+        units: Dict[str, str],
+        config: Dict[str, object] = None,
+    ) -> None:
+        state["metrics"].update(metrics)
+        state["units"].update(units)
+        if config:
+            state["config"].update(config)
+
+    yield record
+    if state["metrics"]:
+        bench_io.write_bench(
+            RESULTS_DIR, name, state["metrics"], state["units"], state["config"]
+        )
 
 
 def verify_car(fleet, key: str):

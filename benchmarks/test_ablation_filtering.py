@@ -40,7 +40,7 @@ def precision_from_series(fleet, key, use_filtered):
     return correct, total
 
 
-def test_ablation_two_stage_filter(benchmark, report_file, fleet):
+def test_ablation_two_stage_filter(benchmark, report_file, bench_artifact, fleet):
     def run():
         filtered = precision_from_series(fleet, "L", use_filtered=True)
         raw = precision_from_series(fleet, "L", use_filtered=False)
@@ -53,12 +53,26 @@ def test_ablation_two_stage_filter(benchmark, report_file, fleet):
         f"Car L with filter: {f_correct}/{f_total} = {f_correct/f_total:.1%}; "
         f"without: {r_correct}/{r_total} = {r_correct/max(r_total,1):.1%}"
     )
+    bench_artifact(
+        {
+            "filtered_correct": f_correct,
+            "filtered_total": f_total,
+            "raw_correct": r_correct,
+            "raw_total": r_total,
+        },
+        {
+            "filtered_correct": "count",
+            "filtered_total": "count",
+            "raw_correct": "count",
+            "raw_total": "count",
+        },
+    )
     # The filter never hurts; GP's own trimming absorbs some of the noise.
     assert f_correct / f_total >= r_correct / max(r_total, 1) - 1e-9
 
 
 @pytest.mark.parametrize("error_rate", [0.02, 0.15, 0.40])
-def test_ablation_ocr_noise_sweep(benchmark, report_file, error_rate):
+def test_ablation_ocr_noise_sweep(benchmark, report_file, bench_artifact, error_rate):
     """End-to-end precision for one car under increasing OCR error rates."""
     car = build_car("D")
     tool = make_tool_for_car("D", car)
@@ -84,6 +98,11 @@ def test_ablation_ocr_noise_sweep(benchmark, report_file, error_rate):
     report_file(
         f"OCR frame error {error_rate:.0%}: matched {matched}/12 formula ESVs, "
         f"precision {precision:.1%}"
+    )
+    tag = f"ocr_err_{int(error_rate * 100)}"
+    bench_artifact(
+        {f"{tag}_correct": correct, f"{tag}_total": total},
+        {f"{tag}_correct": "count", f"{tag}_total": "count"},
     )
     if error_rate <= 0.02:
         assert precision == 1.0 and matched == 12

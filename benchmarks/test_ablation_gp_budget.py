@@ -42,7 +42,7 @@ def hard_esvs(fleet, keys=("K", "B"), limit=8):
     return cases
 
 
-def test_ablation_gp_budget(benchmark, report_file, fleet):
+def test_ablation_gp_budget(benchmark, report_file, bench_artifact, fleet):
     cases = hard_esvs(fleet)
     assert len(cases) >= 6
 
@@ -62,11 +62,19 @@ def test_ablation_gp_budget(benchmark, report_file, fleet):
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     report_file(f"GP budget ablation over {len(cases)} KWP ESVs:")
+    metrics = {"cases": len(cases)}
+    units = {"cases": "count"}
     for label, (correct, per_formula) in results.items():
         report_file(
             f"  {label}: {correct}/{len(cases)} correct, "
             f"{per_formula*1000:.0f} ms per formula"
         )
+        tag = label.split(" ")[0]
+        metrics[f"{tag}_correct"] = correct
+        metrics[f"{tag}_ms_per_formula"] = per_formula * 1000.0
+        units[f"{tag}_correct"] = "count"
+        units[f"{tag}_ms_per_formula"] = "ms"
+    bench_artifact(metrics, units)
 
     # Precision must not degrade going default -> paper budget, and the
     # paper budget must cost the most time.

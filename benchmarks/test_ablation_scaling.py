@@ -54,7 +54,7 @@ def run_quadrant(xs, ys, use_table2, use_linear_scaling):
     return sum(errors) / len(errors)
 
 
-def test_ablation_table2_scaling(benchmark, report_file):
+def test_ablation_table2_scaling(benchmark, report_file, bench_artifact):
     cases = wide_range_cases()
 
     def run():
@@ -70,11 +70,15 @@ def test_ablation_table2_scaling(benchmark, report_file):
     quadrants = benchmark.pedantic(run, rounds=1, iterations=1)
     report_file("Ablation - Tab. 2 scaling x linear-scaling fitness")
     report_file("  (mean relative error over 3 wide-range formula cases)")
+    metrics = {}
     for (table2, linear), error in sorted(quadrants.items(), reverse=True):
         report_file(
             f"  Tab.2={'on ' if table2 else 'off'} "
             f"linear-scaling={'on ' if linear else 'off'}: {error:.2%}"
         )
+        tag = f"tab2_{'on' if table2 else 'off'}_ls_{'on' if linear else 'off'}"
+        metrics[f"{tag}_rel_error"] = error
+    bench_artifact(metrics, {name: "ratio" for name in metrics})
 
     # The shipped default and the paper's configuration are both accurate.
     assert quadrants[(True, True)] < 0.02

@@ -75,7 +75,12 @@ def _time_engine(cases, config):
     return best, results
 
 
-def test_compiled_vs_interpreted(benchmark, report_file, fleet):
+#: Knobs that shape every artifact this module writes (the comparer flags
+#: artifacts produced under a different fingerprint as non-comparable).
+BENCH_CONFIG = {"quick": QUICK, "workers": WORKERS, "rounds": ROUNDS}
+
+
+def test_compiled_vs_interpreted(benchmark, report_file, bench_artifact, fleet):
     cases = formula_cases(fleet)
     assert len(cases) >= 2
 
@@ -105,9 +110,24 @@ def test_compiled_vs_interpreted(benchmark, report_file, fleet):
     report_file(f"  compiled + fitness cache (default):        {fast_s/len(cases)*1000:7.0f} ms/formula")
     report_file(f"  speedup: {speedup:.2f}x, identical formulas on all {len(cases)} ESVs")
     report_file()
+    bench_artifact(
+        {
+            "engine_cases": len(cases),
+            "compiled_ms_per_formula": round(fast_s / len(cases) * 1000, 3),
+            "interpreted_ms_per_formula": round(slow_s / len(cases) * 1000, 3),
+            "compiled_speedup": round(speedup, 3),
+        },
+        {
+            "engine_cases": "count",
+            "compiled_ms_per_formula": "ms",
+            "interpreted_ms_per_formula": "ms",
+            "compiled_speedup": "x",
+        },
+        config=BENCH_CONFIG,
+    )
 
 
-def test_serial_vs_parallel_esvs(benchmark, report_file, fleet):
+def test_serial_vs_parallel_esvs(benchmark, report_file, bench_artifact, fleet):
     context = fleet.context("K")
 
     def reverse(workers, backend):
@@ -152,6 +172,25 @@ def test_serial_vs_parallel_esvs(benchmark, report_file, fleet):
         f"(scales with physical cores; this host has {os.cpu_count()})"
     )
     report_file("  identical report asserted on every backend")
+    bench_artifact(
+        {
+            "backend_formula_esvs": n,
+            "serial_s": round(timings["serial"], 3),
+            "thread_s": round(timings["thread"], 3),
+            "process_s": round(timings["process"], 3),
+            "thread_speedup": round(thread_x, 3),
+            "process_speedup": round(process_x, 3),
+        },
+        {
+            "backend_formula_esvs": "count",
+            "serial_s": "s",
+            "thread_s": "s",
+            "process_s": "s",
+            "thread_speedup": "x",
+            "process_speedup": "x",
+        },
+        config=BENCH_CONFIG,
+    )
     if ASSERT_TIMING:
         assert process_x >= 2.5, (
             f"process backend only {process_x:.2f}x over serial "
@@ -159,7 +198,7 @@ def test_serial_vs_parallel_esvs(benchmark, report_file, fleet):
         )
 
 
-def test_memo_cold_vs_warm(benchmark, report_file, fleet, tmp_path):
+def test_memo_cold_vs_warm(benchmark, report_file, bench_artifact, fleet, tmp_path):
     context = fleet.context("K")
     memo_dir = str(tmp_path / "memo")
 
@@ -198,6 +237,23 @@ def test_memo_cold_vs_warm(benchmark, report_file, fleet, tmp_path):
     report_file(
         f"  warm (recall only):   {warm_s:6.2f} s ({n} hits, "
         f"{cold_s / warm_s:.0f}x faster, identical report asserted)"
+    )
+    bench_artifact(
+        {
+            "memo_formula_esvs": n,
+            "memo_cold_s": round(cold_s, 3),
+            "memo_warm_s": round(warm_s, 3),
+            "memo_speedup": round(cold_s / warm_s, 3),
+            "memo_warm_hits": warm_stats["hits"],
+        },
+        {
+            "memo_formula_esvs": "count",
+            "memo_cold_s": "s",
+            "memo_warm_s": "s",
+            "memo_speedup": "x",
+            "memo_warm_hits": "count",
+        },
+        config=BENCH_CONFIG,
     )
     if ASSERT_TIMING:
         assert warm_s < cold_s / 3, (

@@ -13,7 +13,7 @@ from repro.core import DPReverser, GpConfig, ReverserConfig, check_formula
 from repro.tools import KLineDiagnosticSession, build_kline_vehicle
 
 
-def test_kline_pipeline(benchmark, report_file):
+def test_kline_pipeline(benchmark, report_file, bench_artifact):
     vehicle = build_kline_vehicle()
     session = KLineDiagnosticSession(vehicle)
     capture, messages = session.collect(duration_per_ecu_s=30.0)
@@ -43,6 +43,18 @@ def test_kline_pipeline(benchmark, report_file):
         f"K-Line KWP 2000: {len(vehicle.bus.capture)} wire bytes, "
         f"{len(messages)} messages; reversed {len(report.formula_esvs)}/"
         f"{len(truth)} ESVs, {correct} correct"
+    )
+    bench_artifact(
+        {
+            "kline_correct": correct,
+            "kline_total": len(truth),
+            "kline_wire_bytes": len(vehicle.bus.capture),
+        },
+        {
+            "kline_correct": "count",
+            "kline_total": "count",
+            "kline_wire_bytes": "count",
+        },
     )
     assert len(report.formula_esvs) == len(truth)
     assert correct == len(truth)

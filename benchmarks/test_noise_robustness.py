@@ -57,7 +57,15 @@ def recover(fleet, key, scale):
     return correct, total, lost
 
 
-def test_recovery_vs_noise_curve(benchmark, report_file, fleet):
+BENCH_CONFIG = {
+    "quick": QUICK,
+    "sweep_cars": SWEEP_CARS,
+    "sweep_scales": SWEEP_SCALES,
+    "noise_seed": NOISE_SEED,
+}
+
+
+def test_recovery_vs_noise_curve(benchmark, report_file, bench_artifact, fleet):
     def sweep():
         rows = []
         for scale in SWEEP_SCALES:
@@ -85,6 +93,18 @@ def test_recovery_vs_noise_curve(benchmark, report_file, fleet):
         )
     report_file()
 
+    metrics = {}
+    units = {}
+    for scale, correct, total, lost in rows:
+        tag = f"scale_{scale:g}".replace(".", "p")
+        metrics[f"{tag}_correct"] = correct
+        metrics[f"{tag}_total"] = total
+        metrics[f"{tag}_lost"] = lost
+        units[f"{tag}_correct"] = "count"
+        units[f"{tag}_total"] = "count"
+        units[f"{tag}_lost"] = "count"
+    bench_artifact(metrics, units, config=BENCH_CONFIG)
+
     # Zero noise is byte-identical to the clean pipeline: no transport
     # losses, and recovery equals the Tab. 6 precision (which is itself
     # below 100% — display lag and OCR noise are part of the paper).
@@ -98,7 +118,7 @@ def test_recovery_vs_noise_curve(benchmark, report_file, fleet):
     assert rows[-1][1] <= rows[0][1] + 2
 
 
-def test_fleet_recovers_at_default_noise(benchmark, report_file, fleet):
+def test_fleet_recovers_at_default_noise(benchmark, report_file, bench_artifact, fleet):
     """Acceptance: every fleet vehicle completes under the default profile
     and the fleet-wide recovery stays above the floor."""
 
@@ -119,5 +139,14 @@ def test_fleet_recovers_at_default_noise(benchmark, report_file, fleet):
         f"Full fleet at default noise ({len(FLEET_CARS)} cars): "
         f"{correct}/{total} = {rate:.1%} recovered "
         f"(floor {RECOVERY_FLOOR:.0%}; worst car {worst[0]}: {worst[1]}/{worst[2]})"
+    )
+    bench_artifact(
+        {
+            "fleet_correct": correct,
+            "fleet_total": total,
+            "fleet_recovery": round(rate, 4),
+        },
+        {"fleet_correct": "count", "fleet_total": "count", "fleet_recovery": "ratio"},
+        config=BENCH_CONFIG,
     )
     assert rate >= RECOVERY_FLOOR

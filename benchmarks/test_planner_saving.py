@@ -16,7 +16,7 @@ N_LAYOUTS = 200
 SCREEN = (800, 600)
 
 
-def test_planner_saving(benchmark, report_file):
+def test_planner_saving(benchmark, report_file, bench_artifact):
     rng = random.Random(2022)
 
     def measure():
@@ -37,10 +37,11 @@ def test_planner_saving(benchmark, report_file):
         f"{N_LAYOUTS} layouts of {N_TARGETS} targets — saving {saving:.1%} "
         f"(paper: 7.3% in time)"
     )
+    bench_artifact({"planner_saving": saving}, {"planner_saving": "ratio"})
     assert saving > 0.05
 
 
-def test_planner_near_optimal_small_instances(benchmark, report_file):
+def test_planner_near_optimal_small_instances(benchmark, report_file, bench_artifact):
     """NN vs exhaustive optimum on small instances (quality check)."""
     from repro.cps import brute_force_route
 
@@ -59,4 +60,5 @@ def test_planner_near_optimal_small_instances(benchmark, report_file):
 
     ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
     report_file(f"NN / optimal travel ratio (7 targets): {ratio:.3f}")
+    bench_artifact({"nn_vs_optimal": ratio}, {"nn_vs_optimal": "ratio"})
     assert ratio < 1.3  # heuristic stays close to optimal

@@ -21,7 +21,7 @@ from repro.vehicle import CAR_SPECS, build_car
 PAIRS = [("K", "Carly for VAG"), ("L", "Carly for Toyota")]
 
 
-def test_q6_tool_vs_app_coverage(benchmark, report_file):
+def test_q6_tool_vs_app_coverage(benchmark, report_file, bench_artifact):
     apps = build_corpus()
 
     def run():
@@ -35,7 +35,10 @@ def test_q6_tool_vs_app_coverage(benchmark, report_file):
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     report_file("Q6 - professional tool vs telematics-app coverage")
+    metrics = {}
     for key, comparison in results.items():
+        metrics[f"car_{key}_tool_esvs"] = comparison.tool_esvs
+        metrics[f"car_{key}_app_reachable"] = comparison.app_reachable_esvs
         report_file(
             f"  {CAR_SPECS[key].model}: tool reads {comparison.tool_esvs} "
             f"proprietary ESVs on {comparison.tool_ecus} ECUs; app requests "
@@ -47,6 +50,7 @@ def test_q6_tool_vs_app_coverage(benchmark, report_file):
         # The paper's finding: the proprietary surface is invisible to apps.
         assert comparison.app_reachable_esvs == 0
         assert comparison.tool_esvs > 0
+    bench_artifact(metrics, {name: "count" for name in metrics})
 
 
 def test_q6_request_protocol_mix(benchmark, report_file):

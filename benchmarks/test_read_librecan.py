@@ -17,7 +17,7 @@ from repro.core.read_baseline import librecan_match, read_analysis
 from repro.vehicle.broadcast import BroadcastEmitter, default_broadcast_vehicle
 
 
-def test_read_on_broadcast_traffic(benchmark, report_file):
+def test_read_on_broadcast_traffic(benchmark, report_file, bench_artifact):
     specs = default_broadcast_vehicle()
     log = BroadcastEmitter(specs).run(30.0)
 
@@ -41,10 +41,14 @@ def test_read_on_broadcast_traffic(benchmark, report_file):
         )
     # READ recovers roughly one physical field per true signal.
     total_true = sum(len(s.signals) for s in specs)
+    bench_artifact(
+        {"read_recovered": recovered_signals, "read_true_signals": total_true},
+        {"read_recovered": "count", "read_true_signals": "count"},
+    )
     assert recovered_signals >= total_true - 2
 
 
-def test_librecan_on_diagnostic_traffic(benchmark, report_file, fleet):
+def test_librecan_on_diagnostic_traffic(benchmark, report_file, bench_artifact, fleet):
     """LibreCAN phase-1 on DP-Reverser's input: nothing usable comes out."""
     car, capture = fleet.capture("A")
     truth = fleet.ground_truth("A")
@@ -73,6 +77,10 @@ def test_librecan_on_diagnostic_traffic(benchmark, report_file, fleet):
     report_file(
         f"Car A diagnostic capture: LibreCAN matched {len(matched)} labels; "
         f"DP-Reverser matched {dp_matched} ESVs from the same frames"
+    )
+    bench_artifact(
+        {"librecan_matched": len(matched), "dp_matched": dp_matched},
+        {"librecan_matched": "count", "dp_matched": "count"},
     )
     # The baseline extracts at most a stray coincidence; DP-Reverser gets all.
     assert len(matched) <= dp_matched // 4

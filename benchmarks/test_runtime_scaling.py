@@ -51,7 +51,7 @@ def timed_run(config, jobs):
     return report, time.perf_counter() - start
 
 
-def test_runtime_scaling(benchmark, report_file):
+def test_runtime_scaling(benchmark, report_file, bench_artifact):
     def compare():
         serial, t_serial = timed_run(
             SchedulerConfig(pool="serial"), specs(LIVE_LATENCY_S)
@@ -97,5 +97,24 @@ def test_runtime_scaling(benchmark, report_file):
     )
     report_file(
         f"  results digest (serial == parallel): {serial.results_digest()[:16]}..."
+    )
+    bench_artifact(
+        {
+            "rig_serial_s": out["t_serial"],
+            "rig_parallel_s": out["t_parallel"],
+            "rig_speedup": speedup,
+            "cpu_serial_s": out["t_cpu_serial"],
+            "cpu_parallel_s": out["t_cpu_parallel"],
+            "digests_equal": int(out["cpu_equal"]),
+        },
+        {
+            "rig_serial_s": "s",
+            "rig_parallel_s": "s",
+            "rig_speedup": "x",
+            "cpu_serial_s": "s",
+            "cpu_parallel_s": "s",
+            "digests_equal": "count",
+        },
+        config={"cars": len(CARS), "workers": WORKERS},
     )
     assert speedup > 1.5, f"parallel fleet run only {speedup:.2f}x faster than serial"

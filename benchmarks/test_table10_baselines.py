@@ -48,7 +48,7 @@ def baseline_scores(fleet, key):
     return linear_correct, poly_correct, total
 
 
-def test_table10_baseline_precision(benchmark, report_file, fleet):
+def test_table10_baseline_precision(benchmark, report_file, bench_artifact, fleet):
     def run_all():
         rows = {}
         for key in sorted(CAR_SPECS):
@@ -83,6 +83,22 @@ def test_table10_baseline_precision(benchmark, report_file, fleet):
         gp_total += len(report.formula_esvs)
     gp_precision = gp_correct / gp_total
     report_file(f"GP reference: {gp_correct}/{gp_total} = {gp_precision:.1%}")
+    bench_artifact(
+        {
+            "linear_correct": linear_total,
+            "poly_correct": poly_total,
+            "baseline_total": total,
+            "gp_correct": gp_correct,
+            "gp_total": gp_total,
+        },
+        {
+            "linear_correct": "count",
+            "poly_correct": "count",
+            "baseline_total": "count",
+            "gp_correct": "count",
+            "gp_total": "count",
+        },
+    )
 
     # The paper's shape: GP beats both baselines by a wide margin.
     assert gp_precision > linear_precision + 0.1

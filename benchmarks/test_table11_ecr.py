@@ -29,7 +29,7 @@ def test_table11_per_car(benchmark, report_file, fleet, key):
     assert service == {f"{spec.ecr_service:02X}"}
 
 
-def test_table11_total_and_procedure(benchmark, report_file, fleet):
+def test_table11_total_and_procedure(benchmark, report_file, bench_artifact, fleet):
     def run():
         total = 0
         labelled = 0
@@ -46,6 +46,10 @@ def test_table11_total_and_procedure(benchmark, report_file, fleet):
     report_file(f"Total distinct ECRs: {total} (paper: 124)")
     report_file(f"ECRs with recovered semantics: {labelled}/{total}")
     report_file(f"Example procedure: {patterns[0]}")
+    bench_artifact(
+        {"ecr_total": total, "ecr_labelled": labelled},
+        {"ecr_total": "count", "ecr_labelled": "count"},
+    )
 
     assert total == 124
     # Nearly every procedure gets its on-screen actuator name (a few may be

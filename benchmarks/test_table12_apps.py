@@ -17,7 +17,7 @@ from repro.apps import (
 )
 
 
-def test_table12_apps(benchmark, report_file):
+def test_table12_apps(benchmark, report_file, bench_artifact):
     apps = build_corpus()
 
     analysis = benchmark.pedantic(
@@ -52,9 +52,13 @@ def test_table12_apps(benchmark, report_file):
 
     assert len(apps) == TOTAL_APPS
     report_file(f"Corpus size: {len(apps)} apps (paper: 160)")
+    bench_artifact(
+        {"apps_with_uds_kwp": len(uds_kwp_apps), "corpus_size": len(apps)},
+        {"apps_with_uds_kwp": "count", "corpus_size": "count"},
+    )
 
 
-def test_table12_extraction_throughput(benchmark, report_file):
+def test_table12_extraction_throughput(benchmark, report_file, bench_artifact):
     """Microbenchmark: Alg. 1 over the biggest app (Carly for Mercedes)."""
     apps = build_corpus()
     carly = next(a for a in apps if a.name == "Carly for Mercedes")
@@ -66,5 +70,8 @@ def test_table12_extraction_throughput(benchmark, report_file):
     report_file(
         f"Carly for Mercedes: {len(formulas)} formulas from "
         f"{carly.statement_count()} IR statements"
+    )
+    bench_artifact(
+        {"carly_formulas": len(formulas)}, {"carly_formulas": "count"}
     )
     assert len(formulas) == 1624 + 468

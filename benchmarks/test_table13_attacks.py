@@ -15,7 +15,7 @@ ATTACK_CARS = ("G", "D", "L", "N")
 
 
 @pytest.mark.parametrize("key", ATTACK_CARS)
-def test_table13_attack_set(benchmark, report_file, key):
+def test_table13_attack_set(benchmark, report_file, bench_artifact, key):
     car = build_car(key)
 
     results = benchmark.pedantic(lambda: run_table13(car), rounds=1, iterations=1)
@@ -27,11 +27,15 @@ def test_table13_attack_set(benchmark, report_file, key):
             f"  [{status}] {result.description}: {result.messages[0]} -> "
             f"{result.observed_effect}"
         )
+    bench_artifact(
+        {f"car_{key}_attacks_ok": sum(r.success for r in results)},
+        {f"car_{key}_attacks_ok": "count"},
+    )
     assert results
     assert all(r.success for r in results)
 
 
-def test_table13_replay_recovered_ecrs(benchmark, report_file, fleet):
+def test_table13_replay_recovered_ecrs(benchmark, report_file, bench_artifact, fleet):
     """End to end: what DP-Reverser recovered from Car D's capture is
     injected verbatim into a *fresh* Car D and actuates the components."""
     report = fleet.report("D")
@@ -43,5 +47,8 @@ def test_table13_replay_recovered_ecrs(benchmark, report_file, fleet):
     report_file(f"Replayed {len(results)} recovered ECR procedures on fresh Car D")
     for result in results:
         report_file(f"  {result.description}: {result.observed_effect}")
+    bench_artifact(
+        {"replayed_ecrs": len(results)}, {"replayed_ecrs": "count"}
+    )
     assert len(results) == CAR_SPECS["D"].ecrs
     assert all(r.success for r in results)

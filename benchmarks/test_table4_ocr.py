@@ -30,7 +30,7 @@ def make_frames(count):
 
 
 @pytest.mark.parametrize("tool_name", ["AUTEL 919", "LAUNCH X431"])
-def test_table4_ocr_precision(benchmark, report_file, tool_name):
+def test_table4_ocr_precision(benchmark, report_file, bench_artifact, tool_name):
     profile = TOOL_PROFILES[tool_name]
     frames = make_frames(N_PICTURES)
     ocr = OcrEngine(profile.ocr_error_rate, seed=41)
@@ -50,6 +50,12 @@ def test_table4_ocr_precision(benchmark, report_file, tool_name):
     report_file(f"  #Correct    : {correct}")
     report_file(f"  Precision   : {precision:.1%} (paper: {PAPER[tool_name]:.1%})")
 
+    tag = tool_name.split()[0].lower()
+    bench_artifact(
+        {f"ocr_{tag}_correct": correct, f"ocr_{tag}_total": engine.frames_read},
+        {f"ocr_{tag}_correct": "count", f"ocr_{tag}_total": "count"},
+        config={"n_pictures": N_PICTURES},
+    )
     assert engine.frames_read == N_PICTURES
     assert precision == pytest.approx(PAPER[tool_name], abs=0.03)
 

@@ -38,7 +38,7 @@ def collect_obd_capture():
     )
 
 
-def test_table5_obd2_formulas(benchmark, report_file):
+def test_table5_obd2_formulas(benchmark, report_file, bench_artifact):
     capture = collect_obd_capture()
 
     def run():
@@ -67,6 +67,11 @@ def test_table5_obd2_formulas(benchmark, report_file):
         )
     precision = correct / len(obd2.TABLE5_PIDS)
     report_file(f"  Precision: {precision:.0%} (paper: 100%)")
+    bench_artifact(
+        {"obd2_correct": correct, "obd2_pids": len(obd2.TABLE5_PIDS)},
+        {"obd2_correct": "count", "obd2_pids": "count"},
+        config={"read_seconds": READ_SECONDS},
+    )
     assert precision == 1.0
 
     # Semantics: the app's PID names must be recovered from the screen.

@@ -15,7 +15,7 @@ PAPER_TOTAL_PRECISION = 0.983
 
 
 @pytest.mark.parametrize("key", sorted(CAR_SPECS))
-def test_table6_per_car(benchmark, report_file, fleet, key):
+def test_table6_per_car(benchmark, report_file, bench_artifact, fleet, key):
     spec = CAR_SPECS[key]
 
     report, correct, wrong = benchmark.pedantic(
@@ -33,6 +33,11 @@ def test_table6_per_car(benchmark, report_file, fleet, key):
         + (f"  wrong: {wrong}" if wrong else "")
     )
 
+    bench_artifact(
+        {f"car_{key}_correct": correct, f"car_{key}_formulas": n_formula},
+        {f"car_{key}_correct": "count", f"car_{key}_formulas": "count"},
+    )
+
     # Coverage: every ESV the tool displayed must be reversed.
     assert n_formula == spec.formula_esvs
     assert n_enum == spec.enum_esvs
@@ -43,7 +48,7 @@ def test_table6_per_car(benchmark, report_file, fleet, key):
     assert len(wrong) <= max(1, round(0.2 * n_formula))
 
 
-def test_table6_total(benchmark, report_file, fleet):
+def test_table6_total(benchmark, report_file, bench_artifact, fleet):
     def total():
         total_correct = total_formulas = 0
         for key in sorted(CAR_SPECS):
@@ -57,6 +62,18 @@ def test_table6_total(benchmark, report_file, fleet):
     report_file(
         f"Total: {total_correct}/{total_formulas} = {precision:.1%} "
         f"(paper: 285/290 = {PAPER_TOTAL_PRECISION:.1%})"
+    )
+    bench_artifact(
+        {
+            "total_correct": total_correct,
+            "total_formulas": total_formulas,
+            "total_precision": round(precision, 4),
+        },
+        {
+            "total_correct": "count",
+            "total_formulas": "count",
+            "total_precision": "ratio",
+        },
     )
     assert total_formulas == 290
     assert precision >= PAPER_TOTAL_PRECISION - 0.02

@@ -21,7 +21,7 @@ TABLE7 = {
 
 
 @pytest.mark.parametrize("key", sorted(TABLE7))
-def test_table7_dashboard_validation(benchmark, report_file, fleet, key):
+def test_table7_dashboard_validation(benchmark, report_file, bench_artifact, fleet, key):
     label, paper_formula = TABLE7[key]
 
     def run():
@@ -48,5 +48,9 @@ def test_table7_dashboard_validation(benchmark, report_file, fleet, key):
         f"Car {key}: {label}: inferred {esv.formula.description} "
         f"(paper: {paper_formula}) — dashboard agreement "
         f"{matches}/{len(esv.samples)} = {agreement:.1%}"
+    )
+    bench_artifact(
+        {f"car_{key}_agreement": round(agreement, 4)},
+        {f"car_{key}_agreement": "ratio"},
     )
     assert agreement >= 0.95

@@ -33,7 +33,7 @@ def sample_datasets(fleet, key, limit=5):
 
 
 @pytest.mark.parametrize("key,protocol", [("A", "UDS"), ("K", "KWP 2000")])
-def test_table8_time_cost(benchmark, report_file, fleet, key, protocol):
+def test_table8_time_cost(benchmark, report_file, bench_artifact, fleet, key, protocol):
     datasets = sample_datasets(fleet, key)
     assert datasets
 
@@ -59,12 +59,25 @@ def test_table8_time_cost(benchmark, report_file, fleet, key, protocol):
         f"polynomial {times['poly']*1000:.3f} ms "
         f"(paper: ~200 s vs <2 ms at 1000x30 GP budget)"
     )
+    tag = key.lower()
+    bench_artifact(
+        {
+            f"gp_ms_{tag}": round(times["gp"] * 1000, 3),
+            f"linear_ms_{tag}": round(times["linear"] * 1000, 4),
+            f"poly_ms_{tag}": round(times["poly"] * 1000, 4),
+        },
+        {
+            f"gp_ms_{tag}": "ms",
+            f"linear_ms_{tag}": "ms",
+            f"poly_ms_{tag}": "ms",
+        },
+    )
     # Shape: GP orders of magnitude slower than both closed-form baselines.
     assert times["gp"] > 50 * times["linear"]
     assert times["gp"] > 50 * times["poly"]
 
 
-def test_table8_paper_scale_budget(benchmark, report_file, fleet):
+def test_table8_paper_scale_budget(benchmark, report_file, bench_artifact, fleet):
     """One GP run at the paper's 1000x30 budget, for the scale comparison."""
     observations, series, __ = sample_datasets(fleet, "A", limit=1)[0]
     config = GpConfig(population_size=1000, generations=30, seed=2)
@@ -78,4 +91,5 @@ def test_table8_paper_scale_budget(benchmark, report_file, fleet):
         f"Paper-scale GP (1000x30): {elapsed:.1f} s for one formula "
         f"(paper: ~200 s on their hardware/dataset sizes)"
     )
+    bench_artifact({"paper_scale_gp_s": round(elapsed, 3)}, {"paper_scale_gp_s": "s"})
     assert result is not None

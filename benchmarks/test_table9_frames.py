@@ -12,7 +12,7 @@ from repro.core import assemble, multiframe_statistics
 from repro.core.fields import extract_fields
 
 
-def test_table9_uds_mix(benchmark, report_file, fleet):
+def test_table9_uds_mix(benchmark, report_file, bench_artifact, fleet):
     __, capture = fleet.capture("A")
 
     stats = benchmark.pedantic(
@@ -26,12 +26,26 @@ def test_table9_uds_mix(benchmark, report_file, fleet):
         f"({single_pct:.1%}, paper 55.1%), multi {stats['multi']} "
         f"({multi_pct:.1%}, paper 32.0%), control {stats['control']}"
     )
+    bench_artifact(
+        {
+            "uds_single": stats["single"],
+            "uds_multi": stats["multi"],
+            "uds_control": stats["control"],
+            "uds_total": total,
+        },
+        {
+            "uds_single": "count",
+            "uds_multi": "count",
+            "uds_control": "count",
+            "uds_total": "count",
+        },
+    )
     # Shape: both kinds are a substantial share of traffic.
     assert multi_pct > 0.15
     assert single_pct > 0.15
 
 
-def test_table9_kwp_mix(benchmark, report_file, fleet):
+def test_table9_kwp_mix(benchmark, report_file, bench_artifact, fleet):
     def merged_stats():
         totals = {"single": 0, "multi": 0, "control": 0, "total": 0}
         for key in ("B", "C"):
@@ -53,11 +67,15 @@ def test_table9_kwp_mix(benchmark, report_file, fleet):
         f"waiting for next {total - stats['single']} "
         f"({waiting_pct:.1%}, paper 75.2%)"
     )
+    bench_artifact(
+        {"kwp_last_frames": stats["single"], "kwp_total": total},
+        {"kwp_last_frames": "count", "kwp_total": "count"},
+    )
     # Shape: the large majority of KWP frames cannot be decoded alone.
     assert waiting_pct > 0.55
 
 
-def test_table9_reassembly_necessity(benchmark, report_file, fleet):
+def test_table9_reassembly_necessity(benchmark, report_file, bench_artifact, fleet):
     """Without reassembly, multi-frame payloads are unreadable.
 
     Field extraction over raw per-frame 'payloads' (the LibreCAN/READ view)
@@ -85,5 +103,12 @@ def test_table9_reassembly_necessity(benchmark, report_file, fleet):
     report_file(
         f"ESV observations with reassembly: {with_assembly}; "
         f"treating frames as payloads: {without_assembly}"
+    )
+    bench_artifact(
+        {
+            "obs_with_assembly": with_assembly,
+            "obs_without_assembly": without_assembly,
+        },
+        {"obs_with_assembly": "count", "obs_without_assembly": "count"},
     )
     assert with_assembly > 2 * without_assembly

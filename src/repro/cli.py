@@ -22,6 +22,55 @@ import time
 from pathlib import Path
 
 
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace-out`` / ``--metrics-out`` / ``--profile`` flags."""
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default="",
+        help="record a span trace and write trace.json (Chrome trace "
+        "format — open in Perfetto) plus spans.jsonl to this directory",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default="",
+        help="write the unified metrics snapshot to this file: Prometheus "
+        "text format when the name ends in .prom, canonical JSON otherwise",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage wall-clock profile table after the run",
+    )
+
+
+def _observability_requested(args: argparse.Namespace) -> bool:
+    return bool(args.trace_out or args.metrics_out or args.profile)
+
+
+def _emit_observability(args: argparse.Namespace, tracer, snapshot: dict) -> None:
+    """Write the trace/metrics artifacts the flags asked for.
+
+    Everything goes to stderr: stdout may be carrying the report itself
+    (``reverse --format json``) and must stay machine-parseable.
+    """
+    from .observability import profile_table, prometheus_text, snapshot_json
+
+    if args.trace_out:
+        chrome_path, jsonl_path = tracer.save(args.trace_out)
+        print(f"trace written to {chrome_path} (+ {jsonl_path.name})", file=sys.stderr)
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        if path.suffix == ".prom":
+            path.write_text(prometheus_text(snapshot))
+        else:
+            path.write_text(snapshot_json(snapshot) + "\n")
+        print(f"metrics written to {path}", file=sys.stderr)
+    if args.profile:
+        print(profile_table(tracer), file=sys.stderr)
+
+
 def _cmd_list_cars(args: argparse.Namespace) -> int:
     from .vehicle import CAR_SPECS
 
@@ -61,6 +110,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 def _cmd_reverse(args: argparse.Namespace) -> int:
     from .can import NoiseProfile
     from .core import DPReverser, GpConfig, ReverserConfig
+    from .observability import Tracer, build_snapshot
     from .persistence import load_capture
 
     try:
@@ -69,6 +119,7 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
         print(f"bad --noise-profile: {error}", file=sys.stderr)
         return 2
     capture = load_capture(args.capture)
+    tracer = Tracer() if _observability_requested(args) else None
     start = time.perf_counter()
     config = ReverserConfig(
         gp_config=GpConfig(seed=args.seed, compiled=args.gp_compiled),
@@ -76,10 +127,19 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
         gp_backend=args.gp_backend,
         gp_memo_dir=args.gp_memo,
         noise=noise,
+        trace=tracer,
     )
     reverser = DPReverser(config)
     report = reverser.reverse_engineer(capture)
     elapsed = time.perf_counter() - start
+    if tracer is not None:
+        snapshot = build_snapshot(
+            diagnostics=report.diagnostics,
+            fault_counts=report.noise_counts,
+            memo_stats=reverser.memo_stats if args.gp_memo else None,
+            tracer=tracer,
+        )
+        _emit_observability(args, tracer, snapshot)
     if args.format == "json":
         text = report.to_json()
     elif args.format == "markdown":
@@ -158,6 +218,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
     from .can import NoiseProfile
+    from .observability import Tracer, build_snapshot
     from .runtime import (
         CheckpointStore,
         EventLog,
@@ -175,6 +236,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"bad --noise-profile: {error}", file=sys.stderr)
         return 2
+    tracer = Tracer() if _observability_requested(args) else None
     try:
         specs = fleet_job_specs(
             args.cars,
@@ -185,6 +247,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             gp_memo_dir=args.gp_memo,
             noise_spec=noise_spec,
             noise_seed=args.noise_seed,
+            trace=tracer is not None,
         )
     except ValueError as error:
         print(f"{error}; see `list-cars`", file=sys.stderr)
@@ -212,9 +275,12 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
-    scheduler = Scheduler(config, checkpoint=checkpoint, events=events)
+    scheduler = Scheduler(config, checkpoint=checkpoint, events=events, tracer=tracer)
     report = scheduler.run(specs)
     print(report.summary())
+    if tracer is not None:
+        snapshot = build_snapshot(registry=scheduler.metrics, tracer=tracer)
+        _emit_observability(args, tracer, snapshot)
     if events is not None:
         events.close()
     if resume_dir is not None:
@@ -318,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed of the fault-injection stream (deterministic per seed)",
     )
+    _add_observability_args(reverse)
     reverse.set_defaults(func=_cmd_reverse)
 
     scan = commands.add_parser("scan", help="actively enumerate a car's identifiers")
@@ -387,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="base fault seed; each car derives an independent stream",
     )
+    _add_observability_args(fleet_run)
     fleet_run.set_defaults(func=_cmd_fleet_run)
 
     attack = commands.add_parser("attack", help="run the Tab. 13 attack set")

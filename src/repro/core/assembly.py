@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..can import CanFrame
+from ..observability.trace import get_active
 from ..transport.base import EVENT_PAYLOAD, EVENT_RESYNC, DecoderStats
 from ..transport.bmw import BmwReassembler
 from ..transport.isotp import IsoTpReassembler, PciType
@@ -157,15 +158,30 @@ def assemble_with_diagnostics(
     diagnostics = DecodeDiagnostics(transport=transport, frames=len(screened))
     streams: Dict[int, _StreamState] = {}
     messages: List[AssembledMessage] = []
-    for frame in screened:
-        state = streams.get(frame.can_id)
-        if state is None:
-            state = streams[frame.can_id] = _StreamState(transport)
-        messages.extend(state.feed(frame, diagnostics))
-    messages.sort(key=lambda m: m.t_last)
-    for can_id, state in sorted(streams.items()):
-        diagnostics.streams[can_id] = state.reassembler.stats
-        diagnostics.stats.merge(state.reassembler.stats)
+    tracer = get_active()
+    with tracer.span("decode", transport=transport, frames=len(screened)):
+        for frame in screened:
+            state = streams.get(frame.can_id)
+            if state is None:
+                state = streams[frame.can_id] = _StreamState(transport)
+            messages.extend(state.feed(frame, diagnostics))
+        messages.sort(key=lambda m: m.t_last)
+        for can_id, state in sorted(streams.items()):
+            stats = state.reassembler.stats
+            diagnostics.streams[can_id] = stats
+            diagnostics.stats.merge(stats)
+            if tracer.enabled:
+                with tracer.span(
+                    "decode_stream",
+                    can_id=f"{can_id:#x}",
+                    decoder=state.reassembler.KIND,
+                ) as span:
+                    span.set(
+                        frames=stats.frames,
+                        payloads=stats.payloads,
+                        errors=stats.errors,
+                        resyncs=stats.resyncs,
+                    )
     diagnostics.messages = len(messages)
     return messages, diagnostics
 

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..formulas import Formula
+from ..observability.trace import get_active
 from .fields import EsvObservation
 from .gp import (
     FitnessCache,
@@ -310,12 +311,18 @@ def _evolve_with_restarts(config: GpConfig, scaled: "ScaledDataset"):
     # same, only the seed changes, and restart populations re-derive the
     # same seeded shapes and small trees — immediate hits.
     cache = FitnessCache() if config.fitness_cache else None
+    tracer = get_active()
     best = None
     for attempt in range(MAX_RESTARTS):
         attempt_config = _replace(config, seed=config.seed + 7919 * attempt)
-        result = GeneticProgrammer(attempt_config, cache=cache).fit(
-            scaled.x_rows, scaled.y_values
-        )
+        with tracer.span("gp_restart", attempt=attempt) as span:
+            result = GeneticProgrammer(attempt_config, cache=cache).fit(
+                scaled.x_rows, scaled.y_values
+            )
+            span.set(
+                fitness=round(result.fitness, 6),
+                generations=attempt_config.generations,
+            )
         if best is None or result.fitness < best.fitness:
             best = result
         if best.fitness <= RESTART_FITNESS:

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..can.noise import FaultCounts, NoiseProfile, apply_noise
 from ..cps.collector import Capture
 from ..cps.ocr import OcrEngine
+from ..observability.trace import NULL_TRACER, Tracer, activate, activated, get_active
 from .alignment import estimate_offset_via_obd, shift_series
 from .assembly import AssembledMessage, DecodeDiagnostics, assemble_with_diagnostics
 from .ecr_analysis import EcrProcedure, attach_semantics, extract_procedures
@@ -81,6 +82,11 @@ class ReverserConfig:
     #: models a lossy OBD sniffer on a healthy bus.  ``None`` (the
     #: default) leaves the capture byte-identical to the clean pipeline.
     noise: Optional[NoiseProfile] = None
+    #: Tracer recording a hierarchical span per pipeline stage, GP task,
+    #: restart and memo lookup (:mod:`repro.observability.trace`).  ``None``
+    #: (the default) uses the shared disabled tracer: zero overhead, and
+    #: the report stays byte-identical either way.
+    trace: Optional[Tracer] = None
 
 
 _CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(ReverserConfig))
@@ -315,6 +321,10 @@ class _TaskOutcome:
     esv: ReversedEsv
     elapsed: float
     memo_hit: Optional[bool]  # None when memoisation was off
+    #: Spans recorded inside a pool worker (exported dict form) — the
+    #: parent grafts them into its own tracer during the merge, the same
+    #: route ``elapsed`` takes.  Empty unless tracing is on.
+    spans: List[dict] = field(default_factory=list)
 
 
 def _execute_formula_task(
@@ -323,8 +333,10 @@ def _execute_formula_task(
     """Run (or recall) one ESV's inference.  Shared by every backend."""
     memo_hit: Optional[bool] = None
     if memo is not None:
-        key = dataset_key(task.observations, task.series, task.config)
-        memo_hit, inferred = memo.get(key)
+        with get_active().span("memo_lookup", esv=task.identifier) as span:
+            key = dataset_key(task.observations, task.series, task.config)
+            memo_hit, inferred = memo.get(key)
+            span.set(hit=memo_hit)
         if not memo_hit:
             inferred = infer_formula(task.observations, task.series, task.config)
             memo.put(key, inferred)
@@ -347,20 +359,24 @@ def _execute_formula_task(
 #: worker by :func:`_gp_worker_init`.  Module-level because
 #: :class:`ProcessPoolExecutor` only ships module-level callables.
 _WORKER_MEMO: Optional[FormulaMemo] = None
+_WORKER_TRACE: bool = False
 
 
-def _gp_worker_init(memo_dir: str) -> None:
+def _gp_worker_init(memo_dir: str, trace: bool = False) -> None:
     """Warm one pool worker: instruction tables and the memo handle.
 
     Runs inside the child process right after it starts (spawn-safe — it
     touches only module-level state), so every task submitted afterwards
     finds hot compiled-tree instruction tables instead of repaying the
     lazy-initialisation cost, and a single memo handle instead of
-    reopening the store per task.
+    reopening the store per task.  ``trace`` mirrors the parent tracer's
+    enabled flag: workers record spans into a per-task tracer and ship
+    them back in the :class:`_TaskOutcome`.
     """
-    global _WORKER_MEMO
+    global _WORKER_MEMO, _WORKER_TRACE
     prime_instruction_tables()
     _WORKER_MEMO = FormulaMemo(memo_dir) if memo_dir else None
+    _WORKER_TRACE = trace
 
 
 def _run_formula_task(task: _FormulaTask) -> _TaskOutcome:
@@ -371,6 +387,21 @@ def _run_formula_task(task: _FormulaTask) -> _TaskOutcome:
     is telemetry only, never part of the report payload.
     """
     start = time.perf_counter()
+    if _WORKER_TRACE:
+        tracer = Tracer()
+        previous = activate(tracer)
+        try:
+            with tracer.span("gp_formula", esv=task.identifier):
+                esv, memo_hit = _execute_formula_task(task, _WORKER_MEMO)
+        finally:
+            activate(previous)
+        return _TaskOutcome(
+            task.slot,
+            esv,
+            time.perf_counter() - start,
+            memo_hit,
+            tracer.export_payload(),
+        )
     esv, memo_hit = _execute_formula_task(task, _WORKER_MEMO)
     return _TaskOutcome(task.slot, esv, time.perf_counter() - start, memo_hit)
 
@@ -469,14 +500,21 @@ class DPReverser:
         self.memo_stats = {"hits": 0, "misses": 0}
         noise = self.config.noise
         self.noise = noise if noise is not None and not noise.is_null else None
+        #: Tracer for hierarchical stage/GP/memo spans; the shared disabled
+        #: tracer when the config carries none, so every call site can use
+        #: it unconditionally.
+        self.tracer = self.config.trace or NULL_TRACER
 
     def _timed(self, stage: str, thunk: Callable[[], object]) -> object:
-        """Run ``thunk``, reporting its duration to :attr:`stage_hook`."""
-        if self.stage_hook is None:
+        """Run ``thunk``, reporting its duration to :attr:`stage_hook` and
+        recording a span when tracing is enabled."""
+        if self.stage_hook is None and not self.tracer.enabled:
             return thunk()
         start = self.perf()
-        result = thunk()
-        self.stage_hook(stage, self.perf() - start)
+        with self.tracer.span(stage):
+            result = thunk()
+        if self.stage_hook is not None:
+            self.stage_hook(stage, self.perf() - start)
         return result
 
     # -------------------------------------------------------------- stages 1-4
@@ -493,6 +531,15 @@ class DPReverser:
         not travel over CAN — e.g. K-Line byte logs de-framed by
         :func:`repro.transport.kline.parse_capture`.
         """
+        with activated(self.tracer):
+            return self._analyze(capture, messages, transport)
+
+    def _analyze(
+        self,
+        capture: Capture,
+        messages: Optional[List[AssembledMessage]],
+        transport: str,
+    ) -> AnalysisContext:
         from .screening import detect_transport
 
         diagnostics: Optional[DecodeDiagnostics] = None
@@ -585,6 +632,10 @@ class DPReverser:
 
     def infer(self, context: AnalysisContext) -> ReverseReport:
         """Formula inference + ECR analysis over an analysis context."""
+        with activated(self.tracer):
+            return self._infer(context)
+
+    def _infer(self, context: AnalysisContext) -> ReverseReport:
         esvs = self._timed("infer_formulas", lambda: self._infer_esvs(context))
 
         def _ecr_stage() -> List[EcrProcedure]:
@@ -658,12 +709,18 @@ class DPReverser:
                 )
             )
             esvs.append(None)  # placeholder filled by the execution pass
+        parent = self.tracer.current()
         for outcome in sorted(self._execute_tasks(tasks), key=lambda o: o.slot):
             esvs[outcome.slot] = outcome.esv
             if outcome.memo_hit is not None:
                 self.memo_stats["hits" if outcome.memo_hit else "misses"] += 1
             if self.stage_hook is not None:
                 self.stage_hook("gp_formula", outcome.elapsed)
+            if outcome.spans:
+                self.tracer.absorb(
+                    outcome.spans,
+                    parent_id=parent.span_id if parent else None,
+                )
         return esvs  # type: ignore[return-value]  # every slot is filled
 
     def _resolve_backend(self, n_tasks: int) -> str:
@@ -701,7 +758,8 @@ class DPReverser:
     ) -> _TaskOutcome:
         """Serial/thread task execution, timed with the injected clock."""
         start = self.perf()
-        esv, memo_hit = _execute_formula_task(task, memo)
+        with self.tracer.span("gp_formula", esv=task.identifier):
+            esv, memo_hit = _execute_formula_task(task, memo)
         return _TaskOutcome(task.slot, esv, self.perf() - start, memo_hit)
 
     def _run_tasks_thread(
@@ -726,7 +784,7 @@ class DPReverser:
         with ProcessPoolExecutor(
             max_workers=min(self.gp_workers, len(tasks)),
             initializer=_gp_worker_init,
-            initargs=(self.gp_memo_dir,),
+            initargs=(self.gp_memo_dir, self.tracer.enabled),
         ) as pool:
             futures = [pool.submit(_run_formula_task, task) for task in tasks]
             return [future.result() for future in futures]

@@ -1,0 +1,63 @@
+"""Observability: end-to-end tracing, unified metrics, benchmark artifacts.
+
+Three concerns, one subsystem:
+
+- :mod:`~repro.observability.trace` — hierarchical :class:`Span`\\ s
+  recorded by a :class:`Tracer` around every pipeline stage, with JSONL and
+  Chrome-trace (Perfetto) exporters and zero overhead when disabled;
+- :mod:`~repro.observability.export` — one snapshot unifying scheduler
+  metrics, transport decode stats, fault counts and memo traffic, rendered
+  as canonical JSON or Prometheus text format;
+- ``benchmarks/bench_io.py`` + ``scripts/bench_compare.py`` (repo level) —
+  machine-readable ``BENCH_<name>.json`` artifacts and the CI regression
+  gate that diffs them against committed baselines.
+
+Entry points: ``repro reverse --trace-out DIR --metrics-out FILE
+--profile`` and the same flags on ``repro fleet-run``, or::
+
+    from repro.observability import Tracer
+
+    tracer = Tracer()
+    report = DPReverser(ReverserConfig(trace=tracer)).reverse_engineer(capture)
+    tracer.save("trace_dir")          # trace.json opens in Perfetto
+"""
+
+from .trace import (
+    CHROME_EVENT_KEYS,
+    NULL_TRACER,
+    SPAN_KEYS,
+    TRACE_FORMAT_VERSION,
+    Span,
+    Tracer,
+    activate,
+    activated,
+    get_active,
+)
+from .export import (
+    SNAPSHOT_SCHEMA_VERSION,
+    build_snapshot,
+    escape_label_value,
+    metric_name,
+    profile_table,
+    prometheus_text,
+    snapshot_json,
+)
+
+__all__ = [
+    "CHROME_EVENT_KEYS",
+    "NULL_TRACER",
+    "SPAN_KEYS",
+    "TRACE_FORMAT_VERSION",
+    "Span",
+    "Tracer",
+    "activate",
+    "activated",
+    "get_active",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "build_snapshot",
+    "escape_label_value",
+    "metric_name",
+    "profile_table",
+    "prometheus_text",
+    "snapshot_json",
+]

@@ -23,7 +23,6 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-
 class InjectedFault(RuntimeError):
     """Fault raised by test/benchmark fault injectors inside a worker."""
 
@@ -72,6 +71,11 @@ class JobSpec:
     #: Base seed for fault injection; each car derives an independent
     #: stream from it (see :meth:`noise_profile`).
     noise_seed: int = 0
+    #: Record a span tree for this job (see :mod:`repro.observability`).
+    #: Tracing only observes — the payload is byte-identical either way —
+    #: so this is execution policy, excluded from :attr:`job_id` like
+    #: :attr:`gp_workers`.
+    trace: bool = False
 
     @property
     def job_id(self) -> str:
@@ -111,6 +115,7 @@ class JobSpec:
             "gp_memo_dir": self.gp_memo_dir,
             "noise_spec": self.noise_spec,
             "noise_seed": self.noise_seed,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -129,6 +134,7 @@ class JobSpec:
             gp_memo_dir=payload.get("gp_memo_dir", ""),
             noise_spec=payload.get("noise_spec", ""),
             noise_seed=payload.get("noise_seed", 0),
+            trace=payload.get("trace", False),
         )
 
 
@@ -164,6 +170,12 @@ class JobResult:
     #: zeros that digest comparisons must not depend on, so it is excluded
     #: from :meth:`deterministic_payload` like the timings are.
     transport_counts: Dict[str, int] = field(default_factory=dict)
+    #: Exported span records for this job when the spec asked for tracing
+    #: (:attr:`JobSpec.trace`); the scheduler grafts them into the run's
+    #: tracer.  Telemetry — excluded from :meth:`deterministic_payload`
+    #: and serialised only when non-empty, so checkpoints written by
+    #: untraced runs are byte-identical to the pre-tracing format.
+    spans: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -205,6 +217,8 @@ class JobResult:
                 "transport_counts": dict(sorted(self.transport_counts.items())),
             }
         )
+        if self.spans:
+            payload["spans"] = self.spans
         return payload
 
     @classmethod
@@ -225,6 +239,7 @@ class JobResult:
             wall_seconds=payload.get("wall_seconds", 0.0),
             error=payload.get("error", ""),
             transport_counts=payload.get("transport_counts", {}),
+            spans=payload.get("spans", []),
         )
 
 
@@ -238,6 +253,7 @@ def fleet_job_specs(
     gp_memo_dir: str = "",
     noise_spec: str = "",
     noise_seed: int = 0,
+    trace: bool = False,
 ) -> List[JobSpec]:
     """One :class:`JobSpec` per fleet car (all 18 when ``keys`` is None)."""
     from ..vehicle import CAR_SPECS
@@ -257,6 +273,7 @@ def fleet_job_specs(
             gp_memo_dir=gp_memo_dir,
             noise_spec=noise_spec,
             noise_seed=noise_seed,
+            trace=trace,
         )
         for key in keys
     ]
@@ -270,6 +287,7 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
     """
     from ..core import DPReverser, GpConfig, ReverserConfig, check_formula
     from ..cps import DataCollector
+    from ..observability.trace import NULL_TRACER, Tracer
     from ..tools import make_tool_for_car
     from ..vehicle import build_car, ground_truth_formulas
 
@@ -282,27 +300,37 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
         stage_seconds[stage] = stage_seconds.get(stage, 0.0) + elapsed
         stage_samples.setdefault(stage, []).append(elapsed)
 
-    car = build_car(spec.car_key)
-    tool = make_tool_for_car(spec.car_key, car)
-    collect_start = perf()
-    if spec.live_latency_s > 0:
-        time.sleep(spec.live_latency_s)
-    capture = DataCollector(tool, read_duration_s=spec.read_duration_s).collect()
-    record_stage("collect", perf() - collect_start)
+    tracer = Tracer(clock=perf) if spec.trace else NULL_TRACER
 
-    reverser = DPReverser(
-        ReverserConfig(
-            gp_config=GpConfig(seed=spec.seed, **dict(spec.gp_overrides)),
-            ocr_seed=spec.ocr_seed,
-            stage_hook=record_stage,
-            perf=perf,
-            gp_workers=spec.gp_workers,
-            gp_backend=spec.gp_backend,
-            gp_memo_dir=spec.gp_memo_dir,
-            noise=spec.noise_profile(),
+    # One root span per job: the per-stage spans the reverser opens (and
+    # the gp_formula subtrees absorbed from pool workers) all nest under
+    # it, so a fleet trace reads as one tree per car.
+    with tracer.span("job", car=spec.car_key, job_id=spec.job_id):
+        car = build_car(spec.car_key)
+        tool = make_tool_for_car(spec.car_key, car)
+        collect_start = perf()
+        with tracer.span("collect", car=spec.car_key):
+            if spec.live_latency_s > 0:
+                time.sleep(spec.live_latency_s)
+            capture = DataCollector(
+                tool, read_duration_s=spec.read_duration_s
+            ).collect()
+        record_stage("collect", perf() - collect_start)
+
+        reverser = DPReverser(
+            ReverserConfig(
+                gp_config=GpConfig(seed=spec.seed, **dict(spec.gp_overrides)),
+                ocr_seed=spec.ocr_seed,
+                stage_hook=record_stage,
+                perf=perf,
+                gp_workers=spec.gp_workers,
+                gp_backend=spec.gp_backend,
+                gp_memo_dir=spec.gp_memo_dir,
+                noise=spec.noise_profile(),
+                trace=tracer,
+            )
         )
-    )
-    report = reverser.reverse_engineer(capture)
+        report = reverser.reverse_engineer(capture)
 
     truth = ground_truth_formulas(car)
     report_dict = report.to_dict()
@@ -339,4 +367,5 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
         stage_samples=stage_samples,
         wall_seconds=perf() - start,
         transport_counts=transport_counts,
+        spans=tracer.export_payload(),
     )

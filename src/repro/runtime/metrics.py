@@ -91,11 +91,21 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
+        if name in self._histograms:
+            raise ValueError(
+                f"metric {name!r} is already registered as a histogram; "
+                "one name cannot carry both types"
+            )
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
     def histogram(self, name: str) -> Histogram:
+        if name in self._counters:
+            raise ValueError(
+                f"metric {name!r} is already registered as a counter; "
+                "one name cannot carry both types"
+            )
         if name not in self._histograms:
             self._histograms[name] = Histogram(name)
         return self._histograms[name]

@@ -30,6 +30,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, Thr
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..observability.trace import NULL_TRACER, Tracer
 from .checkpoint import CheckpointStore
 from .events import EventLog
 from .job import JobResult, JobSpec, run_job
@@ -106,6 +107,7 @@ class Scheduler:
         runner: Callable[[JobSpec], JobResult] = run_job,
         sleep: Callable[[float], None] = time.sleep,
         perf: Callable[[], float] = time.perf_counter,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config or SchedulerConfig()
         self.checkpoint = checkpoint
@@ -114,6 +116,11 @@ class Scheduler:
         self.runner = runner
         self.sleep = sleep
         self.perf = perf
+        #: Run-level tracer; per-job span payloads riding back in
+        #: :attr:`JobResult.spans` are grafted into it as they finish, one
+        #: Chrome-trace "thread" lane per car.
+        self.tracer = tracer or NULL_TRACER
+        self._trace_lanes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ run
 
@@ -130,6 +137,15 @@ class Scheduler:
             pool=self.config.pool,
             workers=self.config.workers,
         )
+        with self.tracer.span(
+            "fleet_run",
+            n_jobs=len(specs),
+            pool=self.config.pool,
+            workers=self.config.workers,
+        ):
+            return self._run(specs, start)
+
+    def _run(self, specs: List[JobSpec], start: float) -> RunReport:
 
         results: Dict[str, JobResult] = {}
         skipped: List[str] = []
@@ -339,6 +355,19 @@ class Scheduler:
                 # report shows how much of every capture survived decoding.
                 if value:
                     self.metrics.counter(f"transport.{name}").inc(value)
+            if result.spans and self.tracer.enabled:
+                # Graft the job's span tree into the run tracer, one trace
+                # lane ("thread") per car so Perfetto shows the fleet as
+                # parallel swimlanes under the fleet_run root.
+                parent = self.tracer.current()
+                lane = self._trace_lanes.setdefault(
+                    result.car_key, len(self._trace_lanes) + 1
+                )
+                self.tracer.absorb(
+                    result.spans,
+                    parent_id=parent.span_id if parent else None,
+                    tid=lane,
+                )
             if self.checkpoint is not None:
                 self.checkpoint.record(result)
         elif result.status == "timeout":

@@ -135,7 +135,14 @@ class TransportDecoder(abc.ABC):
     does both) and implement :meth:`feed`.  ``strict`` only changes what
     :meth:`feed_payloads` does with error events; the event API itself
     never raises on stream content.
+
+    :attr:`KIND` is the decoder's short protocol tag (``"isotp"``,
+    ``"vwtp"``, ``"bmw"``) — the label trace spans and exported metrics
+    use to attribute decode work to a transport family.
     """
+
+    #: Protocol tag for observability labels; subclasses override.
+    KIND: str = "transport"
 
     def __init__(self, strict: bool = True) -> None:
         self.strict = strict

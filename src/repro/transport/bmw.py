@@ -43,6 +43,8 @@ class BmwReassembler(TransportDecoder):
     the current message) and delegates to a standard ISO-TP reassembler.
     """
 
+    KIND = "bmw"
+
     def __init__(self, strict: bool = True) -> None:
         super().__init__(strict)
         self._inner = IsoTpReassembler(strict=strict)

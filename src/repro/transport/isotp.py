@@ -158,6 +158,8 @@ class IsoTpReassembler(TransportDecoder):
       old message (``resync``) and processes the new frame normally.
     """
 
+    KIND = "isotp"
+
     def __init__(self, strict: bool = True) -> None:
         super().__init__(strict)
         self._buffer = bytearray()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..observability.trace import get_active
 from ..simtime import SimClock
 from .base import DecoderStats, TransportError
 
@@ -86,6 +87,8 @@ class KLineFrameParser:
     ``resyncs`` counts format-byte scans that dropped garbage, and
     ``overflows`` counts bounded-buffer evictions.
     """
+
+    KIND = "kline"
 
     def __init__(self) -> None:
         self._buffer: List[Tuple[float, int]] = []
@@ -277,16 +280,25 @@ def parse_capture(
     """
     parser = KLineFrameParser()
     messages: List[KLineMessage] = []
-    for byte in capture:
-        message = parser.feed(byte.timestamp, byte.value)
-        if message is not None:
-            if message.checksum_ok:
-                messages.append(message)
-            # on checksum failure the parser already consumed the bytes;
-            # the next message resynchronises via the format-byte scan
-    if parser._buffer:
-        parser.stats.bytes_discarded += len(parser._buffer)
-        parser.stats.messages_lost += 1
+    with get_active().span(
+        "decode_stream", decoder=KLineFrameParser.KIND
+    ) as span:
+        for byte in capture:
+            message = parser.feed(byte.timestamp, byte.value)
+            if message is not None:
+                if message.checksum_ok:
+                    messages.append(message)
+                # on checksum failure the parser already consumed the bytes;
+                # the next message resynchronises via the format-byte scan
+        if parser._buffer:
+            parser.stats.bytes_discarded += len(parser._buffer)
+            parser.stats.messages_lost += 1
+        span.set(
+            frames=parser.stats.frames,
+            payloads=parser.stats.payloads,
+            errors=parser.stats.errors,
+            resyncs=parser.stats.resyncs,
+        )
     if stats is not None:
         stats.merge(parser.stats)
     return messages

@@ -138,6 +138,8 @@ class VwTpReassembler(TransportDecoder):
       abandons the buffer with a ``resync`` marked as an overflow.
     """
 
+    KIND = "vwtp"
+
     def __init__(self, strict: bool = True) -> None:
         super().__init__(strict)
         self._buffer = bytearray()
