@@ -289,6 +289,55 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
     return 0 if not report.failed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .core import GpConfig
+    from .service import DiagnosticServer, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        rate_limit=args.rate_limit,
+        status_interval=args.status_interval,
+        analysis_workers=args.analysis_workers,
+        gp_config=GpConfig(seed=args.seed),
+        gp_workers=args.gp_workers,
+        gp_backend=args.gp_backend,
+        gp_memo_dir=args.gp_memo,
+        trace=_observability_requested(args),
+    )
+
+    async def _run() -> DiagnosticServer:
+        server = DiagnosticServer(config)
+        await server.start()
+        print(f"listening on {config.host}:{server.port}", flush=True)
+        try:
+            if args.sessions > 0:
+                while (
+                    server.metrics.counter("service.sessions_completed").value
+                    + server.metrics.counter("service.sessions_rejected").value
+                    < args.sessions
+                ):
+                    await asyncio.sleep(0.05)
+            else:
+                await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+        return server
+
+    try:
+        server = asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 0
+    if _observability_requested(args):
+        _emit_observability(args, server.tracer, server.snapshot())
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     from .attacks import run_table13
     from .vehicle import CAR_SPECS, build_car
@@ -456,6 +505,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_args(fleet_run)
     fleet_run.set_defaults(func=_cmd_fleet_run)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming diagnostic server (live frame streams in, "
+        "reverse reports out)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=1000,
+        help="concurrent session cap; further connections are rejected",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="per-session ingest limit in records/second (0 = unlimited); "
+        "enforced by stalling the reader, which flow-controls the client",
+    )
+    serve.add_argument(
+        "--status-interval",
+        type=int,
+        default=0,
+        help="push an interim status snapshot every N assembled messages "
+        "(0 = only the final report)",
+    )
+    serve.add_argument(
+        "--analysis-workers",
+        type=int,
+        default=2,
+        help="worker threads the event loop offloads analysis onto",
+    )
+    serve.add_argument("--seed", type=int, default=2)
+    serve.add_argument(
+        "--gp-workers",
+        type=int,
+        default=1,
+        help="workers for per-ESV formula inference (identical results)",
+    )
+    serve.add_argument(
+        "--gp-backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="per-ESV inference backend; auto uses a process pool when "
+        "--gp-workers > 1",
+    )
+    serve.add_argument(
+        "--gp-memo",
+        metavar="DIR",
+        default="",
+        help="formula memo directory shared across all sessions: tenants "
+        "streaming the same model reuse each other's inferred formulas",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=0,
+        help="exit after this many sessions complete (0 = serve forever)",
+    )
+    _add_observability_args(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     attack = commands.add_parser("attack", help="run the Tab. 13 attack set")
     attack.add_argument("--car", required=True)

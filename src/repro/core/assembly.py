@@ -31,6 +31,7 @@ from .screening import (
     TRANSPORT_ISOTP,
     TRANSPORT_VWTP,
     detect_transport,
+    frame_passes_screen,
     screen,
 )
 
@@ -141,6 +142,74 @@ class _StreamState:
         return messages
 
 
+class StreamAssembler:
+    """Incremental payload assembly: one frame in, completed payloads out.
+
+    The streaming core of :func:`assemble_with_diagnostics` — the batch
+    path builds one of these and replays the capture through it, and the
+    diagnostic service (:mod:`repro.service`) feeds it live frames as they
+    arrive off the wire.  Frames failing the per-frame screen are dropped
+    exactly as batch screening would drop them, each surviving frame is
+    routed to its CAN id's reassembler, and :meth:`finish` produces the
+    same ``(messages, diagnostics)`` pair as a batch pass over the same
+    frame sequence — the invariant the service's byte-identical-report
+    guarantee rests on.
+    """
+
+    def __init__(self, transport: str) -> None:
+        self.transport = transport
+        self.diagnostics = DecodeDiagnostics(transport=transport)
+        self._streams: Dict[int, _StreamState] = {}
+        self._messages: List[AssembledMessage] = []
+        self._finished = False
+
+    @property
+    def messages(self) -> List[AssembledMessage]:
+        """Every payload assembled so far, in completion order."""
+        return self._messages
+
+    def feed(self, frame: CanFrame) -> List[AssembledMessage]:
+        """Screen and decode one frame; return newly completed payloads."""
+        if not frame_passes_screen(frame, self.transport):
+            return []
+        self.diagnostics.frames += 1
+        state = self._streams.get(frame.can_id)
+        if state is None:
+            state = self._streams[frame.can_id] = _StreamState(self.transport)
+        completed = state.feed(frame, self.diagnostics)
+        self._messages.extend(completed)
+        return completed
+
+    def finish(self) -> Tuple[List[AssembledMessage], DecodeDiagnostics]:
+        """Close the stream: sort messages, fold per-stream accounting.
+
+        Idempotent — a second call returns the same objects without
+        re-merging stats.
+        """
+        if not self._finished:
+            self._finished = True
+            self._messages.sort(key=lambda m: m.t_last)
+            tracer = get_active()
+            for can_id, state in sorted(self._streams.items()):
+                stats = state.reassembler.stats
+                self.diagnostics.streams[can_id] = stats
+                self.diagnostics.stats.merge(stats)
+                if tracer.enabled:
+                    with tracer.span(
+                        "decode_stream",
+                        can_id=f"{can_id:#x}",
+                        decoder=state.reassembler.KIND,
+                    ) as span:
+                        span.set(
+                            frames=stats.frames,
+                            payloads=stats.payloads,
+                            errors=stats.errors,
+                            resyncs=stats.resyncs,
+                        )
+            self.diagnostics.messages = len(self._messages)
+        return self._messages, self.diagnostics
+
+
 def assemble_with_diagnostics(
     frames: Iterable[CanFrame], transport: str = ""
 ) -> Tuple[List[AssembledMessage], DecodeDiagnostics]:
@@ -155,35 +224,11 @@ def assemble_with_diagnostics(
     frames = list(frames)
     transport = transport or detect_transport(frames)
     screened = screen(frames, transport)
-    diagnostics = DecodeDiagnostics(transport=transport, frames=len(screened))
-    streams: Dict[int, _StreamState] = {}
-    messages: List[AssembledMessage] = []
-    tracer = get_active()
-    with tracer.span("decode", transport=transport, frames=len(screened)):
+    assembler = StreamAssembler(transport)
+    with get_active().span("decode", transport=transport, frames=len(screened)):
         for frame in screened:
-            state = streams.get(frame.can_id)
-            if state is None:
-                state = streams[frame.can_id] = _StreamState(transport)
-            messages.extend(state.feed(frame, diagnostics))
-        messages.sort(key=lambda m: m.t_last)
-        for can_id, state in sorted(streams.items()):
-            stats = state.reassembler.stats
-            diagnostics.streams[can_id] = stats
-            diagnostics.stats.merge(stats)
-            if tracer.enabled:
-                with tracer.span(
-                    "decode_stream",
-                    can_id=f"{can_id:#x}",
-                    decoder=state.reassembler.KIND,
-                ) as span:
-                    span.set(
-                        frames=stats.frames,
-                        payloads=stats.payloads,
-                        errors=stats.errors,
-                        resyncs=stats.resyncs,
-                    )
-    diagnostics.messages = len(messages)
-    return messages, diagnostics
+            assembler.feed(frame)
+        return assembler.finish()
 
 
 def assemble(frames: Iterable[CanFrame], transport: str = "") -> List[AssembledMessage]:

@@ -558,6 +558,42 @@ class DPReverser:
         else:
             transport = transport or "kline"
             messages = sorted(messages, key=lambda m: m.t_last)
+        return self._analyze_assembled(
+            capture, messages, transport, diagnostics, noise_counts
+        )
+
+    def analyze_assembled(
+        self,
+        capture: Capture,
+        messages: List[AssembledMessage],
+        transport: str,
+        diagnostics: Optional[DecodeDiagnostics] = None,
+        noise_counts: Optional[FaultCounts] = None,
+    ) -> AnalysisContext:
+        """Resume the pipeline after payload assembly already happened.
+
+        The entry point for incremental front-ends: the streaming service
+        decodes frames as they arrive through
+        :class:`~repro.core.assembly.StreamAssembler` and hands the
+        finished ``(messages, diagnostics)`` pair here, re-joining the
+        exact batch code path from field extraction onward — which is what
+        makes a streamed report byte-identical to :meth:`reverse_engineer`
+        on the same capture.  ``messages`` must be sorted by ``t_last``,
+        the order assembly emits.
+        """
+        with activated(self.tracer):
+            return self._analyze_assembled(
+                capture, messages, transport, diagnostics, noise_counts
+            )
+
+    def _analyze_assembled(
+        self,
+        capture: Capture,
+        messages: List[AssembledMessage],
+        transport: str,
+        diagnostics: Optional[DecodeDiagnostics],
+        noise_counts: Optional[FaultCounts],
+    ) -> AnalysisContext:
         fields = self._timed("extract_fields", lambda: extract_fields(messages))
         grouped = fields.by_identifier()
 

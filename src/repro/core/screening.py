@@ -112,6 +112,24 @@ def screen_vwtp(frames: Iterable[CanFrame]) -> List[CanFrame]:
     ]
 
 
+def frame_passes_screen(frame: CanFrame, transport: str) -> bool:
+    """Per-frame screening predicate (the stateless core of :func:`screen`).
+
+    Screening never looks across frames, so a live stream can screen each
+    frame as it arrives and reach exactly the batch decision.
+    """
+    if transport == TRANSPORT_VWTP:
+        return classify_vwtp_frame(frame) == VwTpFrameKind.DATA
+    if transport == TRANSPORT_BMW:
+        offset = 1
+    elif transport == TRANSPORT_ISOTP:
+        offset = 0
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+    nibble = _isotp_pci_nibble(frame.data, offset)
+    return nibble in (PciType.SINGLE, PciType.FIRST, PciType.CONSECUTIVE)
+
+
 def screen(frames: Iterable[CanFrame], transport: str) -> List[CanFrame]:
     """Dispatch to the right screener for ``transport``."""
     if transport == TRANSPORT_VWTP:

@@ -44,6 +44,7 @@ def build_snapshot(
     memo_stats: Optional[Mapping[str, int]] = None,
     tracer: Optional[Tracer] = None,
     extra_counters: Optional[Mapping[str, int]] = None,
+    gauges: Optional[Mapping[str, float]] = None,
 ) -> dict:
     """Fold every metrics source the caller has into one canonical dict.
 
@@ -52,7 +53,9 @@ def build_snapshot(
     coverage.  ``registry`` is a
     :class:`~repro.runtime.metrics.MetricsRegistry`, ``diagnostics`` a
     :class:`~repro.core.assembly.DecodeDiagnostics`, ``fault_counts`` a
-    :class:`~repro.can.noise.FaultCounts`.
+    :class:`~repro.can.noise.FaultCounts`.  ``gauges`` carries
+    point-in-time levels (``service.sessions_active``) that, unlike
+    counters, can go down — the Prometheus exporter types them ``gauge``.
     """
     counters: Dict[str, int] = {}
     histograms: Dict[str, dict] = {}
@@ -78,12 +81,15 @@ def build_snapshot(
                 "total_s": round(sum(span.duration for span in group), 6),
             }
 
-    return {
+    snapshot = {
         "schema_version": SNAPSHOT_SCHEMA_VERSION,
         "counters": dict(sorted(counters.items())),
         "histograms": dict(sorted(histograms.items())),
         "spans": spans,
     }
+    if gauges is not None:
+        snapshot["gauges"] = {name: gauges[name] for name in sorted(gauges)}
+    return snapshot
 
 
 def snapshot_json(snapshot: dict, indent: int = 2) -> str:
@@ -132,6 +138,10 @@ def prometheus_text(snapshot: dict, prefix: str = "repro") -> str:
     for name, value in snapshot.get("counters", {}).items():
         metric = metric_name(name, prefix)
         lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(value)}")
     for name, summary in snapshot.get("histograms", {}).items():
         metric = metric_name(name, prefix)

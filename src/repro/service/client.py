@@ -1,0 +1,138 @@
+"""Client helpers: stream a capture into a diagnostic server.
+
+The reference implementation of the wire protocol's client side — what an
+ELM327-style bridge on the OBD port would run, minus the serial I/O.  The
+async form is the real client; :func:`stream_capture` wraps it in its own
+event loop for scripts and tests that live in synchronous code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Iterable, List, Optional
+
+from ..cps.collector import Capture
+from ..transport.kline import KLineByte
+from .protocol import (
+    ProtocolError,
+    capture_to_wire,
+    read_message,
+    write_message,
+)
+
+
+class ServiceClientError(Exception):
+    """The server rejected the session or reported a failure."""
+
+
+class StreamResult:
+    """What one streamed session produced."""
+
+    def __init__(self) -> None:
+        self.session_id: Optional[int] = None
+        self.statuses: List[dict] = []
+        self.report: Optional[dict] = None
+        self.report_json: str = ""
+        self.digest: str = ""
+
+
+async def stream_capture_async(
+    host: str,
+    port: int,
+    capture: Capture,
+    tenant: str = "anonymous",
+    transport: str = "auto",
+    kline_bytes: Optional[Iterable[KLineByte]] = None,
+    on_status: Optional[Callable[[dict], None]] = None,
+    delay_s: float = 0.0,
+) -> StreamResult:
+    """Stream one capture record-by-record; return the final report.
+
+    ``delay_s`` sleeps between records to emulate a live capture's pacing
+    (0 = as fast as the server's flow control allows).  ``on_status`` is
+    called with every interim snapshot the server pushes.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    result = StreamResult()
+    try:
+        messages = capture_to_wire(
+            capture, tenant=tenant, transport=transport, kline_bytes=kline_bytes
+        )
+        write_message(writer, next(messages))  # hello
+        await writer.drain()
+        welcome = await read_message(reader)
+        if welcome is None:
+            raise ServiceClientError("server closed during handshake")
+        if welcome["type"] == "error":
+            raise ServiceClientError(welcome.get("error", "rejected"))
+        if welcome["type"] != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome['type']!r}")
+        result.session_id = welcome.get("session")
+
+        async def _drain_statuses() -> None:
+            """Consume server pushes until the final report arrives."""
+            while True:
+                message = await read_message(reader)
+                if message is None:
+                    raise ServiceClientError("server closed before the report")
+                if message["type"] == "status":
+                    result.statuses.append(message)
+                    if on_status is not None:
+                        on_status(message)
+                elif message["type"] == "report":
+                    result.report = message["report"]
+                    result.report_json = message["report_json"]
+                    result.digest = message.get("digest", "")
+                    return
+                elif message["type"] == "error":
+                    raise ServiceClientError(message.get("error", "server error"))
+                else:
+                    raise ProtocolError(
+                        f"unexpected server message {message['type']!r}"
+                    )
+
+        consumer = asyncio.ensure_future(_drain_statuses())
+        try:
+            for message in messages:
+                write_message(writer, message)
+                await writer.drain()  # honour server flow control
+                if delay_s > 0:
+                    await asyncio.sleep(delay_s)
+                if consumer.done():
+                    break  # server errored out mid-stream; surface it below
+            await consumer
+        finally:
+            if not consumer.done():
+                consumer.cancel()
+        return result
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def stream_capture(
+    host: str,
+    port: int,
+    capture: Capture,
+    tenant: str = "anonymous",
+    transport: str = "auto",
+    kline_bytes: Optional[Iterable[KLineByte]] = None,
+    on_status: Optional[Callable[[dict], None]] = None,
+    delay_s: float = 0.0,
+) -> StreamResult:
+    """Synchronous wrapper over :func:`stream_capture_async`."""
+    return asyncio.run(
+        stream_capture_async(
+            host,
+            port,
+            capture,
+            tenant=tenant,
+            transport=transport,
+            kline_bytes=kline_bytes,
+            on_status=on_status,
+            delay_s=delay_s,
+        )
+    )

@@ -1,0 +1,317 @@
+"""Wire protocol of the streaming diagnostic service.
+
+One connection carries one vehicle session.  Every message — both
+directions — is a *length-prefixed JSON object*: a 4-byte big-endian
+unsigned length followed by that many bytes of UTF-8 JSON.  JSON keeps the
+protocol debuggable from a shell (``xxd`` + eyeballs) and trivially
+implementable on an ELM327-adapter bridge; the length prefix keeps framing
+independent of JSON whitespace and lets the reader enforce a hard
+per-message size bound *before* parsing (a malicious length field fails
+fast instead of buffering unboundedly).
+
+Message vocabulary (``type`` field):
+
+========== =========== =====================================================
+direction  type        payload
+========== =========== =====================================================
+client →   ``hello``   ``version``, ``tenant``, ``transport``
+                       (``auto``/``isotp``/``vwtp``/``bmw``/``kline``) and
+                       the capture ``meta`` (model, tool name, OCR error
+                       rate, camera offset)
+client →   ``frame``   one CAN frame: ``t``, ``id``, ``data`` (hex),
+                       optional ``ext``/``ch``
+client →   ``kbyte``   one K-Line wire byte: ``t``, ``b``
+client →   ``video``   one captured UI frame (same region schema as
+                       ``video.jsonl`` in :mod:`repro.persistence`)
+client →   ``click``   one robotic-clicker record
+client →   ``segment`` one per-action activity window
+client →   ``finish``  end of stream; ask for the final report
+server →   ``welcome`` accepted: ``session`` id, protocol ``version``
+server →   ``status``  incremental diagnosis snapshot (sent every
+                       ``status_interval`` assembled messages)
+server →   ``report``  the final report: ``report`` (dict form),
+                       ``report_json`` (exact ``ReverseReport.to_json()``
+                       bytes) and its sha-256 ``digest``
+server →   ``error``   terminal failure; the server closes after sending
+========== =========== =====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..can import CanFrame
+from ..cps.arm import ClickRecord
+from ..cps.camera import CapturedFrame, TextRegion
+from ..cps.collector import Capture, Segment
+from ..transport.kline import KLineByte
+
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one wire message.  A video frame of a busy screen is a few
+#: tens of kilobytes; anything near a megabyte is a corrupt length field.
+MAX_MESSAGE_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+#: Transports a ``hello`` may declare (``auto`` = sniff from the stream).
+HELLO_TRANSPORTS = ("auto", "isotp", "vwtp", "bmw", "kline")
+
+
+class ProtocolError(Exception):
+    """Malformed framing or message content; the connection is unusable."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One message as its on-wire bytes (length prefix + compact JSON)."""
+    body = json.dumps(message, separators=(",", ":"), sort_keys=True).encode()
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(body)} bytes exceeds the {MAX_MESSAGE_BYTES} bound"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+class MessageDecoder:
+    """Incremental wire-to-message decoding with a bounded buffer.
+
+    Feed arbitrary byte chunks (TCP segmentation is not message
+    segmentation); complete messages come back in order.  The declared
+    length is validated *before* the body is buffered, so a corrupt or
+    hostile length field raises :class:`ProtocolError` instead of growing
+    the buffer without bound.
+    """
+
+    def __init__(self, max_message_bytes: int = MAX_MESSAGE_BYTES) -> None:
+        self.max_message_bytes = max_message_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[dict]:
+        self._buffer.extend(data)
+        messages: List[dict] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self.max_message_bytes:
+                raise ProtocolError(
+                    f"declared message length {length} exceeds the "
+                    f"{self.max_message_bytes} bound"
+                )
+            if len(self._buffer) < _LENGTH.size + length:
+                return messages
+            body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
+            del self._buffer[: _LENGTH.size + length]
+            messages.append(_parse_body(body))
+
+
+def _parse_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"message body is not JSON: {error}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("message must be an object with a 'type' field")
+    return message
+
+
+# ------------------------------------------------------------ async framing
+
+
+async def read_message(
+    reader: asyncio.StreamReader, max_message_bytes: int = MAX_MESSAGE_BYTES
+) -> Optional[dict]:
+    """Read one message from a stream; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-prefix") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_message_bytes:
+        raise ProtocolError(
+            f"declared message length {length} exceeds the {max_message_bytes} bound"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-message") from None
+    return _parse_body(body)
+
+
+def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Queue one message on a stream writer (caller decides when to drain)."""
+    writer.write(encode_message(message))
+
+
+# ----------------------------------------------------- capture <-> messages
+
+
+def frame_to_wire(frame: CanFrame) -> dict:
+    message = {"type": "frame", "t": frame.timestamp, "id": frame.can_id, "data": frame.data.hex()}
+    if frame.extended:
+        message["ext"] = True
+    if frame.channel != "can0":
+        message["ch"] = frame.channel
+    return message
+
+
+def frame_from_wire(message: dict) -> CanFrame:
+    try:
+        return CanFrame(
+            can_id=int(message["id"]),
+            data=bytes.fromhex(message.get("data", "")),
+            timestamp=float(message["t"]),
+            extended=bool(message.get("ext", False)),
+            channel=str(message.get("ch", "can0")),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ProtocolError(f"bad frame message: {error}") from None
+
+
+def kline_byte_to_wire(byte: KLineByte) -> dict:
+    return {"type": "kbyte", "t": byte.timestamp, "b": byte.value}
+
+
+def kline_byte_from_wire(message: dict) -> KLineByte:
+    try:
+        value = int(message["b"])
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"byte value {value} out of range")
+        return KLineByte(timestamp=float(message["t"]), value=value)
+    except (KeyError, ValueError, TypeError) as error:
+        raise ProtocolError(f"bad kbyte message: {error}") from None
+
+
+def video_to_wire(frame: CapturedFrame) -> dict:
+    return {
+        "type": "video",
+        "t": frame.timestamp,
+        "screen": frame.screen_name,
+        "regions": [
+            {
+                "text": r.text,
+                "x": r.x,
+                "y": r.y,
+                "width": r.width,
+                "height": r.height,
+                "kind": r.kind,
+                "icon": r.icon,
+            }
+            for r in frame.regions
+        ],
+    }
+
+
+def video_from_wire(message: dict) -> CapturedFrame:
+    try:
+        return CapturedFrame(
+            timestamp=float(message["t"]),
+            screen_name=str(message["screen"]),
+            regions=[TextRegion(**region) for region in message.get("regions", [])],
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ProtocolError(f"bad video message: {error}") from None
+
+
+def click_to_wire(click: ClickRecord) -> dict:
+    return {
+        "type": "click",
+        "t": click.timestamp,
+        "x": click.x,
+        "y": click.y,
+        "label": click.label,
+        "hit": click.hit,
+    }
+
+
+def click_from_wire(message: dict) -> ClickRecord:
+    try:
+        return ClickRecord(
+            timestamp=float(message["t"]),
+            x=message["x"],
+            y=message["y"],
+            label=str(message.get("label", "")),
+            hit=bool(message.get("hit", True)),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ProtocolError(f"bad click message: {error}") from None
+
+
+def segment_to_wire(segment: Segment) -> dict:
+    return {
+        "type": "segment",
+        "kind": segment.kind,
+        "ecu": segment.ecu,
+        "label": segment.label,
+        "t_start": segment.t_start,
+        "t_end": segment.t_end,
+    }
+
+
+def segment_from_wire(message: dict) -> Segment:
+    try:
+        return Segment(
+            kind=str(message["kind"]),
+            ecu=str(message["ecu"]),
+            label=str(message["label"]),
+            t_start=float(message["t_start"]),
+            t_end=float(message["t_end"]),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ProtocolError(f"bad segment message: {error}") from None
+
+
+def hello_message(
+    capture: Capture, tenant: str = "anonymous", transport: str = "auto"
+) -> dict:
+    if transport not in HELLO_TRANSPORTS:
+        raise ProtocolError(
+            f"unknown transport {transport!r}; expected one of {HELLO_TRANSPORTS}"
+        )
+    return {
+        "type": "hello",
+        "version": PROTOCOL_VERSION,
+        "tenant": tenant,
+        "transport": transport,
+        "meta": {
+            "model": capture.model,
+            "tool_name": capture.tool_name,
+            "tool_error_rate": capture.tool_error_rate,
+            "camera_offset_s": capture.camera_offset_s,
+        },
+    }
+
+
+def capture_to_wire(
+    capture: Capture,
+    tenant: str = "anonymous",
+    transport: str = "auto",
+    kline_bytes: Optional[Iterable[KLineByte]] = None,
+) -> Iterator[dict]:
+    """The full message sequence that streams one recorded capture.
+
+    Yields ``hello``, then every capture record *in timestamp order across
+    record kinds* (the interleaving a live adapter would produce), then
+    ``finish``.  For a K-Line capture pass the sniffed ``kline_bytes``;
+    CAN frames and K-Line bytes may not be mixed in one session.
+    """
+    yield hello_message(capture, tenant=tenant, transport=transport)
+    records: List[Dict] = []
+    for frame in capture.can_log:
+        records.append(frame_to_wire(frame))
+    for byte in kline_bytes or ():
+        records.append(kline_byte_to_wire(byte))
+    for video in capture.video:
+        records.append(video_to_wire(video))
+    for click in capture.clicks:
+        records.append(click_to_wire(click))
+    records.sort(key=lambda r: r["t"])
+    yield from records
+    for segment in capture.segments:
+        yield segment_to_wire(segment)
+    yield {"type": "finish"}

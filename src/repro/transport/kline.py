@@ -24,7 +24,7 @@ from typing import Callable, List, Optional, Tuple
 
 from ..observability.trace import get_active
 from ..simtime import SimClock
-from .base import DecoderStats, TransportError
+from .base import DecodeEvent, DecoderStats, TransportDecoder, TransportError
 
 DEFAULT_BAUD = 10400
 BITS_PER_BYTE = 10  # start + 8 data + stop
@@ -153,6 +153,58 @@ class KLineFrameParser:
         else:
             self.stats.errors += 1
         return message
+
+
+class KLineEventDecoder(TransportDecoder):
+    """K-Line de-framing behind the CAN decoders' event contract.
+
+    :class:`KLineFrameParser` predates the :meth:`TransportDecoder.feed`
+    event API: it consumes ``(timestamp, byte)`` pairs and returns one
+    optional :class:`KLineMessage`.  This adapter closes the gap so the
+    streaming service can treat all four transports uniformly: each fed
+    :class:`~repro.can.CanFrame` carries one or more wire bytes in its
+    ``data`` field (stamped with the frame's timestamp), and the decoder
+    emits ``payload`` / ``error`` / ``resync`` events exactly like the
+    isotp/vwtp/bmw decoders, sharing the parser's :class:`DecoderStats`.
+
+    ``last_message`` keeps the full :class:`KLineMessage` behind the most
+    recent ``payload`` event — addressing and per-byte timing that the
+    event's bare payload bytes cannot carry, the same trick
+    :class:`~repro.transport.bmw.BmwReassembler.last_address` uses.
+    """
+
+    KIND = "kline"
+
+    def __init__(self, strict: bool = False) -> None:
+        super().__init__(strict)
+        self._parser = KLineFrameParser()
+        self.stats = self._parser.stats  # one shared accounting object
+        self.last_message: Optional[KLineMessage] = None
+
+    def feed(self, frame) -> List[DecodeEvent]:
+        events: List[DecodeEvent] = []
+        for value in frame.data:
+            resyncs_before = self.stats.resyncs
+            message = self._parser.feed(frame.timestamp, value)
+            if self.stats.resyncs > resyncs_before:
+                events.append(DecodeEvent.resync("format-byte scan dropped garbage"))
+            if message is None:
+                continue
+            if message.checksum_ok:
+                self.last_message = message
+                events.append(DecodeEvent.message(message.payload))
+            else:
+                events.append(DecodeEvent.error("checksum mismatch"))
+        return events
+
+    def finish(self) -> DecoderStats:
+        """End-of-stream accounting: a truncated in-progress message counts
+        as lost, mirroring :func:`parse_capture`."""
+        if self._parser._buffer:
+            self.stats.bytes_discarded += len(self._parser._buffer)
+            self.stats.messages_lost += 1
+            self._parser.reset()
+        return self.stats
 
 
 @dataclass(frozen=True)

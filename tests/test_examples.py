@@ -54,6 +54,12 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "Total:" in result.stdout
 
+    def test_live_stream_client(self):
+        result = run_example("live_stream_client.py", "A", timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "ESVs so far" in result.stdout
+        assert "byte-identical to the batch pipeline" in result.stdout
+
     def test_attack_replay(self):
         result = run_example("attack_replay.py", timeout=600)
         assert result.returncode == 0, result.stderr

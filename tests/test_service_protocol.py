@@ -1,0 +1,154 @@
+"""The service wire protocol: framing, round-trips, and bounds."""
+
+import struct
+
+import pytest
+
+from repro.can import CanFrame
+from repro.cps.arm import ClickRecord
+from repro.cps.camera import CapturedFrame, TextRegion
+from repro.cps.collector import Capture, Segment
+from repro.can import CanLog
+from repro.service import MessageDecoder, ProtocolError, capture_to_wire, encode_message
+from repro.service.protocol import (
+    click_from_wire,
+    click_to_wire,
+    frame_from_wire,
+    frame_to_wire,
+    hello_message,
+    kline_byte_from_wire,
+    kline_byte_to_wire,
+    segment_from_wire,
+    segment_to_wire,
+    video_from_wire,
+    video_to_wire,
+)
+from repro.transport.kline import KLineByte
+
+
+def make_capture(frames=(), video=(), clicks=(), segments=()):
+    return Capture(
+        model="Test Car",
+        tool_name="test-tool",
+        can_log=CanLog(list(frames)),
+        video=list(video),
+        clicks=list(clicks),
+        segments=list(segments),
+        tool_error_rate=0.02,
+        camera_offset_s=0.25,
+    )
+
+
+class TestFraming:
+    def test_round_trip_single_message(self):
+        message = {"type": "frame", "t": 1.5, "id": 0x7E8, "data": "0102"}
+        decoder = MessageDecoder()
+        assert decoder.feed(encode_message(message)) == [message]
+
+    def test_fragmented_delivery_one_byte_at_a_time(self):
+        messages = [
+            {"type": "hello", "version": 1},
+            {"type": "frame", "t": 0.0, "id": 1, "data": "aa"},
+            {"type": "finish"},
+        ]
+        wire = b"".join(encode_message(m) for m in messages)
+        decoder = MessageDecoder()
+        received = []
+        for i in range(len(wire)):
+            received.extend(decoder.feed(wire[i : i + 1]))
+        assert received == messages
+
+    def test_coalesced_delivery_all_at_once(self):
+        messages = [{"type": "frame", "t": float(i), "id": i, "data": ""} for i in range(10)]
+        wire = b"".join(encode_message(m) for m in messages)
+        assert MessageDecoder().feed(wire) == messages
+
+    def test_oversize_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_message({"type": "blob", "data": "x" * (1 << 21)})
+
+    def test_hostile_length_prefix_fails_before_buffering(self):
+        decoder = MessageDecoder(max_message_bytes=1024)
+        with pytest.raises(ProtocolError, match="declared message length"):
+            decoder.feed(struct.pack(">I", 1 << 30))
+
+    def test_non_object_body_rejected(self):
+        body = b"[1,2,3]"
+        with pytest.raises(ProtocolError, match="'type' field"):
+            MessageDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_garbage_body_rejected(self):
+        body = b"\xff\xfe not json"
+        with pytest.raises(ProtocolError, match="not JSON"):
+            MessageDecoder().feed(struct.pack(">I", len(body)) + body)
+
+
+class TestRecordRoundTrips:
+    def test_frame(self):
+        frame = CanFrame(0x7E8, bytes([0x03, 0x41, 0x0C, 0x1A]), 12.345678, channel="can1")
+        assert frame_from_wire(frame_to_wire(frame)) == frame
+
+    def test_frame_defaults_stay_compact(self):
+        frame = CanFrame(0x123, b"\x01", 1.0)
+        wire = frame_to_wire(frame)
+        assert "ext" not in wire and "ch" not in wire
+        assert frame_from_wire(wire) == frame
+
+    def test_frame_missing_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="bad frame"):
+            frame_from_wire({"type": "frame", "t": 1.0})
+
+    def test_kline_byte(self):
+        byte = KLineByte(timestamp=3.5, value=0xA5)
+        assert kline_byte_from_wire(kline_byte_to_wire(byte)) == byte
+
+    def test_kline_byte_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError, match="bad kbyte"):
+            kline_byte_from_wire({"type": "kbyte", "t": 0.0, "b": 300})
+
+    def test_video(self):
+        frame = CapturedFrame(
+            timestamp=2.0,
+            screen_name="live",
+            regions=[
+                TextRegion(
+                    text="Engine Speed", x=10, y=20, width=100, height=16,
+                    kind="label", icon="",
+                )
+            ],
+        )
+        assert video_from_wire(video_to_wire(frame)) == frame
+
+    def test_click(self):
+        click = ClickRecord(timestamp=1.0, x=5, y=7, label="Live Data", hit=True)
+        assert click_from_wire(click_to_wire(click)) == click
+
+    def test_segment(self):
+        segment = Segment(kind="live", ecu="Engine", label="read", t_start=1.0, t_end=9.0)
+        assert segment_from_wire(segment_to_wire(segment)) == segment
+
+
+class TestCaptureToWire:
+    def test_hello_first_finish_last_records_time_ordered(self):
+        frames = [CanFrame(1, b"\x01", t) for t in (0.5, 1.5, 2.5)]
+        video = [CapturedFrame(timestamp=1.0, screen_name="s", regions=[])]
+        clicks = [ClickRecord(timestamp=2.0, x=0, y=0, label="go", hit=True)]
+        segments = [Segment(kind="live", ecu="E", label="l", t_start=0.0, t_end=3.0)]
+        capture = make_capture(frames, video, clicks, segments)
+        messages = list(capture_to_wire(capture, tenant="t1", transport="isotp"))
+        assert messages[0]["type"] == "hello"
+        assert messages[0]["tenant"] == "t1"
+        assert messages[-1]["type"] == "finish"
+        records = messages[1:-2]  # between hello and segment+finish
+        assert [r["t"] for r in records] == sorted(r["t"] for r in records)
+        assert messages[-2]["type"] == "segment"
+
+    def test_hello_carries_capture_meta(self):
+        hello = hello_message(make_capture(), tenant="t", transport="auto")
+        assert hello["meta"]["model"] == "Test Car"
+        assert hello["meta"]["tool_error_rate"] == 0.02
+        assert hello["meta"]["camera_offset_s"] == 0.25
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown transport"):
+            hello_message(make_capture(), transport="canfd")

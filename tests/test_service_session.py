@@ -1,0 +1,247 @@
+"""The streaming invariant: frame-by-frame == batch, byte for byte.
+
+The property the whole service rests on — streaming a capture through a
+:class:`~repro.service.session.VehicleSession` one record at a time must
+produce a :class:`~repro.core.reverser.ReverseReport` byte-identical to
+``repro reverse`` on the same capture — checked for every transport
+family (ISO-TP, VW TP 2.0, BMW, K-Line), with auto-detection, and under
+the default noise profile.  Plus the K-Line event-decoder conformance to
+the :class:`~repro.transport.base.TransportDecoder` API.
+"""
+
+import pytest
+
+from repro.can import CanFrame, CanLog, FaultCounts, NoiseProfile, apply_noise
+from repro.core import DPReverser, ReverserConfig
+from repro.core.assembly import StreamAssembler, assemble_with_diagnostics
+from repro.core.gp import GpConfig
+from repro.cps import DataCollector
+from repro.cps.collector import Capture
+from repro.service import SessionError, VehicleSession
+from repro.service.protocol import capture_to_wire
+from repro.tools import make_tool_for_car
+from repro.tools.kline_logger import KLineDiagnosticSession, build_kline_vehicle
+from repro.transport.base import DecoderStats, EVENT_PAYLOAD
+from repro.transport.kline import KLineEventDecoder, parse_capture
+from repro.vehicle import build_car
+
+GP = GpConfig(seed=2, generations=8, population_size=100)
+
+#: One car per CAN transport family.
+TRANSPORT_CARS = {"isotp": "A", "vwtp": "B", "bmw": "E"}
+
+
+def make_reverser():
+    return DPReverser(ReverserConfig(gp_config=GP))
+
+
+@pytest.fixture(scope="module")
+def captures():
+    collected = {}
+    for transport, key in TRANSPORT_CARS.items():
+        car = build_car(key)
+        tool = make_tool_for_car(key, car)
+        collected[transport] = DataCollector(tool, read_duration_s=8.0).collect()
+    return collected
+
+
+@pytest.fixture(scope="module")
+def batch_reports(captures):
+    return {
+        transport: make_reverser().reverse_engineer(capture).to_json()
+        for transport, capture in captures.items()
+    }
+
+
+def stream_session(capture, transport="auto", kline_bytes=None, **kwargs):
+    """Feed a capture through a session the way the server would."""
+    from repro.service.protocol import (
+        click_from_wire,
+        frame_from_wire,
+        kline_byte_from_wire,
+        segment_from_wire,
+        video_from_wire,
+    )
+
+    session = None
+    for message in capture_to_wire(
+        capture, transport=transport, kline_bytes=kline_bytes
+    ):
+        kind = message["type"]
+        if kind == "hello":
+            session = VehicleSession(
+                session_id=0,
+                tenant="test",
+                transport=message["transport"],
+                meta=message["meta"],
+                **kwargs,
+            )
+        elif kind == "frame":
+            session.ingest_frame(frame_from_wire(message))
+        elif kind == "kbyte":
+            session.ingest_kline_byte(kline_byte_from_wire(message))
+        elif kind == "video":
+            session.ingest_video(video_from_wire(message))
+        elif kind == "click":
+            session.ingest_click(click_from_wire(message))
+        elif kind == "segment":
+            session.ingest_segment(segment_from_wire(message))
+    return session
+
+
+class TestStreamAssemblerMatchesBatch:
+    @pytest.mark.parametrize("transport", sorted(TRANSPORT_CARS))
+    def test_messages_and_diagnostics_identical(self, captures, transport):
+        frames = list(captures[transport].can_log)
+        batch_messages, batch_diag = assemble_with_diagnostics(frames, transport)
+        assembler = StreamAssembler(transport)
+        for frame in frames:
+            assembler.feed(frame)
+        messages, diag = assembler.finish()
+        assert messages == batch_messages
+        assert diag.to_dict() == batch_diag.to_dict()
+
+    @pytest.mark.parametrize("transport", sorted(TRANSPORT_CARS))
+    def test_identical_under_default_noise(self, captures, transport):
+        noisy = apply_noise(
+            list(captures[transport].can_log),
+            NoiseProfile.default(seed=7),
+            FaultCounts(),
+        )
+        batch_messages, batch_diag = assemble_with_diagnostics(noisy, transport)
+        assembler = StreamAssembler(transport)
+        for frame in noisy:
+            assembler.feed(frame)
+        messages, diag = assembler.finish()
+        assert messages == batch_messages
+        assert diag.to_dict() == batch_diag.to_dict()
+
+    def test_finish_is_idempotent(self, captures):
+        assembler = StreamAssembler("isotp")
+        for frame in captures["isotp"].can_log:
+            assembler.feed(frame)
+        first = assembler.finish()
+        second = assembler.finish()
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+
+class TestStreamedReportByteIdentity:
+    @pytest.mark.parametrize("transport", sorted(TRANSPORT_CARS))
+    def test_declared_transport(self, captures, batch_reports, transport):
+        session = stream_session(captures[transport], transport=transport)
+        report = session.finalize(make_reverser())
+        assert report.to_json() == batch_reports[transport]
+
+    @pytest.mark.parametrize("transport", sorted(TRANSPORT_CARS))
+    def test_auto_detected_transport(self, captures, batch_reports, transport):
+        session = stream_session(captures[transport], transport="auto")
+        report = session.finalize(make_reverser())
+        assert session.transport == transport
+        assert report.to_json() == batch_reports[transport]
+
+    def test_under_default_noise(self, captures):
+        # Noise is applied to the frame stream *before* it reaches either
+        # path (a lossy tap corrupts what both consumers see), so batch
+        # analyses the noisy capture directly and the stream carries the
+        # same noisy frames.
+        clean = captures["isotp"]
+        noisy_frames = apply_noise(
+            list(clean.can_log), NoiseProfile.default(seed=11), FaultCounts()
+        )
+        noisy = Capture(
+            model=clean.model,
+            tool_name=clean.tool_name,
+            can_log=CanLog(noisy_frames),
+            video=clean.video,
+            clicks=clean.clicks,
+            segments=clean.segments,
+            tool_error_rate=clean.tool_error_rate,
+            camera_offset_s=clean.camera_offset_s,
+        )
+        batch = make_reverser().reverse_engineer(noisy).to_json()
+        session = stream_session(noisy, transport="isotp")
+        assert session.finalize(make_reverser()).to_json() == batch
+
+    def test_kline_declared_and_auto(self):
+        vehicle = build_kline_vehicle()
+        capture, messages = KLineDiagnosticSession(vehicle).collect(
+            duration_per_ecu_s=10.0
+        )
+        reverser = make_reverser()
+        batch = reverser.infer(
+            reverser.analyze(capture, messages=messages)
+        ).to_json()
+        for transport in ("kline", "auto"):
+            session = stream_session(
+                capture, transport=transport, kline_bytes=vehicle.bus.capture
+            )
+            assert session.transport == "kline"
+            assert session.finalize(make_reverser()).to_json() == batch
+
+
+class TestKLineEventDecoder:
+    def fed_decoder(self):
+        vehicle = build_kline_vehicle()
+        KLineDiagnosticSession(vehicle).collect(duration_per_ecu_s=10.0)
+        decoder = KLineEventDecoder()
+        payloads = []
+        for byte in vehicle.bus.capture:
+            for event in decoder.feed(CanFrame(0, bytes([byte.value]), byte.timestamp)):
+                if event.kind == EVENT_PAYLOAD:
+                    payloads.append(event.payload)
+        return vehicle, decoder, payloads
+
+    def test_payload_events_match_parse_capture(self):
+        vehicle, decoder, payloads = self.fed_decoder()
+        stats = DecoderStats()
+        messages = parse_capture(vehicle.bus.capture, stats)
+        assert payloads == [m.payload for m in messages if m.checksum_ok]
+        decoder.finish()
+        assert decoder.stats.to_dict() == stats.to_dict()
+
+    def test_conforms_to_event_api(self):
+        from repro.transport.base import TransportDecoder
+
+        decoder = KLineEventDecoder()
+        assert isinstance(decoder, TransportDecoder)
+        assert decoder.KIND == "kline"
+        assert decoder.stats.frames == 0
+
+
+class TestSessionGuards:
+    def test_mixing_can_and_kline_rejected(self):
+        session = VehicleSession(0, transport="auto")
+        session.ingest_frame(CanFrame(1, b"\x02\x01\x0c", 0.0))
+        from repro.transport.kline import KLineByte
+
+        with pytest.raises(SessionError, match="K-Line byte on a CAN"):
+            session.ingest_kline_byte(KLineByte(0.1, 0x80))
+
+    def test_ingest_after_finalize_rejected(self):
+        session = VehicleSession(0, transport="isotp")
+        session.ingest_frame(CanFrame(1, b"\x02\x01\x0c", 0.0))
+        session.finalize(make_reverser())
+        with pytest.raises(SessionError, match="already finished"):
+            session.ingest_frame(CanFrame(1, b"\x02\x01\x0c", 0.1))
+
+    def test_retention_bound_drops_and_counts(self):
+        session = VehicleSession(0, transport="isotp", max_capture_frames=5)
+        for i in range(9):
+            session.ingest_frame(CanFrame(1, b"\x02\x01\x0c", float(i)))
+        assert session.frames_received == 5
+        assert session.frames_dropped == 4
+
+    def test_status_counts(self, captures):
+        session = stream_session(captures["isotp"], transport="isotp")
+        status = session.status()
+        assert status["frames"] == len(captures["isotp"].can_log)
+        assert status["messages"] == session.messages_assembled > 0
+
+    def test_interim_snapshot_lists_esvs(self, captures):
+        session = stream_session(captures["isotp"], transport="isotp")
+        snapshot = session.interim_snapshot()
+        assert snapshot["esvs"], "expected ESV observations mid-stream"
+        for esv in snapshot["esvs"]:
+            assert esv["observations"] > 0
+            assert esv["protocol"]
