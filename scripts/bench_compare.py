@@ -21,6 +21,13 @@ by ``benchmarks/bench_io.py``.  Comparison policy, per metric:
   metrics and new benches are reported as notes.
 * ``NaN`` equals ``NaN`` (a knowingly-unavailable number stays
   unavailable); ``NaN`` on one side only is a failure.
+* ``--floor METRIC=VALUE`` (repeatable) imposes a hard minimum on a
+  *current* metric, independent of the baseline and of timing tolerance:
+  a current value below the floor, missing, or NaN is a failure even
+  though timing metrics otherwise only warn.  ``METRIC`` is either a bare
+  metric name (applies to every bench exposing it; at least one must) or
+  ``bench.metric`` to pin one artifact.  This is how CI asserts "the
+  parallel backend must actually win" without gating on noisy ratios.
 
 Exit codes: 0 clean, 1 regression, 2 usage error.
 """
@@ -160,6 +167,67 @@ def compare_sets(
     return findings
 
 
+def parse_floor(spec: str):
+    """``[bench.]metric=value`` -> ``(bench or None, metric, value)``.
+
+    Raises ``ValueError`` on a malformed spec (no ``=``, empty metric,
+    non-numeric value).
+    """
+    name, sep, raw = spec.partition("=")
+    if not sep or not name:
+        raise ValueError(f"floor must look like METRIC=VALUE: {spec!r}")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"floor value is not a number: {spec!r}") from None
+    if math.isnan(value):
+        raise ValueError(f"floor value cannot be NaN: {spec!r}")
+    bench, dot, metric = name.partition(".")
+    if not dot:
+        bench, metric = None, name
+    if not metric:
+        raise ValueError(f"floor metric name is empty: {spec!r}")
+    return bench, metric, value
+
+
+def check_floors(current: Dict[str, dict], floors) -> List[Finding]:
+    """Hard minimums on current metrics: below, missing, or NaN is FAIL."""
+    findings: List[Finding] = []
+    for bench, metric, value in floors:
+        targets = [bench] if bench is not None else sorted(
+            name for name, art in current.items() if metric in art["metrics"]
+        )
+        if not targets or (bench is not None and bench not in current):
+            findings.append(
+                Finding(
+                    FAIL,
+                    bench or "*",
+                    metric,
+                    f"floor {value} set but no current artifact exposes the metric",
+                )
+            )
+            continue
+        for name in targets:
+            cur = current[name]["metrics"].get(metric)
+            if cur is None:
+                findings.append(
+                    Finding(FAIL, name, metric, f"floor {value} set but metric missing")
+                )
+            elif _isnan(cur):
+                findings.append(
+                    Finding(FAIL, name, metric, f"floor {value} set but value is NaN")
+                )
+            elif cur < value:
+                findings.append(
+                    Finding(FAIL, name, metric, f"{cur} below floor {value}")
+                )
+            else:
+                findings.append(
+                    Finding(OK, name, metric, f"{cur} >= floor {value}")
+                )
+    return findings
+
+
 def gate(findings: List[Finding], fail_on_timing: bool = False) -> int:
     """Exit code for a finding list: 1 on any FAIL (or WARN when upgraded)."""
     severities = {f.severity for f in findings}
@@ -192,9 +260,24 @@ def main(argv=None) -> int:
         help="treat out-of-tolerance timing movement as a failure, not a warning",
     )
     parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="METRIC=VALUE",
+        help="hard minimum for a current metric (repeatable); below, missing "
+        "or NaN fails the gate even for timing-unit metrics.  Prefix with "
+        "bench. to pin one artifact, e.g. gp_perf.process_speedup=1.0",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="print only WARN/FAIL findings"
     )
     args = parser.parse_args(argv)
+
+    try:
+        floors = [parse_floor(spec) for spec in args.floor]
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
     for path in (args.baseline, args.current):
         if not Path(path).is_dir():
@@ -211,6 +294,7 @@ def main(argv=None) -> int:
         return 2
 
     findings = compare_sets(baseline, current, rel_tol=args.rel_tol, abs_tol=args.abs_tol)
+    findings.extend(check_floors(current, floors))
     for finding in findings:
         if args.quiet and finding.severity == OK:
             continue

@@ -22,6 +22,36 @@ import time
 from pathlib import Path
 
 
+def _add_gp_batch_args(
+    parser: argparse.ArgumentParser, batch_default: bool = False
+) -> None:
+    """The shared ``--gp-batch`` / ``--gp-islands`` flags."""
+    parser.add_argument(
+        "--gp-batch",
+        action=argparse.BooleanOptionalAction,
+        default=batch_default,
+        help="merge same-shape GP fitness evaluations across ESVs into "
+        "single batched matrix passes (bit-identical results)",
+    )
+    parser.add_argument(
+        "--gp-islands",
+        type=int,
+        metavar="N",
+        default=0,
+        help="shorthand for --gp-backend island --gp-workers N: N "
+        "persistent island workers, each evolving its slice of the ESVs "
+        "in one batched pass, reading datasets from shared memory",
+    )
+
+
+def _resolve_gp_flags(args: argparse.Namespace) -> None:
+    """Expand the ``--gp-islands`` shorthand onto backend and workers."""
+    islands = getattr(args, "gp_islands", 0)
+    if islands:
+        args.gp_backend = "island"
+        args.gp_workers = max(getattr(args, "gp_workers", 1), islands)
+
+
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     """The shared ``--trace-out`` / ``--metrics-out`` / ``--profile`` flags."""
     parser.add_argument(
@@ -119,12 +149,14 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
         print(f"bad --noise-profile: {error}", file=sys.stderr)
         return 2
     capture = load_capture(args.capture)
+    _resolve_gp_flags(args)
     tracer = Tracer() if _observability_requested(args) else None
     start = time.perf_counter()
     config = ReverserConfig(
         gp_config=GpConfig(seed=args.seed, compiled=args.gp_compiled),
         gp_workers=args.gp_workers,
         gp_backend=args.gp_backend,
+        gp_batch=args.gp_batch,
         gp_memo_dir=args.gp_memo,
         noise=noise,
         trace=tracer,
@@ -236,6 +268,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"bad --noise-profile: {error}", file=sys.stderr)
         return 2
+    _resolve_gp_flags(args)
     tracer = Tracer() if _observability_requested(args) else None
     try:
         specs = fleet_job_specs(
@@ -244,6 +277,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             read_duration_s=args.duration,
             gp_workers=args.gp_workers,
             gp_backend=args.gp_backend,
+            gp_batch=args.gp_batch,
             gp_memo_dir=args.gp_memo,
             noise_spec=noise_spec,
             noise_seed=args.noise_seed,
@@ -295,6 +329,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .core import GpConfig
     from .service import DiagnosticServer, ServiceConfig
 
+    _resolve_gp_flags(args)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -305,6 +340,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         gp_config=GpConfig(seed=args.seed),
         gp_workers=args.gp_workers,
         gp_backend=args.gp_backend,
+        gp_batch=args.gp_batch,
         gp_memo_dir=args.gp_memo,
         trace=_observability_requested(args),
     )
@@ -401,11 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reverse.add_argument(
         "--gp-backend",
-        choices=("auto", "serial", "thread", "process"),
+        choices=("auto", "serial", "thread", "process", "island"),
         default="auto",
         help="per-ESV inference backend; auto uses a process pool when "
-        "--gp-workers > 1 (results are identical on every backend)",
+        "--gp-workers > 1, island keeps persistent workers fed over "
+        "shared memory (results are identical on every backend)",
     )
+    _add_gp_batch_args(reverse)
     reverse.add_argument(
         "--gp-memo",
         metavar="DIR",
@@ -478,11 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_run.add_argument(
         "--gp-backend",
-        choices=("auto", "serial", "thread", "process"),
+        choices=("auto", "serial", "thread", "process", "island"),
         default="auto",
         help="per-ESV inference backend inside each job; auto uses a "
-        "process pool when --gp-workers > 1",
+        "process pool when --gp-workers > 1, island keeps persistent "
+        "workers fed over shared memory",
     )
+    _add_gp_batch_args(fleet_run)
     fleet_run.add_argument(
         "--gp-memo",
         metavar="DIR",
@@ -550,11 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--gp-backend",
-        choices=("auto", "serial", "thread", "process"),
+        choices=("auto", "serial", "thread", "process", "island"),
         default="auto",
-        help="per-ESV inference backend; auto uses a process pool when "
-        "--gp-workers > 1",
+        help="per-ESV inference backend for finalize; auto resolves to "
+        "island (persistent workers, shared-memory datasets)",
     )
+    _add_gp_batch_args(serve, batch_default=True)
     serve.add_argument(
         "--gp-memo",
         metavar="DIR",

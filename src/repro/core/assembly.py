@@ -22,9 +22,10 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..can import CanFrame
 from ..observability.trace import get_active
+from ..transport.arrays import HAVE_NUMPY, FrameArrays, np
 from ..transport.base import EVENT_PAYLOAD, EVENT_RESYNC, DecoderStats
 from ..transport.bmw import BmwReassembler
-from ..transport.isotp import IsoTpReassembler, PciType
+from ..transport.isotp import SF_MAX_PAYLOAD, IsoTpReassembler, PciType
 from ..transport.vwtp import VwTpReassembler
 from .screening import (
     TRANSPORT_BMW,
@@ -33,6 +34,7 @@ from .screening import (
     detect_transport,
     frame_passes_screen,
     screen,
+    screen_mask,
 )
 
 #: Cap on the human-readable event details kept in diagnostics; counters
@@ -210,6 +212,132 @@ class StreamAssembler:
         return self._messages, self.diagnostics
 
 
+class _DetailCollector:
+    """Position-tagged stand-in for :class:`DecodeDiagnostics` details.
+
+    The bulk path decodes fallback streams one stream at a time, but the
+    event path records error/resync details in global frame order across
+    all streams.  Collecting ``(kept_position, ...)`` tuples and sorting
+    afterwards reproduces that order exactly.
+    """
+
+    def __init__(self) -> None:
+        self.items: List[Tuple[int, int, str, str]] = []
+        self.position = 0
+
+    def record_detail(self, can_id: int, kind: str, detail: str) -> None:
+        self.items.append((self.position, can_id, kind, detail))
+
+
+def bulk_assemble(
+    frames: List[CanFrame], transport: str
+) -> Optional[Tuple[List[AssembledMessage], DecodeDiagnostics]]:
+    """Vectorised decode of a whole capture; ``None`` when inapplicable.
+
+    The fast path turns the capture into a :class:`FrameArrays` columnar
+    view, screens it with one mask, and proves per CAN id that a stream
+    consists solely of well-formed single frames — in which case every
+    payload is sliced straight out of the payload matrix with no decoder
+    state machine.  Streams with multi-frame traffic or any malformed
+    frame (the noisy/resync case) are replayed through the event
+    decoders, so output is byte-identical to
+    :func:`assemble_with_diagnostics`'s event path on every input.
+
+    VW TP 2.0 (stateful screening, no length field) and numpy-less hosts
+    return ``None``: use the event path.
+    """
+    if transport not in (TRANSPORT_ISOTP, TRANSPORT_BMW) or not HAVE_NUMPY:
+        return None
+    diagnostics = DecodeDiagnostics(transport=transport)
+    arrays = FrameArrays.from_frames(frames)
+    if not len(arrays):
+        return [], diagnostics
+    offset = 1 if transport == TRANSPORT_BMW else 0
+    kept = np.flatnonzero(screen_mask(arrays, transport))
+    diagnostics.frames = int(kept.size)
+    if not kept.size:
+        return [], diagnostics
+
+    ids = arrays.can_ids[kept]
+    pci = arrays.payloads[kept, offset]
+    lengths = (pci & 0x0F).astype(np.int16)
+    # A valid SF in the event decoder: PCI nibble 0, length 1..7, and the
+    # (BMW: address-stripped) data field long enough to hold the payload.
+    sf_ok = (
+        ((pci >> 4) == PciType.SINGLE)
+        & (lengths >= 1)
+        & (lengths <= SF_MAX_PAYLOAD)
+        & (lengths <= arrays.dlcs[kept] - 1 - offset)
+    )
+    unique_ids, inverse = np.unique(ids, return_inverse=True)
+    clean = np.ones(len(unique_ids), dtype=bool)
+    np.logical_and.at(clean, inverse, sf_ok)
+
+    tagged: List[Tuple[int, AssembledMessage]] = []
+    details: List[Tuple[int, int, str, str]] = []
+
+    # Clean streams: every payload sliced from the matrix in one mask op.
+    bulk = clean[inverse]
+    bulk_positions = np.flatnonzero(bulk)
+    if bulk_positions.size:
+        rows = arrays.payloads[kept[bulk_positions]]
+        columns = np.arange(rows.shape[1], dtype=np.int16)
+        first = 1 + offset
+        blob = rows[
+            (columns[None, :] >= first)
+            & (columns[None, :] < first + lengths[bulk_positions, None])
+        ].tobytes()
+        ends = np.cumsum(lengths[bulk_positions])
+        starts = ends - lengths[bulk_positions]
+        timestamps = arrays.timestamps[kept[bulk_positions]]
+        addresses = rows[:, 0] if transport == TRANSPORT_BMW else None
+        for j, position in enumerate(bulk_positions):
+            tagged.append(
+                (
+                    int(position),
+                    AssembledMessage(
+                        payload=blob[starts[j] : ends[j]],
+                        can_id=int(ids[position]),
+                        t_first=float(timestamps[j]),
+                        t_last=float(timestamps[j]),
+                        n_frames=1,
+                        ecu_address=(
+                            int(addresses[j]) if addresses is not None else None
+                        ),
+                    ),
+                )
+            )
+    for index in np.flatnonzero(clean):
+        count = int((inverse == index).sum())
+        diagnostics.streams[int(unique_ids[index])] = DecoderStats(
+            frames=count, payloads=count
+        )
+
+    # Noisy/multi-frame streams: replay through the event decoders.
+    for index in np.flatnonzero(~clean):
+        state = _StreamState(transport)
+        collector = _DetailCollector()
+        for position in np.flatnonzero(inverse == index):
+            collector.position = int(position)
+            for message in state.feed(arrays.frames[int(kept[position])], collector):
+                tagged.append((int(position), message))
+        details.extend(collector.items)
+        diagnostics.streams[int(unique_ids[index])] = state.reassembler.stats
+
+    # Merge per-stream accounting and restore global event ordering.
+    diagnostics.streams = dict(sorted(diagnostics.streams.items()))
+    for stats in diagnostics.streams.values():
+        diagnostics.stats.merge(stats)
+    for __, can_id, kind, detail in sorted(details):
+        diagnostics.record_detail(can_id, kind, detail)
+    # Completion order is the order of the completing frame, so a sort on
+    # (t_last, kept position) equals the event path's stable t_last sort.
+    tagged.sort(key=lambda item: (item[1].t_last, item[0]))
+    messages = [message for __, message in tagged]
+    diagnostics.messages = len(messages)
+    return messages, diagnostics
+
+
 def assemble_with_diagnostics(
     frames: Iterable[CanFrame], transport: str = ""
 ) -> Tuple[List[AssembledMessage], DecodeDiagnostics]:
@@ -220,12 +348,21 @@ def assemble_with_diagnostics(
     returned :class:`DecodeDiagnostics` reports how much of the capture
     survived decoding — on a clean capture it is all zeros except frame and
     message totals.
+
+    Captures on vectorisable transports take :func:`bulk_assemble` (byte
+    identical, no per-frame Python) unless tracing is active — per-stream
+    ``decode_stream`` spans only exist on the event path.
     """
     frames = list(frames)
     transport = transport or detect_transport(frames)
+    tracer = get_active()
+    if not tracer.enabled:
+        bulk = bulk_assemble(frames, transport)
+        if bulk is not None:
+            return bulk
     screened = screen(frames, transport)
     assembler = StreamAssembler(transport)
-    with get_active().span("decode", transport=transport, frames=len(screened)):
+    with tracer.span("decode", transport=transport, frames=len(screened)):
         for frame in screened:
             assembler.feed(frame)
         return assembler.finish()

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .batch import TRIM_FRACTION, MaesRequest, batched_linear_fit, batched_maes, drive
 from .cache import FitnessCache
 from .compile import CompiledProgram, compile_tree
 from .functions import DEFAULT_FUNCTION_NAMES
@@ -119,7 +120,7 @@ class GeneticProgrammer:
 
     # ---------------------------------------------------------------- fitness
 
-    TRIM_FRACTION = 0.08  # worst residuals ignored by the fitness
+    TRIM_FRACTION = TRIM_FRACTION  # worst residuals ignored by the fitness
 
     def _scaled_mae(self, tree: Node, columns: List[np.ndarray], y: np.ndarray) -> float:
         """Trimmed MAE under the candidate's optimal linear scaling.
@@ -254,6 +255,15 @@ class GeneticProgrammer:
         columns: List[np.ndarray],
         y: np.ndarray,
     ) -> Tuple[List[float], List[int]]:
+        """In-process driver for :meth:`_evaluate_population_steps`."""
+        return drive(self._evaluate_population_steps(population, columns, y))
+
+    def _evaluate_population_steps(
+        self,
+        population: List[Node],
+        columns: List[np.ndarray],
+        y: np.ndarray,
+    ):
         """Fitness and size for every tree in one batch.
 
         The compiled path flattens each tree once (yielding its size for
@@ -266,6 +276,11 @@ class GeneticProgrammer:
         per-row).  When ``subsample_size`` is on, candidates are scored on
         an evenly spaced subsample first and only the top
         ``subsample_top`` fraction is re-scored on the full dataset.
+
+        A generator: the actual matrix math happens wherever the yielded
+        :class:`MaesRequest`\\ s are answered — in-process via
+        :func:`repro.core.gp.batch.drive`, or merged across ESVs by a
+        :class:`~repro.core.gp.batch.BatchEvaluator`.
         """
         config = self.config
         if not config.compiled:
@@ -278,16 +293,21 @@ class GeneticProgrammer:
             indices = np.linspace(0, n - 1, config.subsample_size).astype(int)
             sub_columns = [column[indices] for column in columns]
             sub_y = y[indices]
-            sub_maes = self._batched_fitness(programs, sub_columns, sub_y, "sub")
+            sub_maes = yield from self._batched_fitness_steps(
+                programs, sub_columns, sub_y, "sub"
+            )
             promoted = int(np.ceil(len(programs) * config.subsample_top))
             order = np.argsort(sub_maes, kind="stable")[: max(1, promoted)]
             chosen = [programs[index] for index in order]
-            full_maes = self._batched_fitness(chosen, columns, y, "full")
+            full_maes = yield from self._batched_fitness_steps(
+                chosen, columns, y, "full"
+            )
             maes = list(sub_maes)
             for index, mae in zip(order, full_maes):
                 maes[index] = mae
             return maes, sizes
-        return self._batched_fitness(programs, columns, y, "full"), sizes
+        maes = yield from self._batched_fitness_steps(programs, columns, y, "full")
+        return maes, sizes
 
     def _batched_fitness(
         self,
@@ -296,7 +316,22 @@ class GeneticProgrammer:
         y: np.ndarray,
         tag: str,
     ) -> List[float]:
-        """Cache-aware batched fitness for a list of compiled programs."""
+        """In-process driver for :meth:`_batched_fitness_steps`."""
+        return drive(self._batched_fitness_steps(programs, columns, y, tag))
+
+    def _batched_fitness_steps(
+        self,
+        programs: List[CompiledProgram],
+        columns: List[np.ndarray],
+        y: np.ndarray,
+        tag: str,
+    ):
+        """Cache-aware batched fitness for a list of compiled programs.
+
+        Generator: program execution (the interpreter loop) runs inline,
+        the fitness math is requested through one yielded
+        :class:`MaesRequest` per call.
+        """
         cache = self._cache
         maes: List[Optional[float]] = [None] * len(programs)
         pending: List[Tuple[Tuple, List[int]]] = []
@@ -338,7 +373,9 @@ class GeneticProgrammer:
                 matrix = np.empty((len(live), y.shape[0]))
                 for offset, slot in enumerate(live):
                     matrix[offset] = rows[slot]
-                batched = self._batched_maes(matrix, y)
+                batched = yield MaesRequest(
+                    matrix, y, self.config.linear_scaling, self.TRIM_FRACTION
+                )
                 for offset, slot in enumerate(live):
                     results[slot] = float(batched[offset])
             for (key, indices), mae in zip(pending, results):
@@ -351,107 +388,13 @@ class GeneticProgrammer:
     def _batched_maes(self, F: np.ndarray, y: np.ndarray) -> np.ndarray:
         """The per-tree fitness math, vectorised over population rows.
 
-        Every arithmetic step applies the same scalar operation the
-        per-tree :meth:`_mae_from_predictions` applies, in the same order;
-        order-sensitive reductions (means, sorts) use numpy's per-row
-        kernels, and the two least-squares dot products go through the
-        same 1-D BLAS call per row — so each row's fitness is bit-equal to
-        the per-tree result (asserted by the equivalence test suite).
+        Thin delegate to :func:`repro.core.gp.batch.batched_maes` (where
+        the math lives so merged cross-ESV passes can reuse it), bound to
+        this engine's scaling mode and trim fraction.
         """
-        n = y.shape[0]
-        n_trim = int(np.ceil(n * self.TRIM_FRACTION)) if n >= 10 else 0
-        keep = n - n_trim
-        with np.errstate(all="ignore"):
-            finite_rows = np.isfinite(F).all(axis=1)
-            if not self.config.linear_scaling:
-                E = np.abs(F - y)
-                valid = finite_rows & np.isfinite(E).all(axis=1)
-                if n_trim:
-                    E.sort(axis=1)
-                    maes = np.ascontiguousarray(E[:, :keep]).mean(axis=1)
-                else:
-                    maes = E.mean(axis=1)
-                maes[~valid] = np.inf
-                return maes
+        return batched_maes(F, y, self.config.linear_scaling, self.TRIM_FRACTION)
 
-            y_mean = y.mean()
-            y_centred = y - y_mean
-            a, b = self._batched_linear_fit(F, y_centred, y_mean, finite_rows)
-            # In-place chain, same operation order as the per-tree
-            # ``abs(a*f + b - y)`` expression.
-            E1 = a[:, None] * F
-            E1 += b[:, None]
-            E1 -= y
-            np.abs(E1, out=E1)
-            valid = finite_rows & np.isfinite(E1).all(axis=1)
-            if not n_trim:
-                maes = E1.mean(axis=1)
-                maes[~valid] = np.inf
-                return maes
-
-            inliers = np.argsort(E1, axis=1)[:, :keep]
-            f_fit = np.take_along_axis(F, inliers, axis=1)
-            y_fit = y[inliers]
-            y_mean2 = y_fit.mean(axis=1)
-            y_centred2 = y_fit - y_mean2[:, None]
-            a2, b2 = self._batched_linear_fit(f_fit, y_centred2, y_mean2, valid)
-            E2 = a2[:, None] * F
-            E2 += b2[:, None]
-            E2 -= y
-            np.abs(E2, out=E2)
-            refit_ok = np.isfinite(E2).all(axis=1)
-            E = np.where(refit_ok[:, None], E2, E1)
-            E.sort(axis=1)
-            maes = np.ascontiguousarray(E[:, :keep]).mean(axis=1)
-            maes[~valid] = np.inf
-            return maes
-
-    @staticmethod
-    def _batched_linear_fit(
-        f_fit: np.ndarray,
-        y_centred: np.ndarray,
-        y_mean,
-        rows_mask: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Row-wise ``a*f+b`` least squares, dot products via 1-D BLAS.
-
-        ``y_centred`` is shared (1-D) for the full-dataset fit and per-row
-        (2-D) for the inlier refit; ``y_mean`` likewise scalar or vector.
-        A row where the variance vanishes gets ``a=0, b=y_mean`` — exactly
-        the constant-tree branch of :meth:`_linear_scaled_errors`, since
-        ``|0*f + y_mean - y|`` equals ``|y_mean - y|``.
-        """
-        f_mean = f_fit.mean(axis=1)
-        centred = f_fit - f_mean[:, None]
-        shared = y_centred.ndim == 1
-        dot = np.dot
-        nan = np.nan
-        variance_rows = []
-        a_num_rows = []
-        append_var = variance_rows.append
-        append_num = a_num_rows.append
-        if shared:
-            for row, ok in zip(centred, rows_mask.tolist()):
-                if ok:
-                    append_var(dot(row, row))
-                    append_num(dot(row, y_centred))
-                else:  # row already doomed to inf; skip the BLAS calls
-                    append_var(nan)
-                    append_num(nan)
-        else:
-            for row, y_row, ok in zip(centred, y_centred, rows_mask.tolist()):
-                if ok:
-                    append_var(dot(row, row))
-                    append_num(dot(row, y_row))
-                else:
-                    append_var(nan)
-                    append_num(nan)
-        variance = np.array(variance_rows)
-        a_num = np.array(a_num_rows)
-        const = variance < 1e-12  # NaN compares False: stays on the a-path
-        a = np.where(const, 0.0, a_num / np.where(const, 1.0, variance))
-        b = y_mean - a * f_mean
-        return a, b
+    _batched_linear_fit = staticmethod(batched_linear_fit)
 
     # -------------------------------------------------------------- operators
 
@@ -560,7 +503,23 @@ class GeneticProgrammer:
     # -------------------------------------------------------------- evolution
 
     def fit(self, x_rows: Sequence[Sequence[float]], y_values: Sequence[float]) -> GpResult:
-        """Evolve a formula for the dataset ``(x_rows, y_values)``."""
+        """Evolve a formula for the dataset ``(x_rows, y_values)``.
+
+        In-process driver for :meth:`fit_steps`; results are bit-identical
+        to a :class:`~repro.core.gp.batch.BatchEvaluator` driving the same
+        generator interleaved with other ESVs.
+        """
+        return drive(self.fit_steps(x_rows, y_values))
+
+    def fit_steps(self, x_rows: Sequence[Sequence[float]], y_values: Sequence[float]):
+        """Generator form of :meth:`fit`: yields every fitness-math request.
+
+        The evolution logic — rng stream, selection, operators, elitism,
+        early exit — runs inside the generator and is untouched by *where*
+        the yielded :class:`MaesRequest`\\ s are answered, which is what
+        keeps reports byte-identical across the serial and cross-ESV
+        batched execution modes.
+        """
         if not x_rows:
             raise ValueError("empty dataset")
         config = self.config
@@ -617,7 +576,7 @@ class GeneticProgrammer:
                         )
                     )
 
-        maes, sizes = self._evaluate_population(population, columns, y)
+        maes, sizes = yield from self._evaluate_population_steps(population, columns, y)
         scores = [self._penalised(m, s) for m, s in zip(maes, sizes)]
         best_index = int(np.argmin(scores))
         best_tree, best_mae = population[best_index].copy(), maes[best_index]
@@ -651,7 +610,9 @@ class GeneticProgrammer:
                                         config.init_depth, config.const_range)
                 next_population.append(child)
             population = next_population
-            maes, sizes = self._evaluate_population(population, columns, y)
+            maes, sizes = yield from self._evaluate_population_steps(
+                population, columns, y
+            )
             scores = [self._penalised(m, s) for m, s in zip(maes, sizes)]
             best_index = int(np.argmin(scores))
             if maes[best_index] < best_mae:
@@ -659,7 +620,7 @@ class GeneticProgrammer:
             if best_mae <= config.fitness_threshold:
                 break  # stopping criterion (ii): fitness reached the threshold
 
-        best_tree = self._refine_constants(best_tree, columns, y)
+        best_tree = yield from self._refine_constants_steps(best_tree, columns, y)
         if config.linear_scaling:
             best_tree = polish_constants(best_tree, columns, y)
         best_mae = self._final_mae(best_tree, columns, y)
@@ -699,6 +660,12 @@ class GeneticProgrammer:
     def _refine_constants(
         self, tree: Node, columns: List[np.ndarray], y: np.ndarray
     ) -> Node:
+        """In-process driver for :meth:`_refine_constants_steps`."""
+        return drive(self._refine_constants_steps(tree, columns, y))
+
+    def _refine_constants_steps(
+        self, tree: Node, columns: List[np.ndarray], y: np.ndarray
+    ):
         """Greedy hill-climb on each constant of the winning tree.
 
         Evolution finds the right *shape* quickly but fine constants (e.g.
@@ -728,7 +695,9 @@ class GeneticProgrammer:
                     for candidate in candidates:
                         node.constant = candidate
                         programs.append(compile_tree(best))
-                    scores = self._batched_fitness(programs, columns, y, "full")
+                    scores = yield from self._batched_fitness_steps(
+                        programs, columns, y, "full"
+                    )
                 else:
                     scores = []
                     for candidate in candidates:

@@ -1,0 +1,207 @@
+"""Island-model persistent workers for per-ESV formula inference.
+
+The old ``process`` backend submits one task per ESV to a pool created
+inside every :meth:`~repro.core.reverser.DPReverser.infer` call; each
+submit pickles the full observation dataset through the pool pipe and
+each call repays process spawn + warm-up.  On small per-ESV work that
+overhead exceeds the GP itself — which is exactly what the gp_perf bench
+recorded (process_speedup 0.83x).
+
+The island backend removes every per-task and per-call cost:
+
+* **persistent workers** — one :class:`IslandPool` per (workers,
+  memo_dir, trace) configuration, cached at module level by
+  :func:`shared_pool` and reused across infer calls, reversers, and
+  service requests; spawn + instruction-table warm-up are paid once per
+  process lifetime;
+* **islands, not tasks** — each worker receives one message per infer
+  call carrying its whole island (a round-robin slice of the ESVs) and
+  evolves all of them through one cross-ESV
+  :class:`~repro.core.gp.BatchEvaluator` pass;
+* **shared-memory datasets** — the pickled islands travel through one
+  :class:`~repro.runtime.shm.SharedBlobs` segment per infer call; the
+  submit messages are ~100-byte ``(name, offset, length)`` descriptors.
+  Hosts without POSIX shm fall back to inline blobs (one per island,
+  still amortised over the island's ESVs);
+* **small result/migrant messages** — workers send back only the lean
+  :class:`~repro.core.reverser._TaskOutcome` list.  Islands deliberately
+  exchange no mid-evolution migrants: every ESV's rng stream must stay
+  private for reports to be byte-identical across backends, so the only
+  cross-island channel is the shared on-disk formula memo, where any
+  island's finished formula is recalled by any other island (and any
+  later run) that sees the same dataset.
+
+Determinism: island partitioning is a pure function of task order, each
+ESV's evolution is driven by its own seeded generator, and the parent
+merges outcomes in slot order — reports and fleet digests are
+byte-identical to the serial backend.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Tuple
+
+from ...runtime.shm import SharedBlobs, create_blobs
+
+#: Worker → parent descriptor for one island's task blob.
+#: ``("shm", name, offset, length)`` or ``("inline", blob)``.
+IslandDescriptor = Tuple
+
+
+def _island_noop() -> None:
+    """Warm-up task: forces a worker process to spawn and initialise."""
+
+
+def _run_island(descriptor: IslandDescriptor) -> List:
+    """Worker entry point: evolve one island of ESVs, batched.
+
+    Imports are deferred — this module is imported by
+    :mod:`repro.core.reverser` (lazily) and importing it back at module
+    level would be circular.  Worker state (memo handle, trace flag) was
+    installed by :func:`repro.core.reverser._gp_worker_init` when the
+    process started.
+    """
+    from ...observability.trace import Tracer, activate
+    from .. import reverser as _reverser
+
+    if descriptor[0] == "shm":
+        __, name, offset, length = descriptor
+        blob = SharedBlobs.read(name, offset, length)
+    else:
+        blob = descriptor[1]
+    tasks = pickle.loads(blob)
+    if _reverser._WORKER_TRACE:
+        tracer = Tracer()
+        previous = activate(tracer)
+        try:
+            with tracer.span("gp_island", n_tasks=len(tasks)):
+                outcomes = _reverser.run_batched_tasks(tasks, _reverser._WORKER_MEMO)
+        finally:
+            activate(previous)
+        if outcomes:
+            outcomes[0].spans = tracer.export_payload()
+        return outcomes
+    return _reverser.run_batched_tasks(tasks, _reverser._WORKER_MEMO)
+
+
+class IslandPool:
+    """Long-lived worker processes, each evolving islands of ESVs."""
+
+    def __init__(self, workers: int, memo_dir: str = "", trace: bool = False) -> None:
+        from ..reverser import _gp_worker_init
+
+        self.workers = max(1, int(workers))
+        self.memo_dir = str(memo_dir or "")
+        self.trace = bool(trace)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_gp_worker_init,
+            initargs=(self.memo_dir, self.trace),
+        )
+        self._warmed = False
+
+    @property
+    def broken(self) -> bool:
+        """True after a worker died; the pool must be rebuilt."""
+        return bool(getattr(self._executor, "_broken", False))
+
+    def warm(self) -> "IslandPool":
+        """Spawn and initialise every worker now, off the timed path.
+
+        ``ProcessPoolExecutor`` spawns one process per pending submit up
+        to ``max_workers``, so ``workers`` no-op submits start the whole
+        fleet; waiting on them guarantees the initialisers (instruction
+        tables, memo handle) have run.
+        """
+        if not self._warmed:
+            futures = [
+                self._executor.submit(_island_noop) for __ in range(self.workers)
+            ]
+            for future in futures:
+                future.result()
+            self._warmed = True
+        return self
+
+    def run(self, tasks: List) -> List:
+        """Execute every task, one submit per island, results flattened.
+
+        The round-robin partition ``tasks[i::n]`` balances islands when
+        per-ESV cost is roughly uniform and is a pure function of task
+        order, so the outcome set (merged in slot order by the caller)
+        is independent of worker scheduling.
+        """
+        if not tasks:
+            return []
+        n_islands = min(self.workers, len(tasks))
+        islands = [tasks[i::n_islands] for i in range(n_islands)]
+        blobs = [
+            pickle.dumps(island, pickle.HIGHEST_PROTOCOL) for island in islands
+        ]
+        store = create_blobs(blobs)
+        try:
+            if store is None:
+                futures = [
+                    self._executor.submit(_run_island, ("inline", blob))
+                    for blob in blobs
+                ]
+            else:
+                futures = [
+                    self._executor.submit(
+                        _run_island, ("shm", store.name, offset, length)
+                    )
+                    for offset, length in store.slices
+                ]
+            self._warmed = True
+            outcomes: List = []
+            for future in futures:
+                outcomes.extend(future.result())
+            return outcomes
+        finally:
+            # Runs on success, worker crash (BrokenProcessPool out of
+            # result()) and KeyboardInterrupt alike; the atexit hook in
+            # repro.runtime.shm is the backstop for harder deaths.
+            if store is not None:
+                store.unlink()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+#: Pools shared across reversers and service requests, keyed by the
+#: worker configuration that shaped their initialisers.
+_SHARED_POOLS: Dict[Tuple[int, str, bool], IslandPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def shared_pool(workers: int, memo_dir: str = "", trace: bool = False) -> IslandPool:
+    """The process-wide pool for a worker configuration, building it on
+    first use and transparently replacing it after a worker crash.
+
+    Thread-safe: the diagnostic service finalises sessions from several
+    offload threads, any of which may be the one that builds the pool.
+    """
+    key = (max(1, int(workers)), str(memo_dir or ""), bool(trace))
+    with _POOLS_LOCK:
+        pool = _SHARED_POOLS.get(key)
+        if pool is not None and not pool.broken:
+            return pool
+        if pool is not None:
+            pool.shutdown()
+        pool = _SHARED_POOLS[key] = IslandPool(*key)
+        return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every cached pool (tests; also runs at interpreter exit)."""
+    with _POOLS_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_shared_pools)

@@ -32,6 +32,7 @@ from .gp import (
     GeneticProgrammer,
     GpConfig,
     Node,
+    drive,
     fold_constants,
     tree_from_tokens,
     tree_to_tokens,
@@ -275,6 +276,28 @@ def infer_formula(
     per-byte interpretations are evolved and the better (lower validation
     MAE, simpler on ties) result returned.  Returns ``None`` when too few
     samples pair up.
+
+    In-process driver for :func:`infer_formula_steps`: results are
+    bit-identical whether the generator runs alone here or interleaved
+    with other ESVs under a :class:`~repro.core.gp.BatchEvaluator`.
+    """
+    return drive(infer_formula_steps(observations, series, config, max_gap_s))
+
+
+def infer_formula_steps(
+    observations: Sequence[EsvObservation],
+    series: UiSeries,
+    config: Optional[GpConfig] = None,
+    max_gap_s: float = 1.5,
+):
+    """Generator form of :func:`infer_formula`.
+
+    Yields every fitness-math :class:`~repro.core.gp.MaesRequest` of the
+    whole per-ESV inference — all restart attempts, both interpretations,
+    the trim-and-refit round — so a batch driver can interleave complete
+    inferences across ESVs.  Interpretations and restarts stay strictly
+    sequential *within* the ESV: a later attempt only runs if the earlier
+    one's fitness says so, which any speculative evaluation would break.
     """
     base_config = config or GpConfig()
     protocol = observations[0].protocol if observations else "uds"
@@ -292,7 +315,7 @@ def infer_formula(
         dataset = build_dataset(observations, series, mode, max_gap_s)
         if len(dataset) < 6:
             continue
-        inferred = _fit_robust(dataset, base_config, interpretation)
+        inferred = yield from _fit_robust_steps(dataset, base_config, interpretation)
         if best is None or inferred.fitness < best.fitness:
             best = inferred
     return best
@@ -305,18 +328,26 @@ MAX_RESTARTS = 3
 
 
 def _evolve_with_restarts(config: GpConfig, scaled: "ScaledDataset"):
+    """In-process driver for :func:`_evolve_with_restarts_steps`."""
+    return drive(_evolve_with_restarts_steps(config, scaled))
+
+
+def _evolve_with_restarts_steps(config: GpConfig, scaled: "ScaledDataset"):
     from dataclasses import replace as _replace
 
     # One fitness cache spans every restart attempt: the dataset is the
     # same, only the seed changes, and restart populations re-derive the
     # same seeded shapes and small trees — immediate hits.
     cache = FitnessCache() if config.fitness_cache else None
+    # The active tracer is looked up when the generator starts; a batch
+    # driver advances generators under the disabled tracer (interleaved
+    # span stacks cannot nest), the serial driver sees the real one.
     tracer = get_active()
     best = None
     for attempt in range(MAX_RESTARTS):
         attempt_config = _replace(config, seed=config.seed + 7919 * attempt)
         with tracer.span("gp_restart", attempt=attempt) as span:
-            result = GeneticProgrammer(attempt_config, cache=cache).fit(
+            result = yield from GeneticProgrammer(attempt_config, cache=cache).fit_steps(
                 scaled.x_rows, scaled.y_values
             )
             span.set(
@@ -333,6 +364,13 @@ def _evolve_with_restarts(config: GpConfig, scaled: "ScaledDataset"):
 def _fit_robust(
     dataset: PairedDataset, config: GpConfig, interpretation: str
 ) -> InferredFormula:
+    """In-process driver for :func:`_fit_robust_steps`."""
+    return drive(_fit_robust_steps(dataset, config, interpretation))
+
+
+def _fit_robust_steps(
+    dataset: PairedDataset, config: GpConfig, interpretation: str
+):
     """GP fit with one trim-and-refit round.
 
     OCR errors that survive the §3.3 filter (small digit confusions on
@@ -345,7 +383,7 @@ def _fit_robust(
     wins — the multi-run equivalent of the paper's larger 1000x30 budget.
     """
     scaled = prescale(dataset)
-    result = _evolve_with_restarts(config, scaled)
+    result = yield from _evolve_with_restarts_steps(config, scaled)
 
     # One vectorised evaluation; the tree primitives are bit-identical to
     # the scalar path, so the residuals match a per-sample loop exactly.
@@ -362,7 +400,7 @@ def _fit_robust(
             [dataset.x_rows[i] for i in keep], [dataset.y_values[i] for i in keep]
         )
         scaled = prescale(trimmed)
-        result = _evolve_with_restarts(config, scaled)
+        result = yield from _evolve_with_restarts_steps(config, scaled)
 
     formula = _wrap_scaled_tree(result.tree, scaled, interpretation)
     return InferredFormula(

@@ -36,11 +36,11 @@ from .fields import EsvObservation, ExtractedFields, extract_fields
 from .formula_memo import FormulaMemo, dataset_key
 from .gp import GpConfig, prime_instruction_tables
 from .request_analysis import SemanticMatch, match_semantics
-from .response_analysis import InferredFormula, infer_formula
+from .response_analysis import InferredFormula, infer_formula, infer_formula_steps
 from .screenshot import FilterReport, UiSeries, analyze_video, extract_ui_series
 
 #: Execution backends for per-ESV formula inference.
-_GP_BACKENDS = frozenset({"auto", "serial", "thread", "process"})
+_GP_BACKENDS = frozenset({"auto", "serial", "thread", "process", "island"})
 
 
 @dataclass(frozen=True)
@@ -71,9 +71,20 @@ class ReverserConfig:
     #: Execution backend for per-ESV formula inference: ``"auto"`` picks a
     #: process pool whenever ``gp_workers > 1`` (the GP hot path is pure
     #: Python, so only processes escape the GIL), ``"serial"``/``"thread"``
-    #: /``"process"`` force a specific backend.  Every backend produces
+    #: /``"process"`` force a specific backend, and ``"island"`` fans the
+    #: ESVs out over long-lived worker processes that each evolve an
+    #: *island* of ESVs through one cross-ESV batched pass, reading the
+    #: observation datasets from shared memory
+    #: (:mod:`repro.core.gp.islands`).  Every backend produces
     #: byte-identical reports; only wall-clock differs.
     gp_backend: str = "auto"
+    #: Cross-ESV batched fitness evaluation for the in-process backends:
+    #: when True (and more than one formula task is planned) the serial
+    #: path drives every ESV's inference generator through one
+    #: :class:`~repro.core.gp.BatchEvaluator`, merging same-shape fitness
+    #: passes across ESVs.  Island workers always evaluate this way.
+    #: Reports stay byte-identical either way.
+    gp_batch: bool = False
     #: Directory of the cross-run formula memo store
     #: (:class:`~repro.core.formula_memo.FormulaMemo`).  Empty string
     #: disables memoisation.
@@ -327,6 +338,22 @@ class _TaskOutcome:
     spans: List[dict] = field(default_factory=list)
 
 
+def _esv_from_task(
+    task: _FormulaTask, inferred: Optional[InferredFormula]
+) -> ReversedEsv:
+    """The report entry for one executed (or recalled) formula task."""
+    return ReversedEsv(
+        identifier=task.identifier,
+        protocol=task.protocol,
+        label=task.label,
+        formula=inferred,
+        is_enum=False,
+        samples=[tuple(o.variables()) for o in task.observations],
+        match_score=task.match_score,
+        formula_type=task.formula_type,
+    )
+
+
 def _execute_formula_task(
     task: _FormulaTask, memo: Optional[FormulaMemo]
 ) -> Tuple[ReversedEsv, Optional[bool]]:
@@ -342,17 +369,67 @@ def _execute_formula_task(
             memo.put(key, inferred)
     else:
         inferred = infer_formula(task.observations, task.series, task.config)
-    esv = ReversedEsv(
-        identifier=task.identifier,
-        protocol=task.protocol,
-        label=task.label,
-        formula=inferred,
-        is_enum=False,
-        samples=[tuple(o.variables()) for o in task.observations],
-        match_score=task.match_score,
-        formula_type=task.formula_type,
-    )
-    return esv, memo_hit
+    return _esv_from_task(task, inferred), memo_hit
+
+
+def run_batched_tasks(
+    tasks: List[_FormulaTask],
+    memo: Optional[FormulaMemo],
+    perf: Callable[[], float] = time.perf_counter,
+) -> List[_TaskOutcome]:
+    """Execute many formula tasks as one cross-ESV batched pass.
+
+    Memo lookups happen up front (sequentially, so their spans nest
+    normally); every miss becomes an :func:`infer_formula_steps`
+    generator, and one :class:`~repro.core.gp.BatchEvaluator` drives all
+    of them in lock step, merging same-shape fitness evaluations across
+    ESVs.  Results — and therefore reports — are byte-identical to
+    running the tasks one at a time.
+
+    ``elapsed`` telemetry: concurrent inferences have no private
+    wall-clock, so each executed task reports an equal share of the batch
+    duration (memo hits report 0.0).  Per-restart spans are not recorded
+    — interleaved coroutines cannot nest spans — so the batch is covered
+    by a single ``gp_batch`` span instead.
+    """
+    from .gp.batch import BatchEvaluator
+
+    tracer = get_active()
+    start = perf()
+    outcomes: List[_TaskOutcome] = []
+    generators = []
+    gen_tasks: List[Tuple[_FormulaTask, Optional[str]]] = []
+    with tracer.span("gp_batch", n_tasks=len(tasks)):
+        for task in tasks:
+            key: Optional[str] = None
+            if memo is not None:
+                with tracer.span("memo_lookup", esv=task.identifier) as span:
+                    key = dataset_key(task.observations, task.series, task.config)
+                    memo_hit, inferred = memo.get(key)
+                    span.set(hit=memo_hit)
+                if memo_hit:
+                    outcomes.append(
+                        _TaskOutcome(task.slot, _esv_from_task(task, inferred), 0.0, True)
+                    )
+                    continue
+            generators.append(
+                infer_formula_steps(task.observations, task.series, task.config)
+            )
+            gen_tasks.append((task, key))
+        results = BatchEvaluator().run(generators)
+        share = (perf() - start) / max(1, len(gen_tasks))
+        for (task, key), inferred in zip(gen_tasks, results):
+            if memo is not None:
+                memo.put(key, inferred)
+            outcomes.append(
+                _TaskOutcome(
+                    task.slot,
+                    _esv_from_task(task, inferred),
+                    share,
+                    False if memo is not None else None,
+                )
+            )
+    return outcomes
 
 
 #: Per-process state for the ``process`` GP backend, installed once per pool
@@ -494,6 +571,7 @@ class DPReverser:
         #: ``gp_workers > 1``.
         self.gp_workers = self.config.gp_workers
         self.gp_backend = self.config.gp_backend
+        self.gp_batch = self.config.gp_batch
         self.gp_memo_dir = str(self.config.gp_memo_dir or "")
         #: Formula-memo traffic accumulated across :meth:`infer` calls;
         #: stays all-zero while memoisation is off.
@@ -762,10 +840,15 @@ class DPReverser:
     def _resolve_backend(self, n_tasks: int) -> str:
         """The backend one inference pass actually uses.
 
-        A single worker or a single task always runs serially in-process
-        (no pool is worth starting); ``"auto"`` otherwise picks the
-        process pool, the only backend the GIL lets scale.
+        An explicitly requested ``"island"`` backend always wins — its
+        pool is shared across :meth:`infer` calls, so even a one-task
+        pass benefits from the already-warm workers.  Otherwise a single
+        worker or a single task runs serially in-process (no pool is
+        worth starting), and ``"auto"`` picks the process pool, the only
+        per-ESV backend the GIL lets scale.
         """
+        if self.gp_backend == "island":
+            return "island"
         if self.gp_workers == 1 or n_tasks <= 1:
             return "serial"
         if self.gp_backend == "auto":
@@ -782,11 +865,15 @@ class DPReverser:
         if not tasks:
             return []
         backend = self._resolve_backend(len(tasks))
+        if backend == "island":
+            return self._run_tasks_island(tasks)
         if backend == "process":
             return self._run_tasks_process(tasks)
         memo = FormulaMemo(self.gp_memo_dir) if self.gp_memo_dir else None
         if backend == "thread":
             return self._run_tasks_thread(tasks, memo)
+        if self.gp_batch and len(tasks) > 1:
+            return run_batched_tasks(tasks, memo, self.perf)
         return [self._run_one(task, memo) for task in tasks]
 
     def _run_one(
@@ -807,6 +894,21 @@ class DPReverser:
         ) as pool:
             futures = [pool.submit(self._run_one, task, memo) for task in tasks]
             return [future.result() for future in futures]
+
+    def _run_tasks_island(self, tasks: List[_FormulaTask]) -> List[_TaskOutcome]:
+        """Island backend: persistent workers + shared-memory datasets.
+
+        The pool outlives this call (and this reverser — it is cached at
+        module level in :mod:`repro.core.gp.islands` and reused by every
+        reverser with the same worker/memo/trace configuration), so
+        repeated :meth:`infer` calls pay the process-spawn and
+        instruction-table warm-up exactly once per run, not once per
+        capture.
+        """
+        from .gp.islands import shared_pool
+
+        pool = shared_pool(self.gp_workers, self.gp_memo_dir, self.tracer.enabled)
+        return pool.run(tasks)
 
     def _run_tasks_process(self, tasks: List[_FormulaTask]) -> List[_TaskOutcome]:
         """Process-pool backend: persistent warmed workers, lean payloads.

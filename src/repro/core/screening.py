@@ -130,6 +130,26 @@ def frame_passes_screen(frame: CanFrame, transport: str) -> bool:
     return nibble in (PciType.SINGLE, PciType.FIRST, PciType.CONSECUTIVE)
 
 
+def screen_mask(arrays, transport: str):
+    """Vectorised :func:`screen`: a keep-mask over a whole capture.
+
+    Takes a :class:`~repro.transport.arrays.FrameArrays` and returns a
+    boolean numpy array marking the frames batch screening would keep,
+    or ``None`` when the transport has no vectorised screen (VW TP 2.0
+    classification is stateful enough that the event path handles it).
+    Bit-for-bit equivalent to mapping :func:`frame_passes_screen`: the
+    ``dlcs > offset`` term reproduces the "too short to hold a PCI"
+    rejection that zero padding would otherwise hide.
+    """
+    if transport == TRANSPORT_BMW:
+        offset = 1
+    elif transport == TRANSPORT_ISOTP:
+        offset = 0
+    else:
+        return None
+    return (arrays.dlcs > offset) & (arrays.nibbles(offset) <= PciType.CONSECUTIVE)
+
+
 def screen(frames: Iterable[CanFrame], transport: str) -> List[CanFrame]:
     """Dispatch to the right screener for ``transport``."""
     if transport == TRANSPORT_VWTP:

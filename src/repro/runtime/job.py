@@ -54,10 +54,15 @@ class JobSpec:
     #: :attr:`live_latency_s`.
     gp_workers: int = 1
     #: Per-ESV inference backend (``"auto"``/``"serial"``/``"thread"``/
-    #: ``"process"``).  Every backend produces byte-identical payloads, so
-    #: this is execution policy like :attr:`gp_workers` — excluded from
-    #: :attr:`job_id`.
+    #: ``"process"``/``"island"``).  Every backend produces byte-identical
+    #: payloads, so this is execution policy like :attr:`gp_workers` —
+    #: excluded from :attr:`job_id`.
     gp_backend: str = "auto"
+    #: Merge same-shape fitness evaluations across this job's ESVs into
+    #: single batched matrix passes (see
+    #: :class:`~repro.core.gp.BatchEvaluator`).  Byte-identical results,
+    #: so execution policy — excluded from :attr:`job_id`.
+    gp_batch: bool = False
     #: Directory of the cross-run formula memo store (empty = off).  Memo
     #: hits replay the exact stored result, so the payload is unchanged —
     #: excluded from :attr:`job_id`.
@@ -112,6 +117,7 @@ class JobSpec:
             "live_latency_s": self.live_latency_s,
             "gp_workers": self.gp_workers,
             "gp_backend": self.gp_backend,
+            "gp_batch": self.gp_batch,
             "gp_memo_dir": self.gp_memo_dir,
             "noise_spec": self.noise_spec,
             "noise_seed": self.noise_seed,
@@ -131,6 +137,7 @@ class JobSpec:
             live_latency_s=payload.get("live_latency_s", 0.0),
             gp_workers=payload.get("gp_workers", 1),
             gp_backend=payload.get("gp_backend", "auto"),
+            gp_batch=payload.get("gp_batch", False),
             gp_memo_dir=payload.get("gp_memo_dir", ""),
             noise_spec=payload.get("noise_spec", ""),
             noise_seed=payload.get("noise_seed", 0),
@@ -250,6 +257,7 @@ def fleet_job_specs(
     gp_overrides: Tuple[Tuple[str, object], ...] = (),
     gp_workers: int = 1,
     gp_backend: str = "auto",
+    gp_batch: bool = False,
     gp_memo_dir: str = "",
     noise_spec: str = "",
     noise_seed: int = 0,
@@ -270,6 +278,7 @@ def fleet_job_specs(
             gp_overrides=gp_overrides,
             gp_workers=gp_workers,
             gp_backend=gp_backend,
+            gp_batch=gp_batch,
             gp_memo_dir=gp_memo_dir,
             noise_spec=noise_spec,
             noise_seed=noise_seed,
@@ -325,6 +334,7 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
                 perf=perf,
                 gp_workers=spec.gp_workers,
                 gp_backend=spec.gp_backend,
+                gp_batch=spec.gp_batch,
                 gp_memo_dir=spec.gp_memo_dir,
                 noise=spec.noise_profile(),
                 trace=tracer,

@@ -148,6 +148,15 @@ class SchedulerConfig:
     timeout_s: Optional[float] = None  # per-attempt wall budget (pool modes)
     backoff_base_s: float = 0.5
     backoff_factor: float = 2.0
+    #: Keep the executor alive across :meth:`Scheduler.run` calls instead
+    #: of building and tearing down a pool per batch.  Repeated sweeps
+    #: (benchmark sizings, the streaming service's periodic re-runs) then
+    #: pay process spawn and worker warm-up once per scheduler lifetime —
+    #: the same long-lived-worker model the island GP backend uses.  Call
+    #: :meth:`Scheduler.close` (or use the scheduler as a context manager)
+    #: when done; timed-out attempts left running can occupy a persistent
+    #: worker until they finish, exactly as they occupy an abandoned pool.
+    persistent_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.pool not in POOL_KINDS:
@@ -188,6 +197,22 @@ class Scheduler:
         #: Chrome-trace "thread" lane per car.
         self.tracer = tracer or NULL_TRACER
         self._trace_lanes: Dict[str, int] = {}
+        self._executor = None  # persistent-pool executor, kept across runs
+        self._submit_target: Optional[Callable] = None
+
+    def close(self) -> None:
+        """Shut down a persistent pool (no-op otherwise)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._submit_target = None
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ run
 
@@ -286,20 +311,25 @@ class Scheduler:
 
     # ----------------------------------------------------------------- pool
 
-    def _run_pool(self, specs: Sequence[JobSpec]) -> Dict[str, JobResult]:
+    def _build_executor(self) -> Tuple[object, Callable]:
         if self.config.pool == "thread":
-            executor = ThreadPoolExecutor(max_workers=self.config.workers)
-            submit_target = self.runner
-        else:
-            # Persistent warmed workers: the runner crosses the process
-            # boundary once (at pool start), and each submission afterwards
-            # pickles only the JobSpec.
-            executor = ProcessPoolExecutor(
-                max_workers=self.config.workers,
-                initializer=_process_worker_init,
-                initargs=(self.runner,),
-            )
-            submit_target = _invoke_worker_runner
+            return ThreadPoolExecutor(max_workers=self.config.workers), self.runner
+        # Persistent warmed workers: the runner crosses the process
+        # boundary once (at pool start), and each submission afterwards
+        # pickles only the JobSpec.
+        executor = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=_process_worker_init,
+            initargs=(self.runner,),
+        )
+        return executor, _invoke_worker_runner
+
+    def _run_pool(self, specs: Sequence[JobSpec]) -> Dict[str, JobResult]:
+        if self._executor is not None and getattr(self._executor, "_broken", False):
+            self.close()  # a crashed persistent pool is rebuilt transparently
+        if self._executor is None:
+            self._executor, self._submit_target = self._build_executor()
+        executor, submit_target = self._executor, self._submit_target
         results: Dict[str, JobResult] = {}
         pending: Dict[Future, Tuple[JobSpec, int, float]] = {}
 
@@ -374,8 +404,11 @@ class Scheduler:
                             )
                         )
         finally:
-            # Don't block on abandoned (timed-out) workers.
-            executor.shutdown(wait=False, cancel_futures=True)
+            if not self.config.persistent_pool:
+                # Don't block on abandoned (timed-out) workers.
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+                self._submit_target = None
         return results
 
     # -------------------------------------------------------------- helpers

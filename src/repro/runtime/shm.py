@@ -1,0 +1,190 @@
+"""POSIX shared-memory transport for per-run observation datasets.
+
+The island GP backend ships each worker's task list once per
+:meth:`~repro.core.reverser.DPReverser.infer` call.  Pushing the pickled
+datasets through the process-pool pipe is what made the old per-ESV
+process backend *lose* to serial; instead the parent packs every
+island's blob into one :class:`SharedBlobs` segment and submits only
+``(name, offset, length)`` descriptors — a ~100-byte message per island
+regardless of capture size.  Workers attach the segment by name, slice
+their blob out, and detach.
+
+Lifecycle is the hard part of shm, so it is centralised here:
+
+* every live segment is tracked in a module registry; an ``atexit`` hook
+  unlinks whatever is still registered, so normal interpreter exit and
+  ``KeyboardInterrupt`` (which still unwinds ``atexit``) leave no
+  ``/dev/shm`` orphans;
+* :meth:`SharedBlobs.unlink` is idempotent and the creator's
+  ``try/finally`` calls it even when a worker crashes mid-generation
+  (the pool raises ``BrokenProcessPool``, the ``finally`` still runs);
+* a hard kill of the parent (``SIGKILL``) skips all of that, but the
+  stdlib ``resource_tracker`` — a separate process — still reaps the
+  registered segment;
+* worker-side attachments are *untracked* (see :func:`_attach_untracked`):
+  before Python 3.13 an attach re-registers the segment with the
+  resource tracker, which would either double-unlink at worker exit or
+  clobber the parent's registration under the fork-shared tracker.
+
+Platforms without POSIX shared memory (:data:`HAVE_SHM` false, or
+creation failing at runtime) fall back to sending blobs inline through
+the pool pipe — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from typing import Dict, List, Optional, Tuple
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - every CPython we target has it
+    _shared_memory = None
+    HAVE_SHM = False
+
+#: Segment-name prefix; tests scan ``/dev/shm`` for orphans by this.
+SHM_PREFIX = "repro_gp"
+
+_LIVE: Dict[str, "SharedBlobs"] = {}
+_LOCK = threading.Lock()
+_COUNTER = 0
+
+
+def _cleanup_live() -> None:
+    """Unlink every still-registered segment (atexit safety net)."""
+    for store in list(_LIVE.values()):
+        store.unlink()
+
+
+atexit.register(_cleanup_live)
+
+
+def _attach_untracked(name: str):
+    """Attach to a segment without registering it with resource_tracker.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker (fixed only in 3.13's ``track=False``).
+    Under the fork start method all processes share one tracker, so a
+    worker registration would either be a duplicate or — if the worker
+    unregistered afterwards — would erase the *parent's* registration
+    and with it the kill -9 backstop.  Only the creating process should
+    own the name, so worker attaches suppress registration entirely
+    (workers here are single-threaded: the brief monkeypatch cannot
+    race another attach).
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover
+        return _shared_memory.SharedMemory(name=name)
+    original = resource_tracker.register
+
+    def _skip(resource_name, rtype):
+        if rtype != "shared_memory":
+            original(resource_name, rtype)
+
+    resource_tracker.register = _skip
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedBlobs:
+    """One shm segment packing several byte blobs, creator-owned.
+
+    ``create`` concatenates the blobs and records ``(offset, length)``
+    slices; readers use the static :meth:`read` with a descriptor and
+    never touch the registry.  The creator unlinks via :meth:`unlink`
+    (idempotent, also run by the module's ``atexit`` hook and by
+    ``with`` blocks).
+    """
+
+    def __init__(self, shm, slices: List[Tuple[int, int]]) -> None:
+        self._shm = shm
+        self.slices = slices
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def create(cls, blobs: List[bytes]) -> "SharedBlobs":
+        """Pack ``blobs`` into a fresh segment and register it live."""
+        global _COUNTER
+        if not HAVE_SHM:
+            raise OSError("POSIX shared memory unavailable")
+        total = max(1, sum(len(blob) for blob in blobs))
+        with _LOCK:
+            _COUNTER += 1
+            name = f"{SHM_PREFIX}_{os.getpid()}_{_COUNTER}"
+        shm = _shared_memory.SharedMemory(name=name, create=True, size=total)
+        slices: List[Tuple[int, int]] = []
+        offset = 0
+        for blob in blobs:
+            shm.buf[offset : offset + len(blob)] = blob
+            slices.append((offset, len(blob)))
+            offset += len(blob)
+        store = cls(shm, slices)
+        with _LOCK:
+            _LIVE[shm.name] = store
+        return store
+
+    @staticmethod
+    def read(name: str, offset: int, length: int) -> bytes:
+        """Copy one blob out of a segment by descriptor (worker side)."""
+        shm = _attach_untracked(name)
+        try:
+            return bytes(shm.buf[offset : offset + length])
+        finally:
+            shm.close()
+
+    def unlink(self) -> None:
+        """Close and remove the segment; safe to call more than once."""
+        with _LOCK:
+            _LIVE.pop(self.name, None)
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+
+    def __enter__(self) -> "SharedBlobs":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+def shm_usable() -> bool:
+    """Whether segments can actually be created on this host right now."""
+    if not HAVE_SHM:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=1)
+    except Exception:
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except Exception:
+        pass
+    return True
+
+
+def create_blobs(blobs: List[bytes]) -> Optional[SharedBlobs]:
+    """Best-effort :meth:`SharedBlobs.create`; ``None`` means fall back."""
+    if not HAVE_SHM:
+        return None
+    try:
+        return SharedBlobs.create(blobs)
+    except Exception:
+        return None

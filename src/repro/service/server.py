@@ -90,7 +90,18 @@ class ServiceConfig:
     #: GP search parameters for final inference (None = paper defaults).
     gp_config: Optional[GpConfig] = None
     gp_workers: int = 1
+    #: Per-ESV inference backend for finalize.  ``"auto"`` resolves to
+    #: ``"island"`` here (unlike the batch CLI): a long-lived server
+    #: amortises the island pool's one-off spawn across every session, and
+    #: each finalize then ships its observation datasets to the workers
+    #: through one shared-memory segment instead of pickling them through
+    #: a fresh pool's pipe per request.  Reports are byte-identical on
+    #: every backend.
     gp_backend: str = "auto"
+    #: Merge same-shape GP evaluations across a session's ESVs into single
+    #: batched matrix passes (applies to the serial backend; island
+    #: workers always batch their islands).
+    gp_batch: bool = True
     #: Shared on-disk formula memo directory ("" disables cross-session
     #: formula reuse).
     gp_memo_dir: str = ""
@@ -190,12 +201,16 @@ class DiagnosticServer:
         return await asyncio.wrap_future(self._pool.submit(fn, *args))
 
     def _build_reverser(self, session: VehicleSession) -> DPReverser:
+        backend = self.config.gp_backend
+        if backend == "auto":
+            backend = "island"
         return DPReverser(
             ReverserConfig(
                 gp_config=self.config.gp_config,
                 ocr_seed=self.config.ocr_seed,
                 gp_workers=self.config.gp_workers,
-                gp_backend=self.config.gp_backend,
+                gp_backend=backend,
+                gp_batch=self.config.gp_batch,
                 gp_memo_dir=self.config.gp_memo_dir,
                 trace=session.tracer if session.tracer.enabled else None,
             )

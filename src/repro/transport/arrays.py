@@ -1,0 +1,81 @@
+"""Columnar (structure-of-arrays) view of a CAN capture.
+
+The event decoders in this package process one frame at a time through a
+Python state machine — necessary for multi-frame reassembly, but pure
+overhead for the common capture where most conversations are clean
+single-frame request/response pairs.  :class:`FrameArrays` converts a
+whole capture into numpy columns once (ids, timestamps, DLCs, and a
+zero-padded ``N x 8`` payload matrix) so that screening, transport
+classification, and single-frame payload extraction become array
+operations over the entire capture instead of per-frame Python calls.
+
+The original :class:`~repro.can.CanFrame` objects are kept alongside the
+columns: any stream the vectorised path cannot prove clean falls back to
+the event decoders, which need the real frames.
+
+Hosts without numpy (:data:`HAVE_NUMPY` false) simply never build the
+columnar view; every caller treats that as "use the event path".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+try:
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+    HAVE_NUMPY = False
+
+from ..can import MAX_DATA_LENGTH, CanFrame
+
+
+@dataclass
+class FrameArrays:
+    """One capture as columns plus the original frames for fallback."""
+
+    can_ids: "np.ndarray"  # uint32 (N,)
+    timestamps: "np.ndarray"  # float64 (N,)
+    dlcs: "np.ndarray"  # int16 (N,)
+    payloads: "np.ndarray"  # uint8 (N, MAX_DATA_LENGTH), zero-padded
+    frames: List[CanFrame]
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @classmethod
+    def from_frames(cls, frames: Iterable[CanFrame]) -> "FrameArrays":
+        """Build the columnar view; one pass over the capture.
+
+        The payload matrix is filled by scattering the concatenation of
+        all data fields through a column-index mask — row-major order of
+        the mask's true cells is exactly frame order x byte order, so no
+        per-frame Python assignment is needed.
+        """
+        if not HAVE_NUMPY:
+            raise RuntimeError("numpy unavailable; use the event decode path")
+        frames = list(frames)
+        n = len(frames)
+        can_ids = np.fromiter((f.can_id for f in frames), dtype=np.uint32, count=n)
+        timestamps = np.fromiter(
+            (f.timestamp for f in frames), dtype=np.float64, count=n
+        )
+        dlcs = np.fromiter((len(f.data) for f in frames), dtype=np.int16, count=n)
+        payloads = np.zeros((n, MAX_DATA_LENGTH), dtype=np.uint8)
+        if n:
+            flat = np.frombuffer(b"".join(f.data for f in frames), dtype=np.uint8)
+            columns = np.arange(MAX_DATA_LENGTH, dtype=np.int16)
+            payloads[columns[None, :] < dlcs[:, None]] = flat
+        return cls(can_ids, timestamps, dlcs, payloads, frames)
+
+    def nibbles(self, offset: int) -> "np.ndarray":
+        """High PCI nibble of byte ``offset`` for every frame.
+
+        Frames too short to hold byte ``offset`` read the zero padding;
+        callers must mask with ``dlcs > offset`` (mirroring the event
+        path, where such frames have no PCI at all).
+        """
+        return self.payloads[:, offset] >> 4

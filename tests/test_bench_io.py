@@ -190,6 +190,72 @@ class TestCompareSets:
         assert bench_compare.gate(findings, fail_on_timing=True) == 1
 
 
+class TestFloors:
+    def art(self, name, metrics, units):
+        return bench_io.build_artifact(name, metrics, units)
+
+    def parse(self, spec):
+        return bench_compare.parse_floor(spec)
+
+    def test_parse_bare_and_qualified(self):
+        assert self.parse("process_speedup=1.0") == (None, "process_speedup", 1.0)
+        assert self.parse("gp_perf.process_speedup=2") == (
+            "gp_perf",
+            "process_speedup",
+            2.0,
+        )
+
+    def test_parse_rejects_malformed_specs(self):
+        for spec in ("no_equals", "=1.0", "m=", "m=abc", "m=nan"):
+            with pytest.raises(ValueError):
+                self.parse(spec)
+
+    def floors(self, current, *specs):
+        return bench_compare.check_floors(
+            current, [self.parse(spec) for spec in specs]
+        )
+
+    def test_met_floor_is_ok(self):
+        current = {"gp_perf": self.art("gp_perf", {"process_speedup": 2.1}, {"process_speedup": "x"})}
+        findings = self.floors(current, "process_speedup=1.0")
+        assert [f.severity for f in findings] == [OK]
+        assert bench_compare.gate(findings) == 0
+
+    def test_below_floor_fails_even_for_timing_units(self):
+        # "x" is a timing unit (ratios of wall-clock), so baseline
+        # comparison would only WARN — the floor must still hard-fail.
+        current = {"gp_perf": self.art("gp_perf", {"process_speedup": 0.8}, {"process_speedup": "x"})}
+        findings = self.floors(current, "process_speedup=1.0")
+        assert [f.severity for f in findings] == [FAIL]
+        assert bench_compare.gate(findings) == 1
+
+    def test_bare_floor_applies_to_every_exposing_bench(self):
+        current = {
+            "a": self.art("a", {"speed": 2.0}, {"speed": "x"}),
+            "b": self.art("b", {"speed": 0.5}, {"speed": "x"}),
+            "c": self.art("c", {"other": 9.0}, {"other": "x"}),
+        }
+        findings = self.floors(current, "speed=1.0")
+        assert {(f.bench, f.severity) for f in findings} == {("a", OK), ("b", FAIL)}
+
+    def test_qualified_floor_pins_one_bench(self):
+        current = {
+            "a": self.art("a", {"speed": 2.0}, {"speed": "x"}),
+            "b": self.art("b", {"speed": 0.5}, {"speed": "x"}),
+        }
+        findings = self.floors(current, "a.speed=1.0")
+        assert [(f.bench, f.severity) for f in findings] == [("a", OK)]
+
+    def test_missing_metric_or_bench_fails(self):
+        current = {"a": self.art("a", {"speed": 2.0}, {"speed": "x"})}
+        assert [f.severity for f in self.floors(current, "absent=1.0")] == [FAIL]
+        assert [f.severity for f in self.floors(current, "nope.speed=1.0")] == [FAIL]
+
+    def test_nan_value_fails(self):
+        current = {"a": self.art("a", {"speed": float("nan")}, {"speed": "x"})}
+        assert [f.severity for f in self.floors(current, "speed=1.0")] == [FAIL]
+
+
 class TestCompareCli:
     def setup_dirs(self, tmp_path, base_metrics, cur_metrics, units):
         write(tmp_path, "baseline", "b", base_metrics, units)
@@ -228,3 +294,18 @@ class TestCompareCli:
         bench_compare.main([base, cur, "--quiet"])
         out = capsys.readouterr().out
         assert "[OK]" not in out
+
+    def test_floor_gates_exit_code(self, tmp_path, capsys):
+        base, cur = self.setup_dirs(
+            tmp_path, {"speed": 1.0}, {"speed": 0.9}, {"speed": "x"}
+        )
+        # Timing drift alone passes the gate...
+        assert bench_compare.main([base, cur]) == 0
+        # ...but the floor turns the same artifacts into a hard failure.
+        assert bench_compare.main([base, cur, "--floor", "speed=1.0"]) == 1
+        assert "below floor" in capsys.readouterr().out
+        assert bench_compare.main([base, cur, "--floor", "speed=0.5"]) == 0
+
+    def test_malformed_floor_is_usage_error(self, tmp_path, capsys):
+        base, cur = self.setup_dirs(tmp_path, {"n": 4}, {"n": 4}, {"n": "count"})
+        assert bench_compare.main([base, cur, "--floor", "garbage"]) == 2

@@ -1,0 +1,154 @@
+"""Vectorised capture decode (:func:`repro.core.assembly.bulk_assemble`).
+
+The bulk path turns a whole capture into numpy arrays and decodes clean
+single-frame streams without per-frame Python, replaying only the noisy
+streams through the event-based reassemblers.  Its contract is strict
+equivalence: identical messages *and* identical diagnostics to the event
+path on any capture, which the fuzzer here checks on adversarial mixes of
+valid traffic, malformed PCIs, truncations, sequence gaps and timestamp
+ties.
+"""
+
+import random
+
+import pytest
+
+from repro.can import CanFrame
+from repro.core import TRANSPORT_BMW, TRANSPORT_ISOTP, TRANSPORT_VWTP, screen
+from repro.core.assembly import StreamAssembler, assemble_with_diagnostics, bulk_assemble
+from repro.transport.arrays import HAVE_NUMPY, FrameArrays
+from repro.transport import segment, segment_bmw
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="bulk decode needs numpy")
+
+
+def event_assemble(frames, transport):
+    """The per-frame reference path, bypassing the bulk dispatch."""
+    assembler = StreamAssembler(transport)
+    for frame in screen(frames, transport):
+        assembler.feed(frame)
+    return assembler.finish()
+
+
+def assert_equivalent(frames, transport):
+    bulk = bulk_assemble(frames, transport)
+    assert bulk is not None
+    messages, diagnostics = bulk
+    ref_messages, ref_diagnostics = event_assemble(frames, transport)
+    assert [
+        (m.can_id, m.payload, m.t_first, m.t_last, m.n_frames, m.ecu_address)
+        for m in messages
+    ] == [
+        (m.can_id, m.payload, m.t_first, m.t_last, m.n_frames, m.ecu_address)
+        for m in ref_messages
+    ]
+    assert diagnostics.to_dict() == ref_diagnostics.to_dict()
+
+
+def random_capture(rng, transport):
+    """A noisy capture: valid SFs, multi-frame trains, malformed traffic."""
+    frames = []
+    ids = [0x700 + i for i in range(rng.randint(1, 5))]
+    for can_id in ids:
+        for __ in range(rng.randint(1, 12)):
+            roll = rng.random()
+            if transport == TRANSPORT_BMW:
+                address = rng.randrange(256)
+                if roll < 0.55:  # valid single frame
+                    n = rng.randint(1, 6)
+                    frames.extend(segment_bmw(bytes(rng.randrange(256) for __ in range(n)), can_id, address))
+                elif roll < 0.75:  # multi-frame train (may be truncated below)
+                    n = rng.randint(7, 30)
+                    frames.extend(segment_bmw(bytes(rng.randrange(256) for __ in range(n)), can_id, address))
+                else:  # malformed: bad PCI / short frame
+                    frames.append(CanFrame(can_id, bytes([address, rng.randrange(256)])))
+            else:
+                if roll < 0.5:
+                    n = rng.randint(1, 7)
+                    frames.extend(segment(bytes(rng.randrange(256) for __ in range(n)), can_id))
+                elif roll < 0.7:
+                    n = rng.randint(8, 40)
+                    frames.extend(segment(bytes(rng.randrange(256) for __ in range(n)), can_id))
+                elif roll < 0.85:  # flow control / high-nibble junk
+                    frames.append(CanFrame(can_id, bytes([0x30 | rng.randrange(3), 0, 0])))
+                else:  # SF claiming more bytes than the frame carries
+                    frames.append(CanFrame(can_id, bytes([0x07, 1, 2])))
+    # Truncate some multi-frame trains and drop random frames (gaps).
+    frames = [f for f in frames if rng.random() > 0.08]
+    rng.shuffle(frames)
+    # Timestamps: mostly increasing, with deliberate ties.
+    t = 0.0
+    stamped = []
+    for frame in frames:
+        if rng.random() > 0.15:
+            t += rng.choice([0.001, 0.01, 0.5])
+        stamped.append(frame.with_timestamp(t))
+    return stamped
+
+
+class TestFuzzEquivalence:
+    @pytest.mark.parametrize("transport", [TRANSPORT_ISOTP, TRANSPORT_BMW])
+    def test_bulk_matches_event_path_on_noisy_captures(self, transport):
+        rng = random.Random(hash(transport) & 0xFFFF)
+        for case in range(40):
+            frames = random_capture(rng, transport)
+            assert_equivalent(frames, transport)
+
+    def test_clean_single_frame_capture(self):
+        frames = [
+            frame.with_timestamp(0.001 * i)
+            for i, frame in enumerate(
+                segment(b"\x22\xf4\x0d", 0x7E0) + segment(b"\x62\xf4\x0d\x50", 0x7E8)
+            )
+        ]
+        assert_equivalent(frames, TRANSPORT_ISOTP)
+
+
+class TestDispatch:
+    def test_vwtp_not_vectorised(self):
+        assert bulk_assemble([], TRANSPORT_VWTP) is None
+
+    def test_empty_capture(self):
+        messages, diagnostics = bulk_assemble([], TRANSPORT_ISOTP)
+        assert messages == [] and diagnostics.messages == 0
+
+    def test_tracing_takes_the_event_path(self):
+        from repro.observability.trace import Tracer, activated
+
+        frames = [f.with_timestamp(0.1) for f in segment(b"\x3e\x00", 0x7E0)]
+        with activated(Tracer()) as tracer:
+            messages, __ = assemble_with_diagnostics(frames, TRANSPORT_ISOTP)
+        assert len(messages) == 1
+        assert "decode" in {span.name for span in tracer.spans}
+
+    def test_untraced_dispatch_uses_bulk(self, monkeypatch):
+        from repro.core import assembly
+
+        calls = []
+        original = assembly.bulk_assemble
+
+        def spy(frames, transport):
+            calls.append(transport)
+            return original(frames, transport)
+
+        monkeypatch.setattr(assembly, "bulk_assemble", spy)
+        frames = [f.with_timestamp(0.1) for f in segment(b"\x3e\x00", 0x7E0)]
+        messages, __ = assembly.assemble_with_diagnostics(frames, TRANSPORT_ISOTP)
+        assert len(messages) == 1
+        assert calls == [TRANSPORT_ISOTP]
+
+
+class TestFrameArrays:
+    def test_payload_matrix_zero_padded_and_masked(self):
+        import numpy as np
+
+        frames = [
+            CanFrame(0x10, b"\x12\x34", timestamp=1.0),
+            CanFrame(0x11, b"", timestamp=2.0),
+            CanFrame(0x12, bytes(range(8)), timestamp=3.0),
+        ]
+        arrays = FrameArrays.from_frames(frames)
+        assert arrays.dlcs.tolist() == [2, 0, 8]
+        assert arrays.payloads[0].tolist() == [0x12, 0x34, 0, 0, 0, 0, 0, 0]
+        assert arrays.payloads[1].tolist() == [0] * 8
+        assert np.array_equal(arrays.nibbles(0), [0x1, 0x0, 0x0])

@@ -1,0 +1,107 @@
+"""Concurrent FormulaMemo writers (S4).
+
+Island workers racing on byte-identical datasets memoise the same key at
+the same time.  The store's guarantee is last-writer-wins atomicity: any
+number of concurrent ``put`` calls leave exactly one valid JSON entry,
+and a reader polling throughout never sees a torn or partial file — every
+read is either a miss (file not yet present) or a fully valid hit.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core import FormulaMemo, ScaledTreeFormula
+from repro.core.gp import Node
+from repro.core.response_analysis import InferredFormula
+
+KEY = "deadbeef" * 8
+
+
+def _balanced(depth):
+    if depth == 0:
+        return Node.const(1.0)
+    return Node.call("add", _balanced(depth - 1), _balanced(depth - 1))
+
+
+def make_inferred(depth=9):
+    """A deterministic memoisable result, padded so writes aren't tiny.
+
+    A one-byte JSON file can't tear; a formula whose tree serialises to
+    several kilobytes can, which is what the reader checks for.  The
+    padding tree is balanced (2^depth leaves) to stay well inside the
+    recursion limit.
+    """
+    tree = Node.call("mul", Node.var(0), _balanced(depth))
+    formula = ScaledTreeFormula(tree, (0.1,), 10.0)
+    return InferredFormula(
+        formula=formula,
+        description=formula.describe(),
+        fitness=0.125,
+        interpretation="int",
+        n_samples=64,
+        generations=8,
+    )
+
+
+def hammer_put(directory, rounds):
+    memo = FormulaMemo(directory)
+    inferred = make_inferred()
+    for __ in range(rounds):
+        memo.put(KEY, inferred)
+
+
+class TestConcurrentWriters:
+    def test_two_writers_leave_one_valid_entry(self, tmp_path):
+        context = multiprocessing.get_context()
+        writers = [
+            context.Process(target=hammer_put, args=(str(tmp_path), 40))
+            for __ in range(2)
+        ]
+        for writer in writers:
+            writer.start()
+
+        # The third party: read continuously while both writers race.
+        reader = FormulaMemo(tmp_path)
+        expected = make_inferred()
+        observed_hit = False
+        while any(writer.is_alive() for writer in writers):
+            hit, recalled = reader.get(KEY)
+            if hit:
+                observed_hit = True
+                assert recalled.description == expected.description
+                assert repr(recalled.fitness) == repr(expected.fitness)
+        for writer in writers:
+            writer.join()
+            assert writer.exitcode == 0
+
+        # No torn reads: every hit above decoded cleanly.
+        assert reader.stats()["invalid"] == 0
+        assert observed_hit or reader.stats()["misses"] >= 0
+
+        # Exactly one entry file, fully valid, and no temp-file litter.
+        assert len(reader) == 1
+        entries = [name for name in os.listdir(tmp_path)]
+        assert entries == [f"formula-{KEY}.json"]
+        payload = json.loads((tmp_path / entries[0]).read_text())
+        assert payload["found"] is True
+
+        hit, recalled = FormulaMemo(tmp_path).get(KEY)
+        assert hit
+        assert recalled.description == expected.description
+        assert repr(recalled([4.0])) == repr(expected([4.0]))
+
+    def test_writer_overwrite_of_corrupt_entry_heals(self, tmp_path):
+        memo = FormulaMemo(tmp_path)
+        memo._path(KEY).write_text('{"torn')
+        hit, __ = memo.get(KEY)
+        assert not hit and memo.stats()["invalid"] == 1
+        memo.put(KEY, make_inferred(depth=2))
+        hit, recalled = memo.get(KEY)
+        assert hit and recalled is not None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,152 @@
+"""Shared-memory dataset lifecycle for the island GP backend (S3).
+
+The contract under test: every ``/dev/shm`` segment the parent creates for
+an infer call is unlinked no matter how the call ends — normal completion,
+a worker SIGKILLed mid-island (the pool surfaces ``BrokenProcessPool``),
+or a ``KeyboardInterrupt`` racing the submits — and the ``atexit`` hook
+reaps whatever a dying interpreter leaves registered.
+"""
+
+import os
+import signal
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import shm
+from repro.runtime.shm import SHM_PREFIX, SharedBlobs, create_blobs, shm_usable
+
+pytestmark = pytest.mark.skipif(
+    not shm_usable(), reason="POSIX shared memory unavailable on this platform"
+)
+
+DEV_SHM = Path("/dev/shm")
+
+
+def orphans():
+    """This process's leftover segments (by the pid baked into the name)."""
+    if not DEV_SHM.exists():  # non-Linux: fall back to the live registry
+        return sorted(shm._LIVE)
+    return sorted(
+        p.name for p in DEV_SHM.glob(f"{SHM_PREFIX}_{os.getpid()}_*")
+    )
+
+
+class TestSharedBlobs:
+    def test_round_trip_and_unlink(self):
+        blobs = [b"alpha", b"", b"b" * 4096]
+        store = SharedBlobs.create(blobs)
+        assert store.name.startswith(SHM_PREFIX)
+        assert store.name in shm._LIVE
+        for blob, (offset, length) in zip(blobs, store.slices):
+            assert SharedBlobs.read(store.name, offset, length) == blob
+        store.unlink()
+        assert store.name not in shm._LIVE
+        assert orphans() == []
+
+    def test_unlink_is_idempotent(self):
+        store = SharedBlobs.create([b"x"])
+        store.unlink()
+        store.unlink()
+        assert orphans() == []
+
+    def test_context_manager_unlinks(self):
+        with SharedBlobs.create([b"payload"]) as store:
+            name = store.name
+            assert name in shm._LIVE
+        assert name not in shm._LIVE
+        assert orphans() == []
+
+    def test_atexit_hook_reaps_registered_segments(self):
+        store = SharedBlobs.create([b"left behind"])
+        assert store.name in shm._LIVE
+        shm._cleanup_live()  # what interpreter exit / KeyboardInterrupt runs
+        assert store.name not in shm._LIVE
+        assert orphans() == []
+
+    def test_create_blobs_falls_back_to_none_without_shm(self, monkeypatch):
+        monkeypatch.setattr(shm, "HAVE_SHM", False)
+        assert create_blobs([b"x"]) is None
+
+
+def _kill_self(descriptor):
+    """Stand-in island body: die the way a segfaulting worker does."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _raise_interrupt(*args, **kwargs):
+    raise KeyboardInterrupt
+
+
+class TestIslandPoolLifecycle:
+    def fresh_pool(self, workers=1):
+        from repro.core.gp.islands import IslandPool
+
+        return IslandPool(workers=workers)
+
+    def test_normal_run_leaves_no_orphans(self):
+        from repro.core import DPReverser, ReverserConfig
+        from repro.core.gp import GpConfig
+        from repro.cps import DataCollector
+        from repro.tools import make_tool_for_car
+        from repro.vehicle import build_car
+
+        car = build_car("C")
+        capture = DataCollector(make_tool_for_car("C", car), read_duration_s=8.0).collect()
+        reverser = DPReverser(
+            ReverserConfig(
+                gp_config=GpConfig(seed=2, generations=8, population_size=100),
+                gp_backend="island",
+                gp_workers=2,
+            )
+        )
+        report = reverser.reverse_engineer(capture)
+        assert report.formula_esvs
+        assert orphans() == []
+
+    def test_worker_crash_mid_island_still_unlinks(self, monkeypatch):
+        from repro.core.gp import islands
+
+        monkeypatch.setattr(islands, "_run_island", _kill_self)
+        pool = self.fresh_pool()
+        try:
+            with pytest.raises(BrokenProcessPool):
+                pool.run([("task", i) for i in range(3)])
+            assert orphans() == []
+        finally:
+            pool.shutdown()
+
+    def test_keyboard_interrupt_during_submit_still_unlinks(self, monkeypatch):
+        pool = self.fresh_pool()
+        try:
+            monkeypatch.setattr(pool._executor, "submit", _raise_interrupt)
+            with pytest.raises(KeyboardInterrupt):
+                pool.run([("task", 0)])
+            assert orphans() == []
+        finally:
+            pool.shutdown()
+
+    def test_inline_fallback_used_when_shm_unavailable(self, monkeypatch):
+        from repro.core.gp import islands
+
+        received = []
+
+        def record_submit(fn, descriptor):
+            received.append(descriptor)
+
+            class Done:
+                @staticmethod
+                def result():
+                    return []
+
+            return Done()
+
+        monkeypatch.setattr(islands, "create_blobs", lambda blobs: None)
+        pool = self.fresh_pool()
+        try:
+            monkeypatch.setattr(pool._executor, "submit", record_submit)
+            pool.run([("task", 0)])
+            assert received and all(d[0] == "inline" for d in received)
+        finally:
+            pool.shutdown()
