@@ -50,7 +50,13 @@ from .core import (
     AnalysisContext,
     DecodeDiagnostics,
     DPReverser,
+    GpBackend,
     GpConfig,
+    HybridBackend,
+    InferenceBackend,
+    InferredFormula,
+    LinearBackend,
+    LinearFormula,
     ReverseReport,
     ReverserConfig,
 )
@@ -86,7 +92,13 @@ __all__ = [
     "AnalysisContext",
     "DecodeDiagnostics",
     "DPReverser",
+    "GpBackend",
     "GpConfig",
+    "HybridBackend",
+    "InferenceBackend",
+    "InferredFormula",
+    "LinearBackend",
+    "LinearFormula",
     "ReverseReport",
     "ReverserConfig",
     "make_tool_for_car",

@@ -44,6 +44,26 @@ def _add_gp_batch_args(
     )
 
 
+def _add_formula_backend_arg(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--formula-backend`` flag.
+
+    Deliberately distinct from ``--gp-backend``: this picks *what solver*
+    recovers each formula (GP search, closed-form least squares, or
+    linear-first-GP-fallback), while ``--gp-backend`` picks *where* GP
+    fitness evaluations execute (serial/thread/process/island).
+    """
+    parser.add_argument(
+        "--formula-backend",
+        choices=("gp", "linear", "hybrid"),
+        default="gp",
+        help="formula-inference backend: 'gp' is the paper's genetic "
+        "search, 'linear' a closed-form least-squares dictionary (exact "
+        "fits only), 'hybrid' tries linear first and falls back to GP "
+        "for the hard tail (same formulas as gp, much faster); distinct "
+        "from --gp-backend, which picks where GP evaluations *execute*",
+    )
+
+
 def _resolve_gp_flags(args: argparse.Namespace) -> None:
     """Expand the ``--gp-islands`` shorthand onto backend and workers."""
     islands = getattr(args, "gp_islands", 0)
@@ -158,6 +178,7 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
         gp_backend=args.gp_backend,
         gp_batch=args.gp_batch,
         gp_memo_dir=args.gp_memo,
+        formula_backend=args.formula_backend,
         noise=noise,
         trace=tracer,
     )
@@ -169,6 +190,7 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
             diagnostics=report.diagnostics,
             fault_counts=report.noise_counts,
             memo_stats=reverser.memo_stats if args.gp_memo else None,
+            inference_stats=reverser.inference_stats or None,
             tracer=tracer,
         )
         _emit_observability(args, tracer, snapshot)
@@ -279,6 +301,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             gp_backend=args.gp_backend,
             gp_batch=args.gp_batch,
             gp_memo_dir=args.gp_memo,
+            formula_backend=args.formula_backend,
             noise_spec=noise_spec,
             noise_seed=args.noise_seed,
             trace=tracer is not None,
@@ -342,6 +365,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         gp_backend=args.gp_backend,
         gp_batch=args.gp_batch,
         gp_memo_dir=args.gp_memo,
+        formula_backend=args.formula_backend,
         trace=_observability_requested(args),
     )
 
@@ -439,10 +463,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--gp-backend",
         choices=("auto", "serial", "thread", "process", "island"),
         default="auto",
-        help="per-ESV inference backend; auto uses a process pool when "
-        "--gp-workers > 1, island keeps persistent workers fed over "
-        "shared memory (results are identical on every backend)",
+        help="per-ESV GP *execution* backend (where fitness evaluations "
+        "run, not which solver — see --formula-backend); auto uses a "
+        "process pool when --gp-workers > 1, island keeps persistent "
+        "workers fed over shared memory (results are identical on every "
+        "backend)",
     )
+    _add_formula_backend_arg(reverse)
     _add_gp_batch_args(reverse)
     reverse.add_argument(
         "--gp-memo",
@@ -518,10 +545,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--gp-backend",
         choices=("auto", "serial", "thread", "process", "island"),
         default="auto",
-        help="per-ESV inference backend inside each job; auto uses a "
-        "process pool when --gp-workers > 1, island keeps persistent "
-        "workers fed over shared memory",
+        help="per-ESV GP *execution* backend inside each job (where "
+        "fitness evaluations run — see --formula-backend for the solver); "
+        "auto uses a process pool when --gp-workers > 1, island keeps "
+        "persistent workers fed over shared memory",
     )
+    _add_formula_backend_arg(fleet_run)
     _add_gp_batch_args(fleet_run)
     fleet_run.add_argument(
         "--gp-memo",
@@ -592,9 +621,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--gp-backend",
         choices=("auto", "serial", "thread", "process", "island"),
         default="auto",
-        help="per-ESV inference backend for finalize; auto resolves to "
-        "island (persistent workers, shared-memory datasets)",
+        help="per-ESV GP *execution* backend for finalize (where fitness "
+        "evaluations run — see --formula-backend for the solver); auto "
+        "resolves to island (persistent workers, shared-memory datasets)",
     )
+    _add_formula_backend_arg(serve)
     _add_gp_batch_args(serve, batch_default=True)
     serve.add_argument(
         "--gp-memo",

@@ -9,11 +9,14 @@ and reused across runs and across processes.
 
 Keying: SHA-256 over the canonical JSON of the ESV's raw observations
 (protocol, formula-type byte, timestamps, wire bytes), the UI series'
-numeric samples, the pairing gap, and every field of the ``GpConfig``
-(the per-ESV derived seed included).  Anything that could change the
-inferred formula changes the key; the ESV identifier itself is *not* part
-of the key except through the derived seed, so byte-identical datasets
-share an entry.
+numeric samples, the pairing gap, the requested inference backend
+(``gp``/``linear``/``hybrid`` — different engines may legitimately
+produce different formulas for the same dataset, so a warm recall must
+never cross backends), and every field of the ``GpConfig`` (the per-ESV
+derived seed included).  Anything that could change the inferred formula
+changes the key; the ESV identifier itself is *not* part of the key
+except through the derived seed, so byte-identical datasets share an
+entry.
 
 Entries are one JSON file per key, written with
 :func:`repro.persistence.write_json_atomic` — concurrent writers (process
@@ -22,10 +25,13 @@ identical content, and a killed run never leaves a torn entry.  Corrupt
 or version-mismatched entries are treated as misses and recomputed, never
 trusted.
 
-The stored formula is the :class:`~repro.core.response_analysis
-.ScaledTreeFormula` payload (folded tree tokens + Tab. 2 factors), which
-round-trips exactly: a warm run's report is byte-identical to the cold
-run's, an invariant the memo tests and the perf bench assert.
+The stored formula is kind-tagged: GP results store the
+:class:`~repro.core.response_analysis.ScaledTreeFormula` payload (folded
+tree tokens + Tab. 2 factors), linear results the
+:class:`~repro.core.inference.LinearFormula` payload (dictionary terms +
+coefficients).  Both round-trip exactly: a warm run's report is
+byte-identical to the cold run's, an invariant the memo tests and the
+perf bench assert.
 """
 
 from __future__ import annotations
@@ -38,10 +44,15 @@ from typing import Optional, Sequence, Tuple, Union
 from ..persistence import canonical_digest, read_json, write_json_atomic
 from .fields import EsvObservation
 from .gp import GpConfig
+from .inference import LinearFormula
 from .response_analysis import InferredFormula, ScaledTreeFormula
 from .screenshot import UiSeries
 
-MEMO_FORMAT_VERSION = 1
+#: Bumped 1 → 2 with the backend-tagged key and kind-tagged formula
+#: payloads.  The version sits inside the key material, so every v1 entry
+#: simply stops being addressed (and reads as a miss if ever touched) —
+#: no migration, no risk of decoding a foreign format.
+MEMO_FORMAT_VERSION = 2
 _PREFIX = "formula-"
 
 
@@ -61,11 +72,19 @@ def dataset_key(
     series: UiSeries,
     config: GpConfig,
     max_gap_s: float = 1.5,
+    backend: str = "gp",
 ) -> str:
-    """The memo key for one ESV inference task."""
+    """The memo key for one ESV inference task.
+
+    ``backend`` is the *requested* inference backend, not the engine that
+    ends up producing the formula — a hybrid run's GP-tail entries live
+    under hybrid keys, so switching ``formula_backend`` between runs can
+    never replay a recall from another backend's store.
+    """
     return canonical_digest(
         {
             "memo_version": MEMO_FORMAT_VERSION,
+            "backend": backend,
             "observations": [
                 [o.protocol, o.formula_type, o.timestamp, o.raw_bytes.hex()]
                 for o in observations
@@ -123,7 +142,14 @@ class FormulaMemo:
             raise ValueError(f"unsupported memo format {entry.get('format_version')!r}")
         if not entry["found"]:
             return None
-        formula = ScaledTreeFormula.from_payload(entry["formula"])
+        payload = entry["formula"]
+        kind = payload.get("kind", "tree")
+        if kind == "tree":
+            formula = ScaledTreeFormula.from_payload(payload)
+        elif kind == "linear":
+            formula = LinearFormula.from_payload(payload)
+        else:
+            raise ValueError(f"unknown formula kind {kind!r}")
         return InferredFormula(
             formula=formula,
             description=formula.describe(),
@@ -131,6 +157,8 @@ class FormulaMemo:
             interpretation=entry["interpretation"],
             n_samples=int(entry["n_samples"]),
             generations=int(entry["generations"]),
+            backend=str(entry.get("backend", "gp")),
+            confidence=float(entry.get("confidence", 1.0)),
         )
 
     # ------------------------------------------------------------------- store
@@ -139,10 +167,14 @@ class FormulaMemo:
         """Record an inference outcome (``None`` = too few samples paired)."""
         entry: dict = {"format_version": MEMO_FORMAT_VERSION, "found": inferred is not None}
         if inferred is not None:
-            if not isinstance(inferred.formula, ScaledTreeFormula):
+            if isinstance(inferred.formula, ScaledTreeFormula):
+                payload = {"kind": "tree", **inferred.formula.to_payload()}
+            elif isinstance(inferred.formula, LinearFormula):
+                payload = {"kind": "linear", **inferred.formula.to_payload()}
+            else:
                 raise TypeError(
-                    "only GP-produced ScaledTreeFormula results are memoisable, "
-                    f"got {type(inferred.formula).__name__}"
+                    "only ScaledTreeFormula/LinearFormula results are "
+                    f"memoisable, got {type(inferred.formula).__name__}"
                 )
             entry.update(
                 {
@@ -150,7 +182,9 @@ class FormulaMemo:
                     "fitness": inferred.fitness,
                     "n_samples": inferred.n_samples,
                     "generations": inferred.generations,
-                    "formula": inferred.formula.to_payload(),
+                    "backend": inferred.backend,
+                    "confidence": inferred.confidence,
+                    "formula": payload,
                 }
             )
         path = write_json_atomic(self._path(key), entry)

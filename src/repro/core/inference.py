@@ -1,0 +1,515 @@
+"""Pluggable formula-inference backends: ``gp`` | ``linear`` | ``hybrid``.
+
+The response-message stage (§3.5) was hardwired to genetic programming,
+but most real dashboard formulas are affine or pure rescales (the paper's
+Tab. 2 factors) that a closed-form least-squares solve recovers in
+microseconds.  This module turns "how a paired dataset becomes a formula"
+into a first-class :class:`InferenceBackend` seam:
+
+* :class:`GpBackend` — the existing evolutionary search, untouched
+  behind the interface (results stay byte-identical to the pre-seam
+  pipeline);
+* :class:`LinearBackend` — least squares over a small feature
+  dictionary (rescale, affine, bit-shift/mask recombinations of the raw
+  integer, product and ratio of raws for two-variable layouts) with an
+  *exact-fit* acceptance threshold: a fit is only returned when its
+  scaled-space MAE is as good as a converged GP run, otherwise the
+  backend reports "no formula" rather than a plausible wrong answer;
+* :class:`HybridBackend` — tries the linear dictionary first and falls
+  back to the full GP search only for the hard tail (the genuinely
+  non-linear manufacturer formulas), which is where the fleet
+  wall-clock win comes from.
+
+Every backend speaks the same generator protocol as the GP path: its
+``infer_steps`` yields :class:`~repro.core.gp.MaesRequest` objects (the
+linear solver yields none — it is closed-form) and *returns* the
+:class:`~repro.core.response_analysis.InferredFormula`, so backends plug
+into :func:`~repro.core.gp.drive`, the cross-ESV
+:class:`~repro.core.gp.BatchEvaluator` and the island workers without
+those layers knowing which engine ran.
+
+Confidence: every recovered formula carries a ``confidence`` field — the
+fraction of paired training samples the formula reproduces within the
+paper's §4.2 equivalence tolerance (absolute floor, per-value relative
+bound, fraction of the output range).  For the GP backend proper the
+field stays at its 1.0 default and is never serialised, keeping pure-GP
+reports byte-identical to the pre-seam pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..formulas import Formula
+from .fields import EsvObservation
+from .gp import GpConfig, drive
+from .response_analysis import (
+    InferredFormula,
+    PairedDataset,
+    build_dataset,
+    gp_infer_steps,
+    table2_factor,
+    _median_magnitude,
+)
+from .screenshot import UiSeries
+
+#: The recognised inference backends, in documentation order.
+INFERENCE_BACKENDS: Tuple[str, ...] = ("gp", "linear", "hybrid")
+
+#: Accept a closed-form fit only when its scaled-space MAE is at or below
+#: this bound — the same error currency (Tab. 2 scaled values, ~[1, 10])
+#: and the same magnitude as the GP restart threshold
+#: (:data:`~repro.core.response_analysis.RESTART_FITNESS`).  The UI shows
+#: one decimal place, so even a perfect formula carries ~0.025 of
+#: display-rounding MAE in raw space; 0.02 scaled space sits safely above
+#: that quantisation floor for in-range values while rejecting every
+#: curved (quadratic) fleet formula by two orders of magnitude.
+LINEAR_ACCEPT_FITNESS = 0.02
+
+#: Minimum paired samples, mirroring the GP path's dataset floor.
+_MIN_SAMPLES = 6
+
+
+# ----------------------------------------------------------- linear formula
+
+
+def _operand(text: str, xs: Sequence[float]) -> float:
+    if text.startswith("x"):
+        return float(xs[int(text[1:])])
+    return float(text)
+
+
+def _term_value(term: str, xs: Sequence[float]) -> float:
+    """Evaluate one dictionary term on a raw sample row.
+
+    Terms are tiny expressions over raw variables and integer literals:
+    ``"1"`` (intercept), ``"x0"``, ``"x0*x1"``, ``"x0/x1"``, ``"x0>>8"``,
+    ``"x0&255"``.  Bit operators act on the (integral) raw value; a zero
+    divisor yields NaN, which poisons the candidate's design matrix and
+    rejects it rather than crashing.
+    """
+    if term == "1":
+        return 1.0
+    for symbol in (">>", "*", "/", "&"):
+        if symbol in term:
+            left, __, right = term.partition(symbol)
+            a = _operand(left, xs)
+            b = _operand(right, xs)
+            if symbol == ">>":
+                return float(int(a) >> int(b))
+            if symbol == "&":
+                return float(int(a) & int(b))
+            if symbol == "*":
+                return a * b
+            return a / b if b != 0.0 else math.nan
+    return _operand(term, xs)
+
+
+class LinearFormula(Formula):
+    """A recovered closed-form formula: ``Y = Σ cᵢ · termᵢ(X)``.
+
+    The terms come from the :class:`LinearBackend` feature dictionary and
+    are stored as strings, so the object is naturally picklable (process
+    and island backends ship it between processes) and JSON round-trips
+    exactly through :meth:`to_payload`/:meth:`from_payload` for the
+    on-disk formula memo.
+    """
+
+    def __init__(
+        self,
+        terms: Sequence[str],
+        coefficients: Sequence[float],
+        arity: int,
+        unit: str = "",
+    ) -> None:
+        self.terms = tuple(terms)
+        self.coefficients = tuple(float(c) for c in coefficients)
+        self.arity = arity
+        self.unit = unit
+
+    def __call__(self, xs: Sequence[float]) -> float:
+        return sum(
+            coeff * _term_value(term, xs)
+            for coeff, term in zip(self.coefficients, self.terms)
+        )
+
+    def describe(self) -> str:
+        pieces: List[str] = []
+        for coeff, term in zip(self.coefficients, self.terms):
+            body = "" if term == "1" else f"*{term.upper()}"
+            if not pieces:
+                pieces.append(f"{coeff:g}{body}")
+            else:
+                sign = "+" if coeff >= 0 else "-"
+                pieces.append(f"{sign} {abs(coeff):g}{body}")
+        return "Y = " + " ".join(pieces) if pieces else "Y = 0"
+
+    def to_payload(self) -> dict:
+        """JSON-able form; exact round trip via :meth:`from_payload`."""
+        return {
+            "terms": list(self.terms),
+            "coefficients": list(self.coefficients),
+            "arity": self.arity,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LinearFormula":
+        return cls(
+            terms=[str(t) for t in payload["terms"]],
+            coefficients=[float(c) for c in payload["coefficients"]],
+            arity=int(payload["arity"]),
+        )
+
+
+# -------------------------------------------------------- feature dictionary
+
+
+def _candidate_terms(n_variables: int) -> List[Tuple[str, ...]]:
+    """The dictionary, simplest shape first — acceptance takes the first
+    exact fit, so a pure rescale never reports a spurious intercept.
+
+    Deliberately *no* polynomial terms: the quadratic tail of the fleet
+    must stay unfittable here so the hybrid backend genuinely falls back
+    to GP for it (and so ``linear`` alone stays honest about its reach).
+    """
+    if n_variables == 1:
+        return [
+            ("x0",),  # pure rescale
+            ("x0", "1"),  # affine
+            ("x0>>4", "x0&15", "1"),  # nibble split
+            ("x0>>8", "x0&255", "1"),  # byte split of a 16-bit raw
+        ]
+    if n_variables == 2:
+        return [
+            ("x0", "x1"),  # byte-weighted (e.g. 256*X0 + X1 rescaled)
+            ("x0", "x1", "1"),
+            ("x0*x1",),  # canonical KWP product
+            ("x0*x1", "1"),
+            ("x0/x1", "1"),  # ratio of raws
+        ]
+    variables = tuple(f"x{i}" for i in range(n_variables))
+    return [variables, variables + ("1",)]
+
+
+def _design_matrix(
+    terms: Tuple[str, ...], x_rows: Sequence[Tuple[float, ...]]
+) -> Optional[np.ndarray]:
+    matrix = np.array(
+        [[_term_value(term, xs) for term in terms] for xs in x_rows], dtype=float
+    )
+    if not np.isfinite(matrix).all():
+        return None
+    return matrix
+
+
+def _solve(
+    matrix: np.ndarray, y: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Least squares with a full-rank requirement.
+
+    A rank-deficient design (a constant raw column, say) has no unique
+    coefficients; rejecting it keeps describe() deterministic and leaves
+    the ESV to a simpler candidate or to GP.
+    """
+    coeffs, __, rank, __ = np.linalg.lstsq(matrix, y, rcond=None)
+    if rank < matrix.shape[1]:
+        return None
+    residuals = np.abs(matrix @ coeffs - y)
+    return coeffs, residuals
+
+
+def _round_coefficients(
+    coeffs: np.ndarray, matrix: np.ndarray, y: np.ndarray, target_mae: float
+) -> np.ndarray:
+    """Snap coefficients to the fewest significant digits that keep the
+    fit: lstsq returns ``0.10000000000000003`` where the manufacturer
+    wrote ``0.1``, and the report should print the latter."""
+    for digits in range(2, 13):
+        rounded = np.array(
+            [
+                float(f"{c:.{digits}g}") if c != 0.0 else 0.0
+                for c in coeffs
+            ]
+        )
+        mae = float(np.mean(np.abs(matrix @ rounded - y)))
+        if mae <= target_mae * 1.0001 + 1e-12:
+            return rounded
+    return coeffs
+
+
+def _fit_candidate(
+    terms: Tuple[str, ...], dataset: PairedDataset, y_factor: float
+) -> Optional[Tuple[LinearFormula, float]]:
+    """Fit one dictionary candidate; ``(formula, scaled_mae)`` or None.
+
+    Robustness uses the GP path's 6·1.4826·MAD trim rule, but iterated
+    to a fixed point rather than applied once: least squares is an L2
+    fit, so mispairing outliers (fast-moving signals paired against a
+    stale UI frame) drag the initial solution far enough that a single
+    trim cannot separate them.  The GP path gets away with one pass only
+    because its MAE fitness is already outlier-resistant.  Each round
+    drops samples beyond the threshold and refits; in practice two or
+    three rounds converge.
+    """
+    matrix = _design_matrix(terms, dataset.x_rows)
+    if matrix is None:
+        return None
+    y = np.asarray(dataset.y_values, dtype=float)
+    solved = _solve(matrix, y)
+    if solved is None:
+        return None
+    coeffs, residuals = solved
+    for __ in range(5):
+        mad = float(np.median(residuals))
+        threshold = max(6.0 * 1.4826 * mad, 1e-6)
+        keep = residuals <= threshold
+        if int(keep.sum()) < _MIN_SAMPLES or int(keep.sum()) == len(y):
+            break
+        refit = _solve(matrix[keep], y[keep])
+        if refit is None:
+            break
+        matrix, y = matrix[keep], y[keep]
+        coeffs, residuals = refit
+    mae = float(residuals.mean())
+    coeffs = _round_coefficients(coeffs, matrix, y, mae)
+    mae = float(np.mean(np.abs(matrix @ coeffs - y)))
+    formula = LinearFormula(terms, coeffs, arity=dataset.n_variables)
+    return formula, mae * y_factor
+
+
+# --------------------------------------------------------------- confidence
+
+
+def sample_agreement(
+    formula: Formula, dataset: PairedDataset
+) -> float:
+    """Fraction of paired samples the formula reproduces within the
+    paper's §4.2 equivalence tolerance (the same bound
+    :func:`~repro.formulas.formulas_equivalent` applies between two
+    formulas, here applied between a formula and the observed UI values).
+    This is the ensemble-agreement number reported as ``confidence``.
+    """
+    if not len(dataset):
+        return 0.0
+    wants = dataset.y_values
+    spread = max(wants) - min(wants)
+    agreeing = 0
+    for xs, want in zip(dataset.x_rows, wants):
+        try:
+            got = formula(xs)
+        except (ValueError, ZeroDivisionError, OverflowError):
+            continue
+        if math.isnan(got) or math.isinf(got):
+            continue
+        tolerance = max(0.5, 0.05 * abs(want), 0.03 * spread)
+        if abs(got - want) <= tolerance:
+            agreeing += 1
+    return agreeing / len(dataset)
+
+
+def _interpretations(
+    observations: Sequence[EsvObservation],
+) -> List[str]:
+    """The interpretation ladder, identical to the GP path's."""
+    protocol = observations[0].protocol if observations else "uds"
+    if protocol == "kwp":
+        return ["kwp"]
+    if observations and len(observations[0].raw_bytes) > 1:
+        return ["int", "bytes"]
+    return ["int"]
+
+
+# ----------------------------------------------------------------- backends
+
+
+class InferenceBackend(abc.ABC):
+    """One way of turning a paired ESV dataset into a formula.
+
+    Implementations are stateless (all run state lives in the generator),
+    which is what lets one backend object serve every ESV of a batch and
+    cross process boundaries by name rather than by pickle.
+    """
+
+    #: The backend's registry name (``ReverserConfig.formula_backend``).
+    name: str
+
+    @abc.abstractmethod
+    def infer_steps(
+        self,
+        observations: Sequence[EsvObservation],
+        series: UiSeries,
+        config: Optional[GpConfig] = None,
+        max_gap_s: float = 1.5,
+    ) -> Iterator:
+        """Generator form: yields :class:`~repro.core.gp.MaesRequest`
+        fitness evaluations (none for closed-form solvers) and returns
+        the :class:`InferredFormula` (or None)."""
+
+    def infer(
+        self,
+        observations: Sequence[EsvObservation],
+        series: UiSeries,
+        config: Optional[GpConfig] = None,
+        max_gap_s: float = 1.5,
+    ) -> Optional[InferredFormula]:
+        """In-process driver for :meth:`infer_steps`."""
+        return drive(self.infer_steps(observations, series, config, max_gap_s))
+
+
+class GpBackend(InferenceBackend):
+    """The paper's genetic-programming search, behind the seam.
+
+    Pure delegation to :func:`~repro.core.response_analysis
+    .gp_infer_steps`; results are byte-identical to the pre-seam
+    pipeline, and the ``confidence`` field keeps its 1.0 default so
+    report digests do not move.
+    """
+
+    name = "gp"
+
+    def infer_steps(
+        self,
+        observations: Sequence[EsvObservation],
+        series: UiSeries,
+        config: Optional[GpConfig] = None,
+        max_gap_s: float = 1.5,
+    ):
+        result = yield from gp_infer_steps(observations, series, config, max_gap_s)
+        return result
+
+
+class LinearBackend(InferenceBackend):
+    """Closed-form least squares over the feature dictionary.
+
+    Tries the same interpretation ladder as GP (KWP two-variable layout;
+    one big-endian integer vs one variable per byte for wide UDS values)
+    and, per interpretation, each dictionary candidate simplest-first.
+    Only *exact* fits — scaled MAE at or below
+    :data:`LINEAR_ACCEPT_FITNESS` — are returned; everything else is
+    "no formula", never a plausible wrong answer.  Consumes no RNG, so
+    running it before a GP fallback cannot perturb the GP result.
+    """
+
+    name = "linear"
+
+    def infer_steps(
+        self,
+        observations: Sequence[EsvObservation],
+        series: UiSeries,
+        config: Optional[GpConfig] = None,
+        max_gap_s: float = 1.5,
+    ):
+        return self._infer(observations, series, max_gap_s)[0]
+        yield  # pragma: no cover — generator protocol; closed-form solver
+
+    def infer(
+        self,
+        observations: Sequence[EsvObservation],
+        series: UiSeries,
+        config: Optional[GpConfig] = None,
+        max_gap_s: float = 1.5,
+    ) -> Optional[InferredFormula]:
+        return self._infer(observations, series, max_gap_s)[0]
+
+    def _infer(
+        self,
+        observations: Sequence[EsvObservation],
+        series: UiSeries,
+        max_gap_s: float = 1.5,
+    ) -> Tuple[Optional[InferredFormula], bool]:
+        """``(accepted formula or None, dataset_was_usable)``.
+
+        The second element tells :class:`HybridBackend` whether a GP
+        fallback could even build a dataset (too few paired samples means
+        GP would return None as well, so the fallback can be skipped).
+        """
+        best: Optional[InferredFormula] = None
+        usable = False
+        for interpretation in _interpretations(observations):
+            mode = "bytes" if interpretation in ("bytes", "kwp") else "int"
+            dataset = build_dataset(observations, series, mode, max_gap_s)
+            if len(dataset) < _MIN_SAMPLES:
+                continue
+            usable = True
+            y_factor = table2_factor(
+                _median_magnitude(dataset.y_values), allow_enlarge=True
+            )
+            for terms in _candidate_terms(dataset.n_variables):
+                fitted = _fit_candidate(terms, dataset, y_factor)
+                if fitted is None:
+                    continue
+                formula, scaled_mae = fitted
+                if scaled_mae > LINEAR_ACCEPT_FITNESS:
+                    continue
+                inferred = InferredFormula(
+                    formula=formula,
+                    description=formula.describe(),
+                    fitness=scaled_mae,
+                    interpretation=interpretation,
+                    n_samples=len(dataset),
+                    generations=0,
+                    backend="linear",
+                    confidence=sample_agreement(formula, dataset),
+                )
+                if best is None or inferred.fitness < best.fitness:
+                    best = inferred
+                break  # simplest-first: first exact fit wins this ladder rung
+        return best, usable
+
+
+class HybridBackend(InferenceBackend):
+    """Linear first, GP only for the hard tail.
+
+    The linear probe is closed-form and consumes no randomness, so when
+    it rejects, the GP fallback sees exactly the seeds, dataset and
+    restart schedule a pure-GP run would — its formulas (and therefore
+    the per-ESV report entries) are byte-identical to ``backend="gp"``.
+    The fallback's ``confidence`` is its sample agreement against the
+    winning interpretation's dataset, recorded on the
+    :class:`InferredFormula` (reports omit it for GP-produced formulas
+    to keep those entries digest-identical to pure GP).
+    """
+
+    name = "hybrid"
+
+    def __init__(self) -> None:
+        self._linear = LinearBackend()
+
+    def infer_steps(
+        self,
+        observations: Sequence[EsvObservation],
+        series: UiSeries,
+        config: Optional[GpConfig] = None,
+        max_gap_s: float = 1.5,
+    ):
+        accepted, usable = self._linear._infer(observations, series, max_gap_s)
+        if accepted is not None or not usable:
+            return accepted
+        result = yield from gp_infer_steps(observations, series, config, max_gap_s)
+        if result is not None:
+            mode = "bytes" if result.interpretation in ("bytes", "kwp") else "int"
+            dataset = build_dataset(observations, series, mode, max_gap_s)
+            result.confidence = sample_agreement(result.formula, dataset)
+        return result
+
+
+_BACKENDS = {
+    "gp": GpBackend,
+    "linear": LinearBackend,
+    "hybrid": HybridBackend,
+}
+
+
+def get_backend(name: str) -> InferenceBackend:
+    """Instantiate a backend by registry name (``gp|linear|hybrid``)."""
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown formula backend {name!r}; "
+            f"choose one of {', '.join(INFERENCE_BACKENDS)}"
+        ) from None

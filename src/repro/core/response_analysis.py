@@ -199,6 +199,16 @@ class InferredFormula:
     interpretation: str  # "int" | "bytes" | "kwp"
     n_samples: int
     generations: int
+    #: The inference engine that produced the math: ``"gp"`` or
+    #: ``"linear"`` (a hybrid run tags each formula with whichever engine
+    #: actually solved it).  Reports serialise this only when != "gp", so
+    #: pure-GP output stays byte-identical to the pre-backend pipeline.
+    backend: str = "gp"
+    #: Ensemble agreement: the fraction of paired training samples this
+    #: formula reproduces within the paper's §4.2 equivalence tolerance
+    #: (:func:`repro.core.inference.sample_agreement`).  Stays at the 1.0
+    #: default — and out of serialised reports — on the pure-GP path.
+    confidence: float = 1.0
 
     def __call__(self, xs: Sequence[float]) -> float:
         return self.formula(xs)
@@ -269,19 +279,23 @@ def infer_formula(
     series: UiSeries,
     config: Optional[GpConfig] = None,
     max_gap_s: float = 1.5,
+    backend: str = "gp",
 ) -> Optional[InferredFormula]:
-    """Full §3.5 inference for one ESV: pairing → scaling → GP.
+    """Full §3.5 inference for one ESV: pairing → scaling → solver.
 
-    For UDS values wider than one byte, both the single-integer and the
-    per-byte interpretations are evolved and the better (lower validation
-    MAE, simpler on ties) result returned.  Returns ``None`` when too few
-    samples pair up.
+    ``backend`` selects the inference engine (``"gp"`` | ``"linear"`` |
+    ``"hybrid"``, see :mod:`repro.core.inference`); the default GP path
+    evolves both interpretations for UDS values wider than one byte (one
+    big-endian integer vs one variable per byte) and returns the better
+    fit.  Returns ``None`` when too few samples pair up.
 
     In-process driver for :func:`infer_formula_steps`: results are
     bit-identical whether the generator runs alone here or interleaved
     with other ESVs under a :class:`~repro.core.gp.BatchEvaluator`.
     """
-    return drive(infer_formula_steps(observations, series, config, max_gap_s))
+    return drive(
+        infer_formula_steps(observations, series, config, max_gap_s, backend)
+    )
 
 
 def infer_formula_steps(
@@ -289,13 +303,40 @@ def infer_formula_steps(
     series: UiSeries,
     config: Optional[GpConfig] = None,
     max_gap_s: float = 1.5,
+    backend: str = "gp",
 ):
     """Generator form of :func:`infer_formula`.
 
     Yields every fitness-math :class:`~repro.core.gp.MaesRequest` of the
-    whole per-ESV inference — all restart attempts, both interpretations,
-    the trim-and-refit round — so a batch driver can interleave complete
-    inferences across ESVs.  Interpretations and restarts stay strictly
+    whole per-ESV inference (closed-form backends yield none) and returns
+    the result, so a batch driver can interleave complete inferences
+    across ESVs whatever engine solves them.  Dispatches to
+    :func:`repro.core.inference.get_backend` for non-GP backends; the
+    import is deferred because :mod:`repro.core.inference` imports this
+    module for the GP path.
+    """
+    if backend != "gp":
+        from .inference import get_backend
+
+        result = yield from get_backend(backend).infer_steps(
+            observations, series, config, max_gap_s
+        )
+        return result
+    result = yield from gp_infer_steps(observations, series, config, max_gap_s)
+    return result
+
+
+def gp_infer_steps(
+    observations: Sequence[EsvObservation],
+    series: UiSeries,
+    config: Optional[GpConfig] = None,
+    max_gap_s: float = 1.5,
+):
+    """The genetic-programming inference generator (the pre-backend
+    ``infer_formula_steps`` body, unchanged — byte-identical results).
+
+    Yields all restart attempts, both interpretations and the
+    trim-and-refit round.  Interpretations and restarts stay strictly
     sequential *within* the ESV: a later attempt only runs if the earlier
     one's fitness says so, which any speculative evaluation would break.
     """

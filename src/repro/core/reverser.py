@@ -19,10 +19,9 @@ Pipeline (Fig. 6a):
 from __future__ import annotations
 
 import time
-import warnings
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..can.noise import FaultCounts, NoiseProfile, apply_noise
@@ -39,17 +38,21 @@ from .request_analysis import SemanticMatch, match_semantics
 from .response_analysis import InferredFormula, infer_formula, infer_formula_steps
 from .screenshot import FilterReport, UiSeries, analyze_video, extract_ui_series
 
-#: Execution backends for per-ESV formula inference.
+#: Execution backends for per-ESV formula inference (*where* it runs).
 _GP_BACKENDS = frozenset({"auto", "serial", "thread", "process", "island"})
+
+#: Inference backends for per-ESV formula inference (*which engine* runs);
+#: see :mod:`repro.core.inference`.
+_FORMULA_BACKENDS = frozenset({"gp", "linear", "hybrid"})
 
 
 @dataclass(frozen=True)
 class ReverserConfig:
     """Every knob of the reverse-engineering pipeline in one place.
 
-    Replaces the kwarg list :class:`DPReverser` used to grow one parameter
-    at a time; legacy keyword arguments are still accepted (with a
-    :class:`DeprecationWarning`) and merged over these defaults.
+    The single constructor path of :class:`DPReverser` (the legacy
+    positional-``GpConfig``/kwargs shims were removed after a deprecation
+    cycle).
     """
 
     #: GP search parameters for formula inference (default: paper settings).
@@ -78,6 +81,15 @@ class ReverserConfig:
     #: (:mod:`repro.core.gp.islands`).  Every backend produces
     #: byte-identical reports; only wall-clock differs.
     gp_backend: str = "auto"
+    #: *Inference* backend for formula recovery — which engine turns a
+    #: paired dataset into a formula, orthogonal to :attr:`gp_backend`
+    #: (which only picks where inference executes).  ``"gp"`` evolves
+    #: every formula (the paper's path, byte-identical to before this
+    #: knob existed); ``"linear"`` solves a closed-form feature
+    #: dictionary and returns only exact fits; ``"hybrid"`` tries linear
+    #: first and falls back to GP for the hard tail
+    #: (:mod:`repro.core.inference`).
+    formula_backend: str = "gp"
     #: Cross-ESV batched fitness evaluation for the in-process backends:
     #: when True (and more than one formula task is planned) the serial
     #: path drives every ESV's inference generator through one
@@ -98,9 +110,6 @@ class ReverserConfig:
     #: (the default) uses the shared disabled tracer: zero overhead, and
     #: the report stays byte-identical either way.
     trace: Optional[Tracer] = None
-
-
-_CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(ReverserConfig))
 
 
 @dataclass
@@ -147,6 +156,10 @@ class ReverseReport:
     diagnostics: Optional[DecodeDiagnostics] = None
     #: Fault-injection totals when the pipeline ran with a noise profile.
     noise_counts: Optional[FaultCounts] = None
+    #: The *requested* inference backend (``gp``/``linear``/``hybrid``);
+    #: individual formulas carry the engine that actually solved them in
+    #: :attr:`~repro.core.response_analysis.InferredFormula.backend`.
+    formula_backend: str = "gp"
 
     @property
     def formula_esvs(self) -> List[ReversedEsv]:
@@ -185,7 +198,13 @@ class ReverseReport:
 
         The ``capture_quality`` key appears only when decoding was not
         perfectly clean, keeping clean-run output (and everything hashed
-        from it) byte-identical to the pre-noise pipeline.
+        from it) byte-identical to the pre-noise pipeline.  The same
+        gating applies to the inference-backend fields: the top-level
+        ``formula_backend`` key appears only for non-GP runs, and a
+        per-ESV ``backend``/``confidence`` pair only on formulas the
+        linear engine produced — so a pure-GP report is byte-identical to
+        the pre-backend pipeline, and a hybrid run's GP-tail ESV entries
+        are byte-identical to a pure-GP run's.
         """
         quality = None
         if self.diagnostics is not None and not self.diagnostics.clean:
@@ -197,6 +216,11 @@ class ReverseReport:
                 quality["noise"] = self.noise_counts.to_dict()
         return {
             **({"capture_quality": quality} if quality else {}),
+            **(
+                {"formula_backend": self.formula_backend}
+                if self.formula_backend != "gp"
+                else {}
+            ),
             "model": self.model,
             "tool_name": self.tool_name,
             "transport": self.transport,
@@ -211,6 +235,14 @@ class ReverseReport:
                     "label": esv.label,
                     "is_enum": esv.is_enum,
                     "formula": esv.formula.description if esv.formula else None,
+                    **(
+                        {
+                            "backend": esv.formula.backend,
+                            "confidence": round(esv.formula.confidence, 4),
+                        }
+                        if esv.formula is not None and esv.formula.backend != "gp"
+                        else {}
+                    ),
                     "enum_states": {
                         str(raw): text for raw, text in esv.enum_states.items()
                     },
@@ -316,6 +348,10 @@ class _FormulaTask:
     config: GpConfig
     protocol: str
     formula_type: int
+    #: Requested inference backend (``gp``/``linear``/``hybrid``); rides
+    #: in the pickled payload so process/island workers run the same
+    #: engine — and key the memo the same way — as the serial path.
+    backend: str = "gp"
 
 
 @dataclass
@@ -361,14 +397,20 @@ def _execute_formula_task(
     memo_hit: Optional[bool] = None
     if memo is not None:
         with get_active().span("memo_lookup", esv=task.identifier) as span:
-            key = dataset_key(task.observations, task.series, task.config)
+            key = dataset_key(
+                task.observations, task.series, task.config, backend=task.backend
+            )
             memo_hit, inferred = memo.get(key)
             span.set(hit=memo_hit)
         if not memo_hit:
-            inferred = infer_formula(task.observations, task.series, task.config)
+            inferred = infer_formula(
+                task.observations, task.series, task.config, backend=task.backend
+            )
             memo.put(key, inferred)
     else:
-        inferred = infer_formula(task.observations, task.series, task.config)
+        inferred = infer_formula(
+            task.observations, task.series, task.config, backend=task.backend
+        )
     return _esv_from_task(task, inferred), memo_hit
 
 
@@ -404,7 +446,12 @@ def run_batched_tasks(
             key: Optional[str] = None
             if memo is not None:
                 with tracer.span("memo_lookup", esv=task.identifier) as span:
-                    key = dataset_key(task.observations, task.series, task.config)
+                    key = dataset_key(
+                        task.observations,
+                        task.series,
+                        task.config,
+                        backend=task.backend,
+                    )
                     memo_hit, inferred = memo.get(key)
                     span.set(hit=memo_hit)
                 if memo_hit:
@@ -413,7 +460,9 @@ def run_batched_tasks(
                     )
                     continue
             generators.append(
-                infer_formula_steps(task.observations, task.series, task.config)
+                infer_formula_steps(
+                    task.observations, task.series, task.config, backend=task.backend
+                )
             )
             gen_tasks.append((task, key))
         results = BatchEvaluator().run(generators)
@@ -468,7 +517,7 @@ def _run_formula_task(task: _FormulaTask) -> _TaskOutcome:
         tracer = Tracer()
         previous = activate(tracer)
         try:
-            with tracer.span("gp_formula", esv=task.identifier):
+            with tracer.span("gp_formula", esv=task.identifier, backend=task.backend):
                 esv, memo_hit = _execute_formula_task(task, _WORKER_MEMO)
         finally:
             activate(previous)
@@ -513,37 +562,18 @@ class DPReverser:
 
         reverser = DPReverser(ReverserConfig(gp_config=GpConfig(seed=2)))
 
-    Legacy call shapes — a bare :class:`GpConfig` as the first argument, or
-    the old keyword arguments (``ocr_seed=``, ``gp_workers=``, ...) — still
-    work but emit a :class:`DeprecationWarning`.
+    The legacy call shapes (a bare :class:`GpConfig` as the first
+    argument; loose keyword arguments) were removed after a deprecation
+    cycle and now raise :class:`TypeError`.
     """
 
-    def __init__(self, config: Optional[ReverserConfig] = None, **legacy) -> None:
-        warned = False
-        if isinstance(config, GpConfig):
-            warnings.warn(
-                "passing a GpConfig to DPReverser is deprecated; use "
-                "ReverserConfig(gp_config=...)",
-                DeprecationWarning,
-                stacklevel=2,
+    def __init__(self, config: Optional[ReverserConfig] = None) -> None:
+        if config is not None and not isinstance(config, ReverserConfig):
+            raise TypeError(
+                "DPReverser takes a ReverserConfig; the legacy "
+                "positional-GpConfig form was removed — use "
+                f"ReverserConfig(gp_config=...), got {type(config).__name__}"
             )
-            warned = True
-            legacy.setdefault("gp_config", config)
-            config = None
-        if legacy:
-            unknown = sorted(set(legacy) - _CONFIG_FIELDS)
-            if unknown:
-                raise TypeError(
-                    f"DPReverser got unexpected keyword arguments: {unknown}"
-                )
-            if not warned:
-                warnings.warn(
-                    "DPReverser keyword arguments are deprecated; pass a "
-                    "ReverserConfig instead",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            config = replace(config or ReverserConfig(), **legacy)
         self.config = config or ReverserConfig()
         if self.config.gp_workers < 1:
             raise ValueError(
@@ -553,6 +583,11 @@ class DPReverser:
             raise ValueError(
                 f"unknown gp_backend {self.config.gp_backend!r}; "
                 f"choose one of {sorted(_GP_BACKENDS)}"
+            )
+        if self.config.formula_backend not in _FORMULA_BACKENDS:
+            raise ValueError(
+                f"unknown formula_backend {self.config.formula_backend!r}; "
+                f"choose one of {sorted(_FORMULA_BACKENDS)}"
             )
         # Resolved attribute surface; existing call sites read these.
         self.gp_config = self.config.gp_config or GpConfig()
@@ -571,11 +606,22 @@ class DPReverser:
         #: ``gp_workers > 1``.
         self.gp_workers = self.config.gp_workers
         self.gp_backend = self.config.gp_backend
+        self.formula_backend = self.config.formula_backend
         self.gp_batch = self.config.gp_batch
         self.gp_memo_dir = str(self.config.gp_memo_dir or "")
         #: Formula-memo traffic accumulated across :meth:`infer` calls;
-        #: stays all-zero while memoisation is off.
+        #: stays all-zero while memoisation is off.  Besides the aggregate
+        #: ``hits``/``misses`` pair, per-backend counts appear lazily as
+        #: flat ``"<backend>.hits"``/``"<backend>.misses"`` keys (flat so
+        #: the service can merge reverser stats by plain summation).
         self.memo_stats = {"hits": 0, "misses": 0}
+        #: Per-inference-engine accounting accumulated across
+        #: :meth:`infer` calls: ``"<engine>.formulas"`` counts formulas by
+        #: the engine that produced them, ``"<backend>.none"`` inferences
+        #: that found no formula, and ``"hybrid.fallbacks"`` the hybrid
+        #: ESVs that needed the GP tail.  Exported under the
+        #: ``inference.`` metrics prefix.
+        self.inference_stats: Dict[str, int] = {}
         noise = self.config.noise
         self.noise = noise if noise is not None and not noise.is_null else None
         #: Tracer for hierarchical stage/GP/memo spans; the shared disabled
@@ -770,6 +816,7 @@ class DPReverser:
             n_frames=len(context.capture.can_log),
             diagnostics=context.diagnostics,
             noise_counts=context.noise_counts,
+            formula_backend=self.formula_backend,
         )
 
     def _infer_esvs(self, context: AnalysisContext) -> List[ReversedEsv]:
@@ -820,6 +867,7 @@ class DPReverser:
                     config=config,
                     protocol=protocol,
                     formula_type=formula_type,
+                    backend=self.formula_backend,
                 )
             )
             esvs.append(None)  # placeholder filled by the execution pass
@@ -827,7 +875,11 @@ class DPReverser:
         for outcome in sorted(self._execute_tasks(tasks), key=lambda o: o.slot):
             esvs[outcome.slot] = outcome.esv
             if outcome.memo_hit is not None:
-                self.memo_stats["hits" if outcome.memo_hit else "misses"] += 1
+                verdict = "hits" if outcome.memo_hit else "misses"
+                self.memo_stats[verdict] += 1
+                tagged = f"{self.formula_backend}.{verdict}"
+                self.memo_stats[tagged] = self.memo_stats.get(tagged, 0) + 1
+            self._record_inference(outcome.esv)
             if self.stage_hook is not None:
                 self.stage_hook("gp_formula", outcome.elapsed)
             if outcome.spans:
@@ -836,6 +888,21 @@ class DPReverser:
                     parent_id=parent.span_id if parent else None,
                 )
         return esvs  # type: ignore[return-value]  # every slot is filled
+
+    def _record_inference(self, esv: ReversedEsv) -> None:
+        """Accumulate :attr:`inference_stats` for one inference outcome
+        (memo recalls included — the entry remembers its engine)."""
+
+        def bump(name: str) -> None:
+            self.inference_stats[name] = self.inference_stats.get(name, 0) + 1
+
+        if esv.formula is None:
+            bump(f"{self.formula_backend}.none")
+            return
+        engine = esv.formula.backend
+        bump(f"{engine}.formulas")
+        if self.formula_backend == "hybrid" and engine == "gp":
+            bump("hybrid.fallbacks")
 
     def _resolve_backend(self, n_tasks: int) -> str:
         """The backend one inference pass actually uses.
@@ -881,7 +948,7 @@ class DPReverser:
     ) -> _TaskOutcome:
         """Serial/thread task execution, timed with the injected clock."""
         start = self.perf()
-        with self.tracer.span("gp_formula", esv=task.identifier):
+        with self.tracer.span("gp_formula", esv=task.identifier, backend=task.backend):
             esv, memo_hit = _execute_formula_task(task, memo)
         return _TaskOutcome(task.slot, esv, self.perf() - start, memo_hit)
 

@@ -5,7 +5,8 @@ The pipeline accumulates metrics in several layers that grew one PR at a
 time — :class:`~repro.runtime.metrics.MetricsRegistry` (scheduler counters
 and stage histograms), :class:`~repro.transport.base.DecoderStats`
 (transport decode accounting), :class:`~repro.can.noise.FaultCounts`
-(injected faults), the formula-memo hit/miss dict, and span aggregates
+(injected faults), the formula-memo hit/miss dict, the per-backend
+formula-inference counters (``inference.*``), and span aggregates
 from the :class:`~repro.observability.trace.Tracer`.  :func:`build_snapshot`
 folds any subset of those into one canonical dict, and the exporters turn
 that dict into:
@@ -42,6 +43,7 @@ def build_snapshot(
     diagnostics=None,
     fault_counts=None,
     memo_stats: Optional[Mapping[str, int]] = None,
+    inference_stats: Optional[Mapping[str, int]] = None,
     tracer: Optional[Tracer] = None,
     extra_counters: Optional[Mapping[str, int]] = None,
     gauges: Optional[Mapping[str, float]] = None,
@@ -70,6 +72,8 @@ def build_snapshot(
         _merge_counters(counters, fault_counts.to_dict(), "noise.")
     if memo_stats is not None:
         _merge_counters(counters, memo_stats, "memo.")
+    if inference_stats is not None:
+        _merge_counters(counters, inference_stats, "inference.")
     if extra_counters is not None:
         _merge_counters(counters, extra_counters, "")
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import List, Union
 
@@ -39,12 +40,28 @@ def write_json_atomic(path: Union[str, Path], payload: object, indent: int = 2) 
     The rename is atomic on POSIX, so readers (e.g. a resumed fleet run
     scanning a checkpoint directory, :mod:`repro.runtime.checkpoint`) never
     observe a half-written file even if the writer is killed mid-flight.
+    The temp name is unique per call (``mkstemp``), not derived from the
+    target: concurrent writers racing on the same path (formula-memo
+    workers solving byte-identical datasets) must each rename their *own*
+    temp file, or the loser's rename finds its temp already moved.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f"{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
+        # mkstemp creates 0600; match the mode a plain write would leave.
+        os.chmod(tmp_name, 0o644)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -67,6 +67,15 @@ class JobSpec:
     #: hits replay the exact stored result, so the payload is unchanged —
     #: excluded from :attr:`job_id`.
     gp_memo_dir: str = ""
+    #: Formula-*inference* backend (``"gp"``/``"linear"``/``"hybrid"`` —
+    #: *what solver* recovers each formula), as opposed to
+    #: :attr:`gp_backend`, which is *where* GP evaluations run.  Excluded
+    #: from :attr:`job_id`: ``hybrid`` recovers the identical ESV set with
+    #: mathematically equivalent formulas as pure GP (an invariant the
+    #: backend benchmark asserts fleet-wide), so a checkpointed sweep
+    #: resumed under a different inference backend legitimately reuses the
+    #: finished cars rather than redoing them.
+    formula_backend: str = "gp"
     #: Capture-noise profile in :meth:`~repro.can.NoiseProfile.parse` form
     #: (e.g. ``"default"`` or ``"drop=0.02,dup=0.01"``).  Empty string =
     #: clean capture.  Changes the outcome, so it contributes to
@@ -119,6 +128,7 @@ class JobSpec:
             "gp_backend": self.gp_backend,
             "gp_batch": self.gp_batch,
             "gp_memo_dir": self.gp_memo_dir,
+            "formula_backend": self.formula_backend,
             "noise_spec": self.noise_spec,
             "noise_seed": self.noise_seed,
             "trace": self.trace,
@@ -139,6 +149,7 @@ class JobSpec:
             gp_backend=payload.get("gp_backend", "auto"),
             gp_batch=payload.get("gp_batch", False),
             gp_memo_dir=payload.get("gp_memo_dir", ""),
+            formula_backend=payload.get("formula_backend", "gp"),
             noise_spec=payload.get("noise_spec", ""),
             noise_seed=payload.get("noise_seed", 0),
             trace=payload.get("trace", False),
@@ -259,6 +270,7 @@ def fleet_job_specs(
     gp_backend: str = "auto",
     gp_batch: bool = False,
     gp_memo_dir: str = "",
+    formula_backend: str = "gp",
     noise_spec: str = "",
     noise_seed: int = 0,
     trace: bool = False,
@@ -280,6 +292,7 @@ def fleet_job_specs(
             gp_backend=gp_backend,
             gp_batch=gp_batch,
             gp_memo_dir=gp_memo_dir,
+            formula_backend=formula_backend,
             noise_spec=noise_spec,
             noise_seed=noise_seed,
             trace=trace,
@@ -336,6 +349,7 @@ def run_job(spec: JobSpec, perf: Optional[Callable[[], float]] = None) -> JobRes
                 gp_backend=spec.gp_backend,
                 gp_batch=spec.gp_batch,
                 gp_memo_dir=spec.gp_memo_dir,
+                formula_backend=spec.formula_backend,
                 noise=spec.noise_profile(),
                 trace=tracer,
             )

@@ -105,6 +105,10 @@ class ServiceConfig:
     #: Shared on-disk formula memo directory ("" disables cross-session
     #: formula reuse).
     gp_memo_dir: str = ""
+    #: Formula-*inference* backend for finalize (``"gp"``/``"linear"``/
+    #: ``"hybrid"`` — what solver recovers each formula, where
+    #: :attr:`gp_backend` decides where GP evaluations run).
+    formula_backend: str = "gp"
     ocr_seed: int = 23
     #: Record per-session spans into the server tracer (one lane each).
     trace: bool = False
@@ -133,6 +137,7 @@ class DiagnosticServer:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer() if self.config.trace else NULL_TRACER
         self.memo_stats = {"hits": 0, "misses": 0}
+        self.inference_stats: Dict[str, int] = {}
         self.sessions_active = 0
         self._next_session_id = 0
         self._next_lane = 1  # lane 0 is the server's own spans
@@ -190,6 +195,7 @@ class DiagnosticServer:
         return build_snapshot(
             registry=self.metrics,
             memo_stats=self.memo_stats,
+            inference_stats=self.inference_stats or None,
             tracer=self.tracer if self.tracer.enabled else None,
             gauges={"service.sessions_active": float(self.sessions_active)},
         )
@@ -212,6 +218,7 @@ class DiagnosticServer:
                 gp_backend=backend,
                 gp_batch=self.config.gp_batch,
                 gp_memo_dir=self.config.gp_memo_dir,
+                formula_backend=self.config.formula_backend,
                 trace=session.tracer if session.tracer.enabled else None,
             )
         )
@@ -404,6 +411,8 @@ class DiagnosticServer:
         )
         for key, value in reverser.memo_stats.items():
             self.memo_stats[key] = self.memo_stats.get(key, 0) + value
+        for key, value in reverser.inference_stats.items():
+            self.inference_stats[key] = self.inference_stats.get(key, 0) + value
         report_json = report.to_json()
         conn.report_json = report_json
         self._count("service.reports_emitted")

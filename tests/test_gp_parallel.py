@@ -312,7 +312,11 @@ class TestMemoEndToEnd:
             capture, gp_workers=2, gp_backend="process", gp_memo_dir=memo_dir
         )
         assert cold_report == baseline
-        assert cold_reverser.memo_stats == {"hits": 0, "misses": n_formulas}
+        assert cold_reverser.memo_stats == {
+            "hits": 0,
+            "misses": n_formulas,
+            "gp.misses": n_formulas,
+        }
 
         for backend, workers in (("process", 2), ("serial", 1), ("thread", 2)):
             warm_report, stages, warm_reverser = reverse_capture(
@@ -322,5 +326,9 @@ class TestMemoEndToEnd:
                 gp_memo_dir=memo_dir,
             )
             assert warm_report == baseline, f"warm {backend} run diverged"
-            assert warm_reverser.memo_stats == {"hits": n_formulas, "misses": 0}
+            assert warm_reverser.memo_stats == {
+                "hits": n_formulas,
+                "misses": 0,
+                "gp.hits": n_formulas,
+            }
             assert stages.count("gp_formula") == n_formulas

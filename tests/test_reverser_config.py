@@ -1,7 +1,8 @@
-"""Tests for `ReverserConfig` and the deprecated DPReverser call shapes.
+"""Tests for `ReverserConfig`: the single DPReverser constructor path.
 
-This file is the sanctioned home of the legacy kwargs — everything else in
-the repo constructs `DPReverser(ReverserConfig(...))`.
+The legacy positional-`GpConfig`/kwargs shapes (deprecated in PR 3) are
+gone — `TestLegacyShapesRemoved` pins down that they now fail loudly with
+a `TypeError` that names the replacement, rather than half-working.
 """
 
 import warnings
@@ -49,39 +50,39 @@ class TestModernShape:
         assert noisy.noise == NoiseProfile.default(seed=1)
 
 
-class TestLegacyShapes:
-    def test_positional_gp_config_warns_once(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            reverser = DPReverser(GpConfig(seed=9))
-        assert len(deprecations(record)) == 1
-        assert reverser.gp_config == GpConfig(seed=9)
+class TestFormulaBackendConfig:
+    def test_default_is_gp(self):
+        assert DPReverser().formula_backend == "gp"
+        assert ReverserConfig().formula_backend == "gp"
 
-    def test_legacy_kwargs_warn_and_apply(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            reverser = DPReverser(ocr_seed=11, gp_workers=2)
-        assert len(deprecations(record)) == 1
-        assert reverser.ocr_seed == 11
-        assert reverser.gp_workers == 2
+    def test_resolves_attribute(self):
+        reverser = DPReverser(ReverserConfig(formula_backend="hybrid"))
+        assert reverser.formula_backend == "hybrid"
 
-    def test_positional_plus_kwargs_single_warning(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            reverser = DPReverser(GpConfig(seed=9), estimate_alignment=False)
-        assert len(deprecations(record)) == 1
-        assert reverser.gp_config == GpConfig(seed=9)
-        assert reverser.estimate_alignment is False
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="formula_backend"):
+            DPReverser(ReverserConfig(formula_backend="neural"))
 
-    def test_unknown_kwarg_is_a_type_error(self):
+
+class TestLegacyShapesRemoved:
+    """The pre-PR-3 constructor shapes now fail loudly, not silently."""
+
+    def test_positional_gp_config_is_a_type_error(self):
+        with pytest.raises(TypeError, match="ReverserConfig"):
+            DPReverser(GpConfig(seed=9))
+
+    def test_legacy_kwargs_are_a_type_error(self):
         with pytest.raises(TypeError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore")
-                DPReverser(gp_confg=GpConfig(seed=2))  # typo'd name
+            DPReverser(ocr_seed=11, gp_workers=2)
 
-    def test_legacy_and_modern_resolve_identically(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            legacy = DPReverser(GpConfig(seed=4), gp_workers=2)
-        modern = DPReverser(ReverserConfig(gp_config=GpConfig(seed=4), gp_workers=2))
-        assert legacy.config == modern.config
+    def test_positional_plus_kwargs_is_a_type_error(self):
+        with pytest.raises(TypeError):
+            DPReverser(GpConfig(seed=9), estimate_alignment=False)
+
+    def test_typod_kwarg_is_still_a_type_error(self):
+        with pytest.raises(TypeError):
+            DPReverser(gp_confg=GpConfig(seed=2))  # typo'd name
+
+    def test_error_names_the_replacement(self):
+        with pytest.raises(TypeError, match=r"ReverserConfig\(gp_config=\.\.\.\)"):
+            DPReverser(GpConfig(seed=4))
