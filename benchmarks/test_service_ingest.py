@@ -1,0 +1,200 @@
+"""Clean-stream ingest: batched binary wire vs. per-frame JSON wire.
+
+The tentpole number of the service fast path.  One synthetic, perfectly
+clean all-single-frame ISO-TP capture is pushed through the two wire
+shapes the protocol supports:
+
+* **per-frame (v1)** — every frame is its own JSON message; the session
+  takes the event-by-event :meth:`~repro.service.session.VehicleSession
+  .ingest_frame` path;
+* **batched (v2)** — frames travel 256 to a binary ``frame-batch``
+  record; the session takes :meth:`~repro.service.session.VehicleSession
+  .ingest_frames`, which rides the vectorised
+  :meth:`~repro.core.assembly.StreamAssembler.feed_chunk` fast path when
+  the stream is clean.
+
+Both paths consume identical wire chunks (socket-sized, 32 KiB) through a
+real :class:`~repro.service.protocol.MessageDecoder`, so the measured
+time covers the full ingest stack: framing, codec, assembly.  The bench
+asserts the two sessions end in identical state (same assembled
+messages, same diagnostics) before reporting any timing — a fast path
+that diverges is a bug, not a win.
+
+Metrics (``BENCH_service_ingest.json``):
+
+* identity — ``frames``, ``messages``, ``wire_bytes_per_frame``,
+  ``wire_bytes_batched`` (the wire sizes are deterministic functions of
+  the synthetic capture, so they gate exactly);
+* timing (warn-only, except the CI floor) — ``frames_per_s_v1``,
+  ``frames_per_s_batched``, ``ingest_speedup``.  CI pins
+  ``--floor ingest_speedup=3.0``; the bench-host target is >= 5x.
+
+``SERVICE_SMOKE=1`` shrinks the capture to CI size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.can import CanFrame
+from repro.service import MessageDecoder, encode_message
+from repro.service.protocol import (
+    arrays_from_batch,
+    frame_batch_to_wire,
+    frame_from_wire,
+    frame_to_wire,
+)
+from repro.service.session import VehicleSession
+
+SMOKE = bool(os.environ.get("SERVICE_SMOKE"))
+FRAMES = 6_000 if SMOKE else 24_000
+REPEATS = 3 if SMOKE else 5
+BATCH_SIZE = 256
+CHUNK_BYTES = 32 * 1024  # one socket read's worth of wire
+
+BENCH_CONFIG = {
+    "smoke": SMOKE,
+    "frames": FRAMES,
+    "batch_size": BATCH_SIZE,
+    "chunk_bytes": CHUNK_BYTES,
+}
+
+
+def synthetic_clean_capture(n_frames: int):
+    """A clean all-SF ISO-TP dialogue: request/response over four ECUs.
+
+    Every frame is a valid single-frame with a 1..7-byte payload, so the
+    batched path stays on the vectorised clean-stream branch end to end —
+    the scenario the wire format was built for (a live bridge replaying a
+    healthy bus).
+    """
+    frames = []
+    for i in range(n_frames):
+        ecu = (i >> 1) & 0x3
+        if i & 1:  # response: 62 <did> <value...>
+            can_id = 0x7E8 + ecu
+            payload = bytes([0x62, ecu, (i >> 3) & 0xFF, i & 0xFF, 0x10 + ecu])
+        else:  # request: 22 <did>
+            can_id = 0x7E0 + ecu
+            payload = bytes([0x22, ecu, (i >> 3) & 0xFF])
+        data = bytes([len(payload)]) + payload
+        frames.append(
+            CanFrame(can_id, data.ljust(8, b"\x00"), timestamp=i * 5e-4)
+        )
+    return frames
+
+
+def wire_chunks(wire: bytes):
+    for start in range(0, len(wire), CHUNK_BYTES):
+        yield wire[start : start + CHUNK_BYTES]
+
+
+def run_per_frame(wire: bytes) -> "tuple[VehicleSession, float]":
+    decoder = MessageDecoder()
+    session = VehicleSession(1, transport="isotp")
+    start = time.perf_counter()
+    for chunk in wire_chunks(wire):
+        for message in decoder.feed(chunk):
+            session.ingest_frame(frame_from_wire(message))
+    return session, time.perf_counter() - start
+
+
+def run_batched(wire: bytes) -> "tuple[VehicleSession, float]":
+    decoder = MessageDecoder()
+    session = VehicleSession(1, transport="isotp")
+    start = time.perf_counter()
+    for chunk in wire_chunks(wire):
+        for message in decoder.feed(chunk):
+            session.ingest_frames(arrays_from_batch(message))
+    return session, time.perf_counter() - start
+
+
+class TestIngestFastPath:
+    def test_batched_binary_wire_vs_per_frame_json(
+        self, bench_artifact, report_file
+    ):
+        frames = synthetic_clean_capture(FRAMES)
+        wire_v1 = b"".join(encode_message(frame_to_wire(f)) for f in frames)
+        wire_v2 = b"".join(
+            encode_message(frame_batch_to_wire(frames[i : i + BATCH_SIZE]))
+            for i in range(0, len(frames), BATCH_SIZE)
+        )
+
+        # Identity before timing: the fast path must be invisible in the
+        # session's final state.
+        slow, __ = run_per_frame(wire_v1)
+        fast, __ = run_batched(wire_v2)
+        assert fast._assembler.messages == slow._assembler.messages
+        assert (
+            fast._assembler.diagnostics.to_dict()
+            == slow._assembler.diagnostics.to_dict()
+        )
+        assert fast.status() == slow.status()
+        assert slow.messages_assembled == FRAMES  # every SF completes
+
+        slow_s = min(run_per_frame(wire_v1)[1] for __ in range(REPEATS))
+        fast_s = min(run_batched(wire_v2)[1] for __ in range(REPEATS))
+        speedup = slow_s / fast_s
+
+        bench_artifact(
+            {
+                "frames": FRAMES,
+                "messages": slow.messages_assembled,
+                "wire_bytes_per_frame": len(wire_v1),
+                "wire_bytes_batched": len(wire_v2),
+                "frames_per_s_v1": round(FRAMES / slow_s, 1),
+                "frames_per_s_batched": round(FRAMES / fast_s, 1),
+                "ingest_speedup": round(speedup, 2),
+            },
+            {
+                "frames": "count",
+                "messages": "count",
+                "wire_bytes_per_frame": "count",
+                "wire_bytes_batched": "count",
+                "frames_per_s_v1": "x",
+                "frames_per_s_batched": "x",
+                "ingest_speedup": "x",
+            },
+            config=BENCH_CONFIG,
+        )
+        report_file(
+            f"Clean-stream ingest ({FRAMES} frames"
+            f"{', smoke mode' if SMOKE else ''}):"
+        )
+        report_file(
+            f"  per-frame JSON wire: {FRAMES / slow_s:,.0f} frames/s "
+            f"({len(wire_v1) / FRAMES:.1f} B/frame)"
+        )
+        report_file(
+            f"  batched binary wire: {FRAMES / fast_s:,.0f} frames/s "
+            f"({len(wire_v2) / FRAMES:.1f} B/frame), {speedup:.1f}x"
+        )
+
+    def test_noisy_stream_falls_back_without_divergence(self, report_file):
+        """Corrupt every 97th frame: the batched path must degrade to the
+        event path for the dirtied streams and still match per-frame."""
+        frames = synthetic_clean_capture(2_000)
+        for i in range(0, len(frames), 97):
+            f = frames[i]
+            frames[i] = CanFrame(
+                f.can_id, b"\x21" + f.data[1:], timestamp=f.timestamp
+            )  # orphan CF: forces the reassembler out of idle
+        wire_v1 = b"".join(encode_message(frame_to_wire(f)) for f in frames)
+        wire_v2 = b"".join(
+            encode_message(frame_batch_to_wire(frames[i : i + BATCH_SIZE]))
+            for i in range(0, len(frames), BATCH_SIZE)
+        )
+        slow, __ = run_per_frame(wire_v1)
+        fast, __ = run_batched(wire_v2)
+        slow_messages, slow_diag = slow._assembler.finish()
+        fast_messages, fast_diag = fast._assembler.finish()
+        assert fast_messages == slow_messages
+        assert fast_diag.to_dict() == slow_diag.to_dict()
+        assert slow_diag.stats.errors > 0  # the noise actually bit
+        report_file(
+            f"  noisy fallback: {slow_diag.stats.errors} decode errors, "
+            "batched == per-frame state"
+        )

@@ -212,6 +212,75 @@ class TestServiceThroughput:
             f"{sessions} sessions, all reports delivered"
         )
 
+    def test_sharded_batched_wire_smoke(
+        self, capture, batch_json, bench_artifact, report_file, tmp_path
+    ):
+        """The production shape end to end: a 2-shard pre-forked fleet on
+        one ``SO_REUSEPORT`` port, clients on the batched binary wire.
+        Every report must still be byte-identical to the batch pipeline,
+        and the merged snapshot must sum the per-shard counters."""
+        from repro.service.shards import ShardSupervisor
+
+        sessions = 6 if SMOKE else 24
+        shards = 2
+        config = ServiceConfig(
+            gp_config=GP,
+            gp_backend="serial",  # each shard is already its own process
+            analysis_workers=1,
+            gp_memo_dir=str(tmp_path / "memo"),
+        )
+
+        async def run_clients(port):
+            return await asyncio.gather(
+                *(
+                    stream_capture_async(
+                        "127.0.0.1",
+                        port,
+                        capture,
+                        tenant=f"tenant-{i}",
+                        transport="isotp",
+                        batch_size=256,
+                    )
+                    for i in range(sessions)
+                )
+            )
+
+        start = time.perf_counter()
+        with ShardSupervisor(config, shards=shards) as supervisor:
+            results = asyncio.run(run_clients(supervisor.port))
+            supervisor.wait_for_sessions(sessions, timeout=120)
+        wall = time.perf_counter() - start
+        snapshot = supervisor.merged_snapshot()
+        counters = snapshot["counters"]
+        identical = sum(r.report_json == batch_json for r in results)
+        stalls = sum(r.backpressure_stalls for r in results)
+
+        assert identical == sessions
+        assert counters["service.shards"] == shards
+        assert counters["service.sessions_completed"] == sessions
+        assert counters["service.frames_ingested"] == sessions * len(capture.can_log)
+
+        bench_artifact(
+            {
+                "sharded_sessions_completed": counters["service.sessions_completed"],
+                "sharded_reports_identical": identical,
+                "sharded_shards": shards,
+                "sharded_wall_s": round(wall, 3),
+            },
+            {
+                "sharded_sessions_completed": "count",
+                "sharded_reports_identical": "count",
+                "sharded_shards": "count",
+                "sharded_wall_s": "s",
+            },
+            config=BENCH_CONFIG,
+        )
+        report_file(
+            f"  {shards}-shard fleet, batched wire: {identical}/{sessions} "
+            f"reports byte-identical, {stalls} client stalls, "
+            f"{wall:.1f}s wall"
+        )
+
     def test_rate_limit_backpressure(self, capture, bench_artifact, report_file):
         """An over-eager client is stalled (token bucket), never buffered
         unboundedly; the stall counter proves the path engaged."""

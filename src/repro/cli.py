@@ -348,11 +348,19 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .core import GpConfig
     from .service import DiagnosticServer, ServiceConfig
 
     _resolve_gp_flags(args)
+    # `kill <pid>` must drain like Ctrl-C: route SIGTERM through the same
+    # KeyboardInterrupt path so shards stop cleanly and --metrics-out /
+    # --trace-out still emit (the default handler would skip the finally).
+    def _drain(_signo: int, _frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _drain)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -369,8 +377,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace=_observability_requested(args),
     )
 
-    async def _run() -> DiagnosticServer:
-        server = DiagnosticServer(config)
+    if args.shards > 1:
+        from .service.shards import ShardSupervisor
+
+        supervisor = ShardSupervisor(config, args.shards)
+        supervisor.start()
+        print(
+            f"listening on {config.host}:{supervisor.port} "
+            f"({args.shards} shards)",
+            flush=True,
+        )
+        try:
+            if args.sessions > 0:
+                supervisor.wait_for_sessions(args.sessions)
+            else:
+                while True:
+                    time.sleep(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            supervisor.stop()
+        if _observability_requested(args):
+            _emit_observability(args, supervisor.tracer, supervisor.merged_snapshot())
+        return 0
+
+    server = DiagnosticServer(config)
+
+    async def _run() -> None:
         await server.start()
         print(f"listening on {config.host}:{server.port}", flush=True)
         try:
@@ -387,12 +420,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pass
         finally:
             await server.stop()
-        return server
 
     try:
-        server = asyncio.run(_run())
+        asyncio.run(_run())
     except KeyboardInterrupt:
-        return 0
+        pass
     if _observability_requested(args):
         _emit_observability(args, server.tracer, server.snapshot())
     return 0
@@ -633,6 +665,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="formula memo directory shared across all sessions: tenants "
         "streaming the same model reuse each other's inferred formulas",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="pre-forked server processes sharing the port via SO_REUSEPORT "
+        "(1 = single process); the parent supervises restarts and merges "
+        "per-shard metrics/trace into the single observability artifacts",
     )
     serve.add_argument(
         "--sessions",

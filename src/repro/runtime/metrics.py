@@ -121,3 +121,28 @@ class MetricsRegistry:
                 for name, histogram in sorted(self._histograms.items())
             },
         }
+
+    def export_state(self) -> dict:
+        """Everything needed to merge this registry into another.
+
+        Unlike :meth:`to_dict`, histograms export their *raw samples*, so
+        a cross-process merge (shard workers → supervisor) yields exact
+        percentiles — summing per-shard p95 summaries cannot.
+        """
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: list(histogram._values)
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` payload into this registry."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, values in state.get("histograms", {}).items():
+            self.histogram(name).extend(values)

@@ -28,35 +28,46 @@ Entry points: ``repro serve`` on the command line, or::
 """
 
 from .client import (
+    FrameBatcher,
     ServiceClientError,
     StreamResult,
     stream_capture,
     stream_capture_async,
 )
 from .protocol import (
+    MAX_BATCH_FRAMES,
     MAX_MESSAGE_BYTES,
     PROTOCOL_VERSION,
     MessageDecoder,
     ProtocolError,
     capture_to_wire,
     encode_message,
+    frame_batch_to_wire,
+    arrays_from_batch,
+    frames_from_batch,
     read_message,
     write_message,
 )
 from .server import DiagnosticServer, ServiceConfig, run_server
 from .session import SessionError, VehicleSession
+from .shards import ShardSupervisor
 
 __all__ = [
+    "FrameBatcher",
     "ServiceClientError",
     "StreamResult",
     "stream_capture",
     "stream_capture_async",
+    "MAX_BATCH_FRAMES",
     "MAX_MESSAGE_BYTES",
     "PROTOCOL_VERSION",
     "MessageDecoder",
     "ProtocolError",
     "capture_to_wire",
     "encode_message",
+    "frame_batch_to_wire",
+    "arrays_from_batch",
+    "frames_from_batch",
     "read_message",
     "write_message",
     "DiagnosticServer",
@@ -64,4 +75,5 @@ __all__ = [
     "run_server",
     "SessionError",
     "VehicleSession",
+    "ShardSupervisor",
 ]

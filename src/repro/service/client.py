@@ -4,21 +4,43 @@ The reference implementation of the wire protocol's client side — what an
 ELM327-style bridge on the OBD port would run, minus the serial I/O.  The
 async form is the real client; :func:`stream_capture` wraps it in its own
 event loop for scripts and tests that live in synchronous code.
+
+Two ingest-throughput levers live here:
+
+* **transparent batching** — ``batch_size > 0`` coalesces consecutive CAN
+  frames into binary ``frame-batch`` messages (:func:`capture_to_wire`
+  does the coalescing; live bridges use :class:`FrameBatcher`), cutting
+  the per-frame JSON round-trip to one packed ``struct`` record;
+* **coalesced writes** — the sender queues messages and drains once per
+  flush window instead of once per message, so the event loop round-trip
+  and TCP push happen per *kilobytes*, not per record.  Drains forced by
+  the write buffer's high-water mark are counted in
+  :attr:`StreamResult.backpressure_stalls` — the client-side twin of the
+  server's ``service.backpressure_stalls``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Callable, Iterable, List, Optional
 
+from ..can import CanFrame
 from ..cps.collector import Capture
 from ..transport.kline import KLineByte
 from .protocol import (
     ProtocolError,
     capture_to_wire,
+    frame_batch_to_wire,
     read_message,
     write_message,
 )
+
+#: Queued egress bytes that force an immediate drain mid-flush-window.
+WRITE_HIGH_WATER = 64 * 1024
+
+#: Messages written between voluntary drains when coalescing.
+FLUSH_MESSAGES = 64
 
 
 class ServiceClientError(Exception):
@@ -30,10 +52,61 @@ class StreamResult:
 
     def __init__(self) -> None:
         self.session_id: Optional[int] = None
+        self.shard: Optional[int] = None
         self.statuses: List[dict] = []
         self.report: Optional[dict] = None
         self.report_json: str = ""
         self.digest: str = ""
+        #: Times the writer hit the high-water mark and had to drain early.
+        self.backpressure_stalls: int = 0
+
+
+class FrameBatcher:
+    """Size- and time-bounded frame coalescing for live bridges.
+
+    A capture replay knows its whole frame log up front and batches via
+    :func:`capture_to_wire`; a live OBD bridge sees frames one at a time
+    and must trade latency for batch size.  Feed frames to :meth:`add` —
+    it returns a ready ``frame-batch`` message when the batch fills
+    (``batch_size``) or goes stale (``flush_interval_s`` since the batch's
+    first frame), and ``None`` while the batch is still accumulating.
+    Call :meth:`flush` at stream end (and on idle timeouts) to emit the
+    remainder.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 256,
+        flush_interval_s: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.flush_interval_s = flush_interval_s
+        self._clock = clock
+        self._frames: List[CanFrame] = []
+        self._started = 0.0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def add(self, frame: CanFrame) -> Optional[dict]:
+        if not self._frames:
+            self._started = self._clock()
+        self._frames.append(frame)
+        if len(self._frames) >= self.batch_size or (
+            self.flush_interval_s > 0
+            and self._clock() - self._started >= self.flush_interval_s
+        ):
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[dict]:
+        if not self._frames:
+            return None
+        frames, self._frames = self._frames, []
+        return frame_batch_to_wire(frames)
 
 
 async def stream_capture_async(
@@ -45,18 +118,27 @@ async def stream_capture_async(
     kline_bytes: Optional[Iterable[KLineByte]] = None,
     on_status: Optional[Callable[[dict], None]] = None,
     delay_s: float = 0.0,
+    batch_size: int = 0,
+    flush_messages: int = FLUSH_MESSAGES,
 ) -> StreamResult:
-    """Stream one capture record-by-record; return the final report.
+    """Stream one capture into a server; return the final report.
 
+    ``batch_size > 0`` streams CAN frames as binary ``frame-batch``
+    messages of at most that many frames (0 = v1 per-frame JSON).
     ``delay_s`` sleeps between records to emulate a live capture's pacing
-    (0 = as fast as the server's flow control allows).  ``on_status`` is
-    called with every interim snapshot the server pushes.
+    (0 = as fast as the server's flow control allows; pacing implies one
+    drain per record, so write coalescing only applies at full speed).
+    ``on_status`` is called with every interim snapshot the server pushes.
     """
     reader, writer = await asyncio.open_connection(host, port)
     result = StreamResult()
     try:
         messages = capture_to_wire(
-            capture, tenant=tenant, transport=transport, kline_bytes=kline_bytes
+            capture,
+            tenant=tenant,
+            transport=transport,
+            kline_bytes=kline_bytes,
+            batch_size=batch_size,
         )
         write_message(writer, next(messages))  # hello
         await writer.drain()
@@ -68,6 +150,7 @@ async def stream_capture_async(
         if welcome["type"] != "welcome":
             raise ProtocolError(f"expected welcome, got {welcome['type']!r}")
         result.session_id = welcome.get("session")
+        result.shard = welcome.get("shard")
 
         async def _drain_statuses() -> None:
             """Consume server pushes until the final report arrives."""
@@ -93,13 +176,25 @@ async def stream_capture_async(
 
         consumer = asyncio.ensure_future(_drain_statuses())
         try:
+            unflushed = 0
             for message in messages:
                 write_message(writer, message)
-                await writer.drain()  # honour server flow control
                 if delay_s > 0:
+                    await writer.drain()
                     await asyncio.sleep(delay_s)
+                else:
+                    unflushed += 1
+                    buffered = writer.transport.get_write_buffer_size()
+                    if buffered > WRITE_HIGH_WATER:
+                        result.backpressure_stalls += 1
+                        await writer.drain()
+                        unflushed = 0
+                    elif unflushed >= max(1, flush_messages):
+                        await writer.drain()
+                        unflushed = 0
                 if consumer.done():
                     break  # server errored out mid-stream; surface it below
+            await writer.drain()
             await consumer
         finally:
             if not consumer.done():
@@ -122,6 +217,8 @@ def stream_capture(
     kline_bytes: Optional[Iterable[KLineByte]] = None,
     on_status: Optional[Callable[[dict], None]] = None,
     delay_s: float = 0.0,
+    batch_size: int = 0,
+    flush_messages: int = FLUSH_MESSAGES,
 ) -> StreamResult:
     """Synchronous wrapper over :func:`stream_capture_async`."""
     return asyncio.run(
@@ -134,5 +231,7 @@ def stream_capture(
             kline_bytes=kline_bytes,
             on_status=on_status,
             delay_s=delay_s,
+            batch_size=batch_size,
+            flush_messages=flush_messages,
         )
     )

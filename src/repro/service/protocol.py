@@ -1,39 +1,59 @@
 """Wire protocol of the streaming diagnostic service.
 
 One connection carries one vehicle session.  Every message — both
-directions — is a *length-prefixed JSON object*: a 4-byte big-endian
-unsigned length followed by that many bytes of UTF-8 JSON.  JSON keeps the
-protocol debuggable from a shell (``xxd`` + eyeballs) and trivially
-implementable on an ELM327-adapter bridge; the length prefix keeps framing
-independent of JSON whitespace and lets the reader enforce a hard
-per-message size bound *before* parsing (a malicious length field fails
-fast instead of buffering unboundedly).
+directions — travels in the same *length-prefixed envelope*: a 4-byte
+big-endian unsigned length followed by that many body bytes.  Two body
+formats share the envelope:
+
+* **JSON** (the default) — the body is one compact UTF-8 JSON object.
+  JSON keeps the protocol debuggable from a shell (``xxd`` + eyeballs)
+  and trivially implementable on an ELM327-adapter bridge; the length
+  prefix keeps framing independent of JSON whitespace and lets the
+  reader enforce a hard per-message size bound *before* parsing (a
+  malicious length field fails fast instead of buffering unboundedly).
+* **binary** — the body starts with a NUL byte (no JSON body can: JSON
+  must open with ``{``), then a 2-byte big-endian header length, a
+  compact JSON header, and a packed payload.  The only binary message is
+  ``frame-batch``: N CAN frames at a fixed :data:`FRAME_RECORD` stride
+  (little-endian ``f64`` timestamp, ``u32`` CAN id, ``u8`` flags, ``u8``
+  DLC, 8 zero-padded payload bytes — 22 bytes per frame), which the
+  codecs encode and decode in one :mod:`struct` pass instead of one JSON
+  dict round-trip per frame.
 
 Message vocabulary (``type`` field):
 
-========== =========== =====================================================
-direction  type        payload
-========== =========== =====================================================
-client →   ``hello``   ``version``, ``tenant``, ``transport``
-                       (``auto``/``isotp``/``vwtp``/``bmw``/``kline``) and
-                       the capture ``meta`` (model, tool name, OCR error
-                       rate, camera offset)
-client →   ``frame``   one CAN frame: ``t``, ``id``, ``data`` (hex),
-                       optional ``ext``/``ch``
-client →   ``kbyte``   one K-Line wire byte: ``t``, ``b``
-client →   ``video``   one captured UI frame (same region schema as
-                       ``video.jsonl`` in :mod:`repro.persistence`)
-client →   ``click``   one robotic-clicker record
-client →   ``segment`` one per-action activity window
-client →   ``finish``  end of stream; ask for the final report
-server →   ``welcome`` accepted: ``session`` id, protocol ``version``
-server →   ``status``  incremental diagnosis snapshot (sent every
-                       ``status_interval`` assembled messages)
-server →   ``report``  the final report: ``report`` (dict form),
-                       ``report_json`` (exact ``ReverseReport.to_json()``
-                       bytes) and its sha-256 ``digest``
-server →   ``error``   terminal failure; the server closes after sending
-========== =========== =====================================================
+========== =============== =================================================
+direction  type            payload
+========== =============== =================================================
+client →   ``hello``       ``version``, ``tenant``, ``transport``
+                           (``auto``/``isotp``/``vwtp``/``bmw``/``kline``)
+                           and the capture ``meta`` (model, tool name, OCR
+                           error rate, camera offset)
+client →   ``frame``       one CAN frame: ``t``, ``id``, ``data`` (hex),
+                           optional ``ext``/``ch``
+client →   ``frame-batch`` N CAN frames in one binary envelope: JSON
+                           header ``n`` (+ ``channels`` table for
+                           non-``can0`` buses) followed by the packed
+                           fixed-stride records
+client →   ``kbyte``       one K-Line wire byte: ``t``, ``b``
+client →   ``video``       one captured UI frame (same region schema as
+                           ``video.jsonl`` in :mod:`repro.persistence`)
+client →   ``click``       one robotic-clicker record
+client →   ``segment``     one per-action activity window
+client →   ``finish``      end of stream; ask for the final report
+server →   ``welcome``     accepted: ``session`` id, protocol ``version``
+                           (+ ``shard`` when the server is sharded)
+server →   ``status``      incremental diagnosis snapshot (sent every
+                           ``status_interval`` assembled messages)
+server →   ``report``      the final report: ``report`` (dict form),
+                           ``report_json`` (exact ``ReverseReport.to_json()``
+                           bytes) and its sha-256 ``digest``
+server →   ``error``       terminal failure; the server closes after sending
+========== =============== =================================================
+
+The per-frame JSON ``frame`` message remains fully supported — a v1
+client that has never heard of batches interoperates unchanged; batching
+is a purely additive fast path.
 """
 
 from __future__ import annotations
@@ -41,13 +61,17 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..can import CanFrame
+from ..can import MAX_DATA_LENGTH, CanFrame, InvalidFrameError
 from ..cps.arm import ClickRecord
 from ..cps.camera import CapturedFrame, TextRegion
 from ..cps.collector import Capture, Segment
+from ..transport.arrays import HAVE_NUMPY, FrameArrays
 from ..transport.kline import KLineByte
+
+if HAVE_NUMPY:
+    import numpy as np
 
 PROTOCOL_VERSION = 1
 
@@ -60,19 +84,75 @@ _LENGTH = struct.Struct(">I")
 #: Transports a ``hello`` may declare (``auto`` = sniff from the stream).
 HELLO_TRANSPORTS = ("auto", "isotp", "vwtp", "bmw", "kline")
 
+# ------------------------------------------------------- binary frame batch
+
+FRAME_BATCH = "frame-batch"
+
+#: One packed CAN frame: timestamp f64, can_id u32, flags u8, dlc u8,
+#: 8 payload bytes (zero-padded past the DLC).  Little-endian, unaligned.
+FRAME_RECORD = struct.Struct("<dIBB8s")
+
+#: ``flags`` bit 0: 29-bit extended identifier.
+FLAG_EXTENDED = 0x01
+#: ``flags`` bits 1-7: index into the header's channel table (0 = can0).
+_CHANNEL_SHIFT = 1
+_MAX_CHANNELS = 0x7F
+
+_BINARY_MAGIC = b"\x00"
+_HEADER_LENGTH = struct.Struct(">H")
+
+#: Frames one batch may carry: the packed records plus a worst-case JSON
+#: header (magic + length + ``n`` + a full channel table) must fit the
+#: per-message envelope bound.
+_HEADER_SLACK = 4096
+MAX_BATCH_FRAMES = (MAX_MESSAGE_BYTES - _HEADER_SLACK) // FRAME_RECORD.size
+
 
 class ProtocolError(Exception):
     """Malformed framing or message content; the connection is unusable."""
 
 
 def encode_message(message: dict) -> bytes:
-    """One message as its on-wire bytes (length prefix + compact JSON)."""
+    """One message as its on-wire bytes (length prefix + body).
+
+    ``frame-batch`` messages (as produced by :func:`frame_batch_to_wire`)
+    take the binary envelope; everything else is compact JSON.
+    """
+    if message.get("type") == FRAME_BATCH:
+        return _encode_binary_message(message)
     body = json.dumps(message, separators=(",", ":"), sort_keys=True).encode()
     if len(body) > MAX_MESSAGE_BYTES:
         raise ProtocolError(
             f"message of {len(body)} bytes exceeds the {MAX_MESSAGE_BYTES} bound"
         )
     return _LENGTH.pack(len(body)) + body
+
+
+def _encode_binary_message(message: dict) -> bytes:
+    packed = message.get("_packed")
+    if not isinstance(packed, (bytes, bytearray, memoryview)):
+        raise ProtocolError("frame-batch message carries no packed records")
+    header = {key: value for key, value in message.items() if key != "_packed"}
+    header_bytes = json.dumps(header, separators=(",", ":"), sort_keys=True).encode()
+    if len(header_bytes) > 0xFFFF:
+        raise ProtocolError(f"binary header of {len(header_bytes)} bytes too large")
+    body_length = (
+        len(_BINARY_MAGIC) + _HEADER_LENGTH.size + len(header_bytes) + len(packed)
+    )
+    if body_length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame batch of {body_length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES} bound"
+        )
+    return b"".join(
+        (
+            _LENGTH.pack(body_length),
+            _BINARY_MAGIC,
+            _HEADER_LENGTH.pack(len(header_bytes)),
+            header_bytes,
+            bytes(packed),
+        )
+    )
 
 
 class MessageDecoder:
@@ -83,6 +163,11 @@ class MessageDecoder:
     length is validated *before* the body is buffered, so a corrupt or
     hostile length field raises :class:`ProtocolError` instead of growing
     the buffer without bound.
+
+    Parsing walks a :class:`memoryview` over the buffer and compacts the
+    consumed prefix once per :meth:`feed` call — a TCP chunk carrying many
+    small messages costs O(bytes), not the O(bytes²) a per-message
+    ``del buffer[:length]`` shift would.
     """
 
     def __init__(self, max_message_bytes: int = MAX_MESSAGE_BYTES) -> None:
@@ -92,23 +177,35 @@ class MessageDecoder:
     def feed(self, data: bytes) -> List[dict]:
         self._buffer.extend(data)
         messages: List[dict] = []
-        while True:
-            if len(self._buffer) < _LENGTH.size:
-                return messages
-            (length,) = _LENGTH.unpack_from(self._buffer)
-            if length > self.max_message_bytes:
-                raise ProtocolError(
-                    f"declared message length {length} exceeds the "
-                    f"{self.max_message_bytes} bound"
-                )
-            if len(self._buffer) < _LENGTH.size + length:
-                return messages
-            body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
-            del self._buffer[: _LENGTH.size + length]
-            messages.append(_parse_body(body))
+        consumed = 0
+        total = len(self._buffer)
+        view = memoryview(self._buffer)
+        try:
+            while total - consumed >= _LENGTH.size:
+                (length,) = _LENGTH.unpack_from(view, consumed)
+                if length > self.max_message_bytes:
+                    raise ProtocolError(
+                        f"declared message length {length} exceeds the "
+                        f"{self.max_message_bytes} bound"
+                    )
+                if total - consumed - _LENGTH.size < length:
+                    break
+                start = consumed + _LENGTH.size
+                body = bytes(view[start : start + length])
+                consumed = start + length
+                messages.append(_parse_body(body))
+        finally:
+            # Release before compacting: a bytearray with an exported
+            # memoryview refuses to resize.
+            view.release()
+            if consumed:
+                del self._buffer[:consumed]
+        return messages
 
 
 def _parse_body(body: bytes) -> dict:
+    if body[:1] == _BINARY_MAGIC:
+        return _parse_binary_body(body)
     try:
         message = json.loads(body.decode("utf-8"))
     except (json.JSONDecodeError, UnicodeDecodeError) as error:
@@ -116,6 +213,32 @@ def _parse_body(body: bytes) -> dict:
     if not isinstance(message, dict) or "type" not in message:
         raise ProtocolError("message must be an object with a 'type' field")
     return message
+
+
+def _parse_binary_body(body: bytes) -> dict:
+    if len(body) < len(_BINARY_MAGIC) + _HEADER_LENGTH.size:
+        raise ProtocolError("truncated binary envelope")
+    (header_length,) = _HEADER_LENGTH.unpack_from(body, len(_BINARY_MAGIC))
+    start = len(_BINARY_MAGIC) + _HEADER_LENGTH.size
+    if start + header_length > len(body):
+        raise ProtocolError("binary header overruns the message body")
+    try:
+        header = json.loads(body[start : start + header_length].decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"binary header is not JSON: {error}") from None
+    if not isinstance(header, dict) or header.get("type") != FRAME_BATCH:
+        raise ProtocolError("binary envelope must carry a frame-batch header")
+    packed = body[start + header_length :]
+    count = header.get("n")
+    if not isinstance(count, int) or count < 0:
+        raise ProtocolError("frame-batch header needs a non-negative 'n'")
+    if count * FRAME_RECORD.size != len(packed):
+        raise ProtocolError(
+            f"frame-batch declares {count} frames but carries "
+            f"{len(packed)} payload bytes"
+        )
+    header["_packed"] = packed
+    return header
 
 
 # ------------------------------------------------------------ async framing
@@ -171,6 +294,170 @@ def frame_from_wire(message: dict) -> CanFrame:
         )
     except (KeyError, ValueError, TypeError) as error:
         raise ProtocolError(f"bad frame message: {error}") from None
+
+
+def frame_batch_to_wire(frames: Sequence[CanFrame]) -> dict:
+    """N CAN frames as one binary ``frame-batch`` message.
+
+    The returned dict is the parsed form (header fields + ``_packed``
+    record bytes), exactly what :class:`MessageDecoder` hands back for a
+    batch, so a round-trip through :func:`encode_message` is lossless.
+    """
+    if len(frames) > MAX_BATCH_FRAMES:
+        raise ProtocolError(
+            f"batch of {len(frames)} frames exceeds the {MAX_BATCH_FRAMES} bound"
+        )
+    channels: List[str] = []
+    channel_index: Dict[str, int] = {"can0": 0}
+    packed = bytearray(len(frames) * FRAME_RECORD.size)
+    for position, frame in enumerate(frames):
+        index = channel_index.get(frame.channel)
+        if index is None:
+            channels.append(frame.channel)
+            index = len(channels)
+            if index > _MAX_CHANNELS:
+                raise ProtocolError(
+                    f"batch spans more than {_MAX_CHANNELS} distinct channels"
+                )
+            channel_index[frame.channel] = index
+        flags = index << _CHANNEL_SHIFT
+        if frame.extended:
+            flags |= FLAG_EXTENDED
+        FRAME_RECORD.pack_into(
+            packed,
+            position * FRAME_RECORD.size,
+            frame.timestamp,
+            frame.can_id,
+            flags,
+            len(frame.data),
+            frame.data,
+        )
+    message: Dict = {"type": FRAME_BATCH, "n": len(frames), "_packed": bytes(packed)}
+    if channels:
+        message["channels"] = channels
+    return message
+
+
+def frames_from_batch(message: dict) -> List[CanFrame]:
+    """Decode one ``frame-batch`` message back into its CAN frames."""
+    packed = message.get("_packed")
+    if not isinstance(packed, (bytes, bytearray, memoryview)):
+        raise ProtocolError("frame-batch message carries no packed records")
+    channels = message.get("channels", [])
+    if not isinstance(channels, list) or not all(
+        isinstance(name, str) for name in channels
+    ):
+        raise ProtocolError("frame-batch channel table must be a list of names")
+    channel_table: Tuple[str, ...] = ("can0", *channels)
+    frames: List[CanFrame] = []
+    try:
+        for timestamp, can_id, flags, dlc, data in FRAME_RECORD.iter_unpack(packed):
+            if dlc > MAX_DATA_LENGTH:
+                raise ProtocolError(f"frame record declares DLC {dlc}")
+            frames.append(
+                CanFrame(
+                    can_id=can_id,
+                    data=data[:dlc],
+                    timestamp=timestamp,
+                    extended=bool(flags & FLAG_EXTENDED),
+                    channel=channel_table[flags >> _CHANNEL_SHIFT],
+                )
+            )
+    except struct.error as error:
+        raise ProtocolError(f"bad frame-batch records: {error}") from None
+    except IndexError:
+        raise ProtocolError("frame record names a channel outside the table") from None
+    except InvalidFrameError as error:
+        raise ProtocolError(f"bad frame record: {error}") from None
+    return frames
+
+
+class _LazyBatchFrames:
+    """The :class:`CanFrame` list of a batch, materialised on first touch.
+
+    The columnar ingest path never needs frame *objects* — only the
+    fallback event decoders and the final ``Capture`` rebuild do.  This
+    sequence defers the 5-figure object construction until one of those
+    actually indexes or iterates it.
+    """
+
+    __slots__ = ("_message", "_frames")
+
+    def __init__(self, message: dict) -> None:
+        self._message = message
+        self._frames: Optional[List[CanFrame]] = None
+
+    def _force(self) -> List[CanFrame]:
+        if self._frames is None:
+            self._frames = frames_from_batch(self._message)
+        return self._frames
+
+    def __len__(self) -> int:
+        return len(self._message["_packed"]) // FRAME_RECORD.size
+
+    def __getitem__(self, index):
+        return self._force()[index]
+
+    def __iter__(self) -> Iterator[CanFrame]:
+        return iter(self._force())
+
+
+#: The packed record as a numpy structured dtype — field-for-field the
+#: layout of :data:`FRAME_RECORD`, so a batch body *is* a record array.
+if HAVE_NUMPY:
+    _RECORD_DTYPE = np.dtype(
+        [
+            ("t", "<f8"),
+            ("id", "<u4"),
+            ("flags", "u1"),
+            ("dlc", "u1"),
+            ("data", "u1", (MAX_DATA_LENGTH,)),
+        ]
+    )
+    assert _RECORD_DTYPE.itemsize == FRAME_RECORD.size
+
+
+def arrays_from_batch(message: dict):
+    """Decode one ``frame-batch`` straight into a columnar view.
+
+    Validates the same invariants as :func:`frames_from_batch` (record
+    stride, DLC bound, channel-table bounds) but reinterprets the packed
+    body as a numpy record array instead of looping — no per-frame Python
+    object is built.  The returned :class:`FrameArrays` carries a lazy
+    ``frames`` sequence that materialises real :class:`CanFrame` objects
+    only if a fallback path (noisy stream, capture rebuild) asks for
+    them.  Without numpy this degrades to :func:`frames_from_batch`.
+    """
+    if not HAVE_NUMPY:
+        return frames_from_batch(message)
+    packed = message.get("_packed")
+    if not isinstance(packed, (bytes, bytearray, memoryview)):
+        raise ProtocolError("frame-batch message carries no packed records")
+    channels = message.get("channels", [])
+    if not isinstance(channels, list) or not all(
+        isinstance(name, str) for name in channels
+    ):
+        raise ProtocolError("frame-batch channel table must be a list of names")
+    try:
+        records = np.frombuffer(packed, dtype=_RECORD_DTYPE)
+    except ValueError as error:
+        raise ProtocolError(f"bad frame-batch records: {error}") from None
+    dlcs = records["dlc"].astype(np.int16)
+    if records.size:
+        if int(dlcs.max()) > MAX_DATA_LENGTH:
+            raise ProtocolError(f"frame record declares DLC {int(dlcs.max())}")
+        if int(records["flags"].max()) >> _CHANNEL_SHIFT > len(channels):
+            raise ProtocolError("frame record names a channel outside the table")
+    payloads = records["data"].copy()
+    columns = np.arange(MAX_DATA_LENGTH, dtype=np.int16)
+    payloads[columns[None, :] >= dlcs[:, None]] = 0  # pad bytes are not data
+    return FrameArrays(
+        can_ids=np.ascontiguousarray(records["id"]),
+        timestamps=np.ascontiguousarray(records["t"]),
+        dlcs=dlcs,
+        payloads=payloads,
+        frames=_LazyBatchFrames(message),
+    )
 
 
 def kline_byte_to_wire(byte: KLineByte) -> dict:
@@ -292,6 +579,7 @@ def capture_to_wire(
     tenant: str = "anonymous",
     transport: str = "auto",
     kline_bytes: Optional[Iterable[KLineByte]] = None,
+    batch_size: int = 0,
 ) -> Iterator[dict]:
     """The full message sequence that streams one recorded capture.
 
@@ -299,19 +587,42 @@ def capture_to_wire(
     record kinds* (the interleaving a live adapter would produce), then
     ``finish``.  For a K-Line capture pass the sniffed ``kline_bytes``;
     CAN frames and K-Line bytes may not be mixed in one session.
+
+    With ``batch_size > 0`` consecutive CAN frames in that interleaving
+    coalesce into binary ``frame-batch`` messages of at most that many
+    frames; non-frame records (video, clicks) flush the pending run so
+    the server observes the records in the identical order either way.
+    ``batch_size=0`` keeps the v1 per-frame JSON wire format.
     """
     yield hello_message(capture, tenant=tenant, transport=transport)
-    records: List[Dict] = []
+    records: List[Tuple[Dict, Optional[CanFrame]]] = []
     for frame in capture.can_log:
-        records.append(frame_to_wire(frame))
+        records.append((frame_to_wire(frame), frame))
     for byte in kline_bytes or ():
-        records.append(kline_byte_to_wire(byte))
+        records.append((kline_byte_to_wire(byte), None))
     for video in capture.video:
-        records.append(video_to_wire(video))
+        records.append((video_to_wire(video), None))
     for click in capture.clicks:
-        records.append(click_to_wire(click))
-    records.sort(key=lambda r: r["t"])
-    yield from records
+        records.append((click_to_wire(click), None))
+    records.sort(key=lambda r: r[0]["t"])
+    if batch_size <= 0:
+        for message, _frame in records:
+            yield message
+    else:
+        run: List[CanFrame] = []
+        for message, frame in records:
+            if frame is not None:
+                run.append(frame)
+                if len(run) >= batch_size:
+                    yield frame_batch_to_wire(run)
+                    run = []
+            else:
+                if run:
+                    yield frame_batch_to_wire(run)
+                    run = []
+                yield message
+        if run:
+            yield frame_batch_to_wire(run)
     for segment in capture.segments:
         yield segment_to_wire(segment)
     yield {"type": "finish"}

@@ -43,12 +43,14 @@ from ..observability.trace import NULL_TRACER, Tracer
 from ..runtime.metrics import MetricsRegistry
 from ..runtime.scheduler import WorkerPool
 from .protocol import (
+    FRAME_BATCH,
     HELLO_TRANSPORTS,
     MAX_MESSAGE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     click_from_wire,
     frame_from_wire,
+    arrays_from_batch,
     kline_byte_from_wire,
     read_message,
     segment_from_wire,
@@ -112,6 +114,13 @@ class ServiceConfig:
     ocr_seed: int = 23
     #: Record per-session spans into the server tracer (one lane each).
     trace: bool = False
+    #: Bind with ``SO_REUSEPORT`` so several processes can listen on the
+    #: same port (the sharded deployment; the kernel load-balances accepts).
+    reuse_port: bool = False
+    #: This process's index in a sharded deployment (``None`` = unsharded).
+    #: Echoed in every ``welcome`` so clients and tests can tell shards
+    #: apart.
+    shard_index: Optional[int] = None
 
 
 @dataclass
@@ -161,6 +170,7 @@ class DiagnosticServer:
             self.config.host,
             self.config.port,
             backlog=max(100, self.config.max_sessions),
+            reuse_port=self.config.reuse_port or None,
         )
 
     async def stop(self) -> None:
@@ -171,6 +181,21 @@ class DiagnosticServer:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    async def drain(self, poll_interval: float = 0.02) -> None:
+        """Graceful shutdown, phase one: refuse new work, finish old.
+
+        Closes the listener (no further accepts) and waits for every live
+        session to run to completion — the SIGTERM half of a shard's
+        drain-then-exit sequence.  :meth:`stop` afterwards tears down the
+        worker pool.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self.sessions_active > 0:
+            await asyncio.sleep(poll_interval)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -225,23 +250,26 @@ class DiagnosticServer:
 
     # ------------------------------------------------------- backpressure
 
-    async def _throttle(self, conn: _Connection) -> None:
+    async def _throttle(self, conn: _Connection, cost: float = 1.0) -> None:
         """Token-bucket ingest limit: no token → the reader sleeps.
 
         Sleeping here is the backpressure mechanism, not just accounting —
         while the handler sleeps it is not reading the socket, the kernel
         buffer fills, and TCP flow control pushes back on the sender.
+        ``cost`` is the records in the arriving message, so a 256-frame
+        batch spends 256 tokens: the rate limit is per record, however the
+        client framed them.
         """
         rate = self.config.rate_limit
-        if rate <= 0:
+        if rate <= 0 or cost <= 0:
             return
         now = time.monotonic()
         conn.tokens = min(rate, conn.tokens + (now - conn.last_refill) * rate)
         conn.last_refill = now
-        if conn.tokens >= 1.0:
-            conn.tokens -= 1.0
+        if conn.tokens >= cost:
+            conn.tokens -= cost
             return
-        deficit = (1.0 - conn.tokens) / rate
+        deficit = (cost - conn.tokens) / rate
         conn.tokens = 0.0
         self._count("service.backpressure_stalls")
         conn.stalls += 1
@@ -333,10 +361,14 @@ class DiagnosticServer:
         self._connections[session_id] = conn
         self.sessions_active += 1
         self._count("service.sessions_started")
-        write_message(
-            writer,
-            {"type": "welcome", "version": PROTOCOL_VERSION, "session": session_id},
-        )
+        welcome = {
+            "type": "welcome",
+            "version": PROTOCOL_VERSION,
+            "session": session_id,
+        }
+        if self.config.shard_index is not None:
+            welcome["shard"] = self.config.shard_index
+        write_message(writer, welcome)
         await writer.drain()
         return conn
 
@@ -356,7 +388,26 @@ class DiagnosticServer:
             if kind == "finish":
                 await self._finish(writer, conn)
                 return
-            if kind in ("frame", "kbyte"):
+            if kind == FRAME_BATCH:
+                # Columnar decode: the packed records become numpy columns
+                # directly, and clean streams never build frame objects.
+                frames = arrays_from_batch(message)
+                await self._throttle(conn, cost=len(frames))
+                start = time.perf_counter()
+                completed, dropped = session.ingest_frames(frames)
+                ingest_hist.observe(time.perf_counter() - start)
+                if dropped:
+                    self._count("service.frames_dropped", dropped)
+                if len(frames) > dropped:
+                    self._count("service.frames_ingested", len(frames) - dropped)
+                if completed:
+                    self._count("service.messages_assembled", completed)
+                    conn.since_status += completed
+                interval = self.config.status_interval
+                if interval and conn.since_status >= interval:
+                    conn.since_status = 0
+                    await self._interim(writer, conn)
+            elif kind in ("frame", "kbyte"):
                 await self._throttle(conn)
                 start = time.perf_counter()
                 if kind == "frame":

@@ -24,7 +24,7 @@ than buffered.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..can import CanFrame, CanLog
 from ..core.assembly import AssembledMessage, StreamAssembler
@@ -33,6 +33,7 @@ from ..core.reverser import DPReverser, ReverseReport
 from ..core.screening import detect_transport
 from ..cps.collector import Capture
 from ..observability.trace import NULL_TRACER, Tracer, activated
+from ..transport.arrays import FrameArrays
 from ..transport.base import EVENT_ERROR, EVENT_PAYLOAD, EVENT_RESYNC
 from ..transport.kline import KLineByte, KLineEventDecoder
 
@@ -87,7 +88,12 @@ class VehicleSession:
         #: lane per session.
         self.tracer = tracer or NULL_TRACER
 
-        self._frames: List[CanFrame] = []  # full log, for Capture.can_log
+        #: Full frame log, for ``Capture.can_log``: arrival-ordered entries,
+        #: each either one :class:`CanFrame` or a whole columnar
+        #: :class:`FrameArrays` chunk (binary wire batches stay columnar —
+        #: their frame objects materialise only at :meth:`build_capture`).
+        self._log: List[object] = []
+        self._log_frames = 0  # frames across all log entries
         self._pending: List[CanFrame] = []  # awaiting transport detection
         self._assembler: Optional[StreamAssembler] = None
         self._kline: Optional[KLineEventDecoder] = None
@@ -111,11 +117,15 @@ class VehicleSession:
         return len(self._messages)
 
     def _resolve_transport(self, frames: List[CanFrame]) -> None:
-        """Lock the transport and replay the detection buffer through it."""
-        self.transport = detect_transport(frames)
+        """Lock the transport and replay the detection buffer through it.
+
+        Detection only looks at the first :attr:`detect_window` frames —
+        batched arrivals can overshoot the window, and the locked
+        transport must not depend on how the stream was chunked.
+        """
+        self.transport = detect_transport(frames[: self.detect_window])
         self._assembler = StreamAssembler(self.transport)
-        for frame in frames:
-            self._feed_assembler(frame)
+        self._feed_chunk(frames)
 
     def _feed_assembler(self, frame: CanFrame) -> int:
         before_e = self._assembler.diagnostics.stats.errors
@@ -128,6 +138,73 @@ class VehicleSession:
         self.decode_resyncs += stats.resyncs - before_r
         return len(completed)
 
+    def _feed_chunk(self, frames) -> int:
+        before_e = self._assembler.diagnostics.stats.errors
+        before_r = self._assembler.diagnostics.stats.resyncs
+        completed = self._assembler.feed_chunk(frames)
+        stats = self._assembler.diagnostics.stats
+        self.decode_errors += stats.errors - before_e
+        self.decode_resyncs += stats.resyncs - before_r
+        return len(completed)
+
+    def ingest_frames(self, frames) -> Tuple[int, int]:
+        """Accept a batch of CAN frames in one chunked decode pass.
+
+        ``frames`` is an iterable of :class:`CanFrame` or a columnar
+        :class:`FrameArrays` (what
+        :func:`~repro.service.protocol.arrays_from_batch` decodes the
+        binary wire into) — the latter flows through assembly without any
+        per-frame object ever being built.  Returns
+        ``(completed, dropped)`` — messages the batch completed and
+        frames shed by the retention bound.  Clean single-frame streams
+        take the vectorised
+        :meth:`~repro.core.assembly.StreamAssembler.feed_chunk` fast path;
+        state and output are identical to calling :meth:`ingest_frame`
+        per frame.
+        """
+        if self.finished:
+            raise SessionError("session already finished")
+        if self.transport == TRANSPORT_KLINE or self._kline is not None:
+            raise SessionError("CAN frame on a K-Line session")
+        arrays = frames if isinstance(frames, FrameArrays) else None
+        if arrays is None:
+            frames = list(frames)
+        # Degenerate chunks (over the retention bound, or still inside the
+        # auto-detect window, which needs real frames for the heuristic)
+        # drop to the materialised list path.
+        room = max(self.max_capture_frames - self._log_frames, 0)
+        over_bound = (len(arrays) if arrays is not None else len(frames)) > room
+        detecting = self._assembler is None and self.transport == "auto"
+        if arrays is not None and (over_bound or detecting):
+            frames = list(arrays.frames)
+            arrays = None
+        dropped = 0
+        if arrays is None and len(frames) > room:
+            dropped = len(frames) - room
+            self.frames_dropped += dropped
+            frames = frames[:room]
+        count = len(arrays) if arrays is not None else len(frames)
+        if not count:
+            return 0, dropped
+        self.frames_received += count
+        self._log_frames += count
+        if arrays is not None:
+            self._log.append(arrays)
+        else:
+            self._log.extend(frames)
+        before = self.messages_assembled
+        if self._assembler is None:
+            if self.transport == "auto":
+                self._pending.extend(frames)
+                if len(self._pending) < self.detect_window:
+                    return 0, dropped
+                pending, self._pending = self._pending, []
+                self._resolve_transport(pending)
+                return self.messages_assembled - before, dropped
+            self._assembler = StreamAssembler(self.transport)
+        self._feed_chunk(arrays if arrays is not None else frames)
+        return self.messages_assembled - before, dropped
+
     def ingest_frame(self, frame: CanFrame) -> int:
         """Accept one CAN frame; return how many messages it completed.
 
@@ -138,11 +215,12 @@ class VehicleSession:
             raise SessionError("session already finished")
         if self.transport == TRANSPORT_KLINE or self._kline is not None:
             raise SessionError("CAN frame on a K-Line session")
-        if len(self._frames) >= self.max_capture_frames:
+        if self._log_frames >= self.max_capture_frames:
             self.frames_dropped += 1
             return -1
         self.frames_received += 1
-        self._frames.append(frame)
+        self._log.append(frame)
+        self._log_frames += 1
         if self._assembler is None:
             if self.transport == "auto":
                 self._pending.append(frame)
@@ -159,7 +237,7 @@ class VehicleSession:
         """Accept one sniffed K-Line byte; return messages it completed."""
         if self.finished:
             raise SessionError("session already finished")
-        if self._assembler is not None or self._pending or self._frames:
+        if self._assembler is not None or self._pending or self._log:
             raise SessionError("K-Line byte on a CAN session")
         if self.transport == "auto":
             self.transport = TRANSPORT_KLINE
@@ -250,12 +328,23 @@ class VehicleSession:
 
     # ----------------------------------------------------------- finalise
 
+    def _frame_log(self) -> List[CanFrame]:
+        """Flatten the log: columnar chunks materialise their frames here,
+        once, off the ingest hot path."""
+        log: List[CanFrame] = []
+        for entry in self._log:
+            if isinstance(entry, FrameArrays):
+                log.extend(entry.frames)
+            else:
+                log.append(entry)
+        return log
+
     def build_capture(self) -> Capture:
         """The capture a batch collection of this stream would have built."""
         return Capture(
             model=self.model,
             tool_name=self.tool_name,
-            can_log=CanLog(self._frames),
+            can_log=CanLog(self._frame_log()),
             video=self.video,
             clicks=self.clicks,
             segments=self.segments,
@@ -307,7 +396,7 @@ class VehicleSession:
             "dropped": self.frames_dropped,
             "errors": self.decode_errors,
         }
-        self._frames = []
+        self._log = []
         self._pending = []
         self._messages = []
         self.video = []

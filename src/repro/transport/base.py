@@ -152,6 +152,17 @@ class TransportDecoder(abc.ABC):
     def feed(self, frame: CanFrame) -> List[DecodeEvent]:
         """Consume one frame; return the decode events it produced."""
 
+    @property
+    def idle(self) -> bool:
+        """True when no partial message is buffered.
+
+        Chunked fast paths (:meth:`StreamAssembler.feed_chunk`) may only
+        bypass a decoder that is idle — mid-reassembly, even a well-formed
+        single frame changes decoder state.  Decoders that buffer must
+        override; the stateless default is idle.
+        """
+        return True
+
     def feed_payloads(self, frame: CanFrame) -> Optional[bytes]:
         """Compatibility wrapper: one optional payload per frame.
 

@@ -58,6 +58,10 @@ class BmwReassembler(TransportDecoder):
         self._inner.reset()
         self.current_address = None
 
+    @property
+    def idle(self) -> bool:
+        return self._inner.idle
+
     def feed(self, frame: CanFrame) -> List[DecodeEvent]:
         if len(frame.data) < 2:
             # Too short to hold address byte + PCI; never reaches the inner

@@ -173,6 +173,10 @@ class IsoTpReassembler(TransportDecoder):
         self._next_sequence = 0
         self._in_progress = False
 
+    @property
+    def idle(self) -> bool:
+        return not self._in_progress
+
     def _abandon(self, detail: str, overflow: bool = False) -> DecodeEvent:
         """Drop the in-progress message and account the loss."""
         self.stats.resyncs += 1

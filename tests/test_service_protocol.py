@@ -1,5 +1,6 @@
 """The service wire protocol: framing, round-trips, and bounds."""
 
+import random
 import struct
 
 import pytest
@@ -11,10 +12,14 @@ from repro.cps.collector import Capture, Segment
 from repro.can import CanLog
 from repro.service import MessageDecoder, ProtocolError, capture_to_wire, encode_message
 from repro.service.protocol import (
+    FRAME_RECORD,
+    MAX_BATCH_FRAMES,
     click_from_wire,
     click_to_wire,
+    frame_batch_to_wire,
     frame_from_wire,
     frame_to_wire,
+    frames_from_batch,
     hello_message,
     kline_byte_from_wire,
     kline_byte_to_wire,
@@ -128,6 +133,107 @@ class TestRecordRoundTrips:
         assert segment_from_wire(segment_to_wire(segment)) == segment
 
 
+def random_frames(seed, n=200):
+    """A frame mix covering every codec dimension the wire must carry."""
+    rng = random.Random(seed)
+    frames = []
+    for i in range(n):
+        extended = rng.random() < 0.3
+        can_id = rng.randrange(1 << 29) if extended else rng.randrange(1 << 11)
+        dlc = rng.choice([0, 1, 2, 7, 8])  # empty through max-DLC
+        frames.append(
+            CanFrame(
+                can_id,
+                bytes(rng.randrange(256) for _ in range(dlc)),
+                timestamp=round(rng.random() * 100, 6),
+                extended=extended,
+                channel=rng.choice(["can0", "can1", "vcan0"]),
+            )
+        )
+    return frames
+
+
+class TestFrameBatch:
+    def test_round_trip_equals_per_frame_codecs(self):
+        frames = random_frames(seed=11)
+        batch = frame_batch_to_wire(frames)
+        assert frames_from_batch(batch) == frames
+        # The same frames through the v1 per-frame codec agree exactly.
+        assert [frame_from_wire(frame_to_wire(f)) for f in frames] == frames
+
+    def test_round_trip_through_wire_bytes(self):
+        frames = random_frames(seed=13, n=500)
+        wire = encode_message(frame_batch_to_wire(frames))
+        decoder = MessageDecoder()
+        received = []
+        # Fragmented delivery must not confuse the binary envelope.
+        for start in range(0, len(wire), 97):
+            received.extend(decoder.feed(wire[start : start + 97]))
+        assert len(received) == 1
+        assert frames_from_batch(received[0]) == frames
+
+    def test_extended_id_and_channel_flags(self):
+        frames = [
+            CanFrame(0x1FFFFFFF, b"\x01", timestamp=1.0, extended=True, channel="can7"),
+            CanFrame(0x7FF, bytes(range(8)), timestamp=2.0),
+        ]
+        batch = frame_batch_to_wire(frames)
+        assert batch["channels"] == ["can7"]
+        assert frames_from_batch(batch) == frames
+
+    def test_all_can0_batch_omits_channel_table(self):
+        batch = frame_batch_to_wire([CanFrame(1, b"\x01", timestamp=0.0)])
+        assert "channels" not in batch
+
+    def test_empty_batch(self):
+        batch = frame_batch_to_wire([])
+        assert batch["n"] == 0
+        assert frames_from_batch(batch) == []
+        decoded = MessageDecoder().feed(encode_message(batch))
+        assert frames_from_batch(decoded[0]) == []
+
+    def test_oversized_batch_rejected(self):
+        frames = [CanFrame(1, b"\x01", timestamp=0.0)] * (MAX_BATCH_FRAMES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            frame_batch_to_wire(frames)
+
+    def test_declared_count_must_match_payload(self):
+        batch = frame_batch_to_wire([CanFrame(1, b"\x01", timestamp=0.0)])
+        wire = bytearray(encode_message(batch))
+        wire.extend(b"\x00" * FRAME_RECORD.size)  # extra record, stale n
+        struct.pack_into(">I", wire, 0, len(wire) - 4)
+        with pytest.raises(ProtocolError, match="declares"):
+            MessageDecoder().feed(bytes(wire))
+
+    def test_truncated_binary_envelope_rejected(self):
+        body = b"\x00\x00"  # magic + half a header length
+        with pytest.raises(ProtocolError, match="truncated"):
+            MessageDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_header_overrun_rejected(self):
+        body = b"\x00" + struct.pack(">H", 500) + b"{}"
+        with pytest.raises(ProtocolError, match="overruns"):
+            MessageDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_binary_envelope_requires_frame_batch_header(self):
+        header = b'{"type":"frame"}'
+        body = b"\x00" + struct.pack(">H", len(header)) + header
+        with pytest.raises(ProtocolError, match="frame-batch"):
+            MessageDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_bad_dlc_in_record_rejected(self):
+        packed = FRAME_RECORD.pack(1.0, 1, 0, 9, b"\x00" * 8)  # DLC 9 > 8
+        with pytest.raises(ProtocolError, match="DLC"):
+            frames_from_batch({"type": "frame-batch", "n": 1, "_packed": packed})
+
+    def test_channel_index_outside_table_rejected(self):
+        packed = FRAME_RECORD.pack(1.0, 1, 2 << 1, 1, b"\x01" + b"\x00" * 7)
+        with pytest.raises(ProtocolError, match="channel"):
+            frames_from_batch(
+                {"type": "frame-batch", "n": 1, "channels": ["can1"], "_packed": packed}
+            )
+
+
 class TestCaptureToWire:
     def test_hello_first_finish_last_records_time_ordered(self):
         frames = [CanFrame(1, b"\x01", t) for t in (0.5, 1.5, 2.5)]
@@ -152,3 +258,29 @@ class TestCaptureToWire:
     def test_unknown_transport_rejected(self):
         with pytest.raises(ProtocolError, match="unknown transport"):
             hello_message(make_capture(), transport="canfd")
+
+    def test_batched_stream_expands_to_the_per_frame_stream(self):
+        frames = [CanFrame(1, b"\x01", t / 10) for t in range(25)]
+        video = [CapturedFrame(timestamp=1.05, screen_name="s", regions=[])]
+        clicks = [ClickRecord(timestamp=1.75, x=0, y=0, label="go", hit=True)]
+        capture = make_capture(frames, video, clicks)
+        plain = list(capture_to_wire(capture, transport="isotp"))
+        batched = list(capture_to_wire(capture, transport="isotp", batch_size=4))
+        expanded = []
+        for message in batched:
+            if message["type"] == "frame-batch":
+                assert 0 < message["n"] <= 4
+                expanded.extend(
+                    frame_to_wire(f) for f in frames_from_batch(message)
+                )
+            else:
+                expanded.append(message)
+        assert expanded == plain
+        # Non-frame records flush a partial batch: the video frame at 1.05
+        # and the click at 1.75 interrupt two frame runs.
+        assert any(m["type"] == "frame-batch" and m["n"] < 4 for m in batched)
+
+    def test_batch_size_zero_is_the_v1_wire(self):
+        capture = make_capture([CanFrame(1, b"\x01", 0.0)])
+        kinds = [m["type"] for m in capture_to_wire(capture, transport="isotp")]
+        assert "frame" in kinds and "frame-batch" not in kinds

@@ -75,6 +75,65 @@ class TestEndToEnd:
         assert snapshot["gauges"]["service.sessions_active"] == 0.0
         assert "service.ingest_seconds" in snapshot["histograms"]
 
+    def test_batched_wire_report_matches_batch(self, capture_a, batch_a):
+        async def run():
+            async with DiagnosticServer(ServiceConfig(gp_config=GP)) as server:
+                result = await stream_capture_async(
+                    "127.0.0.1",
+                    server.port,
+                    capture_a,
+                    transport="isotp",
+                    batch_size=256,
+                )
+                return server, result
+
+        server, result = asyncio.run(run())
+        assert result.report_json == batch_a
+        counters = service_counters(server)
+        assert counters["service.sessions_completed"] == 1
+        assert counters["service.frames_ingested"] == len(capture_a.can_log)
+
+    def test_batched_rate_limit_charges_per_frame(self, capture_a):
+        async def run():
+            async with DiagnosticServer(
+                ServiceConfig(gp_config=GP, rate_limit=2000.0)
+            ) as server:
+                result = await stream_capture_async(
+                    "127.0.0.1",
+                    server.port,
+                    capture_a,
+                    transport="isotp",
+                    batch_size=128,
+                )
+                return server, result
+
+        server, result = asyncio.run(run())
+        counters = service_counters(server)
+        # A 128-frame batch costs 128 tokens, so the 2000/s limit still
+        # stalls the reader even though far fewer messages arrive.
+        assert counters["service.backpressure_stalls"] > 0
+        assert counters["service.sessions_completed"] == 1
+
+    def test_batched_retention_bound_sheds_frames(self, capture_a):
+        async def run():
+            async with DiagnosticServer(
+                ServiceConfig(gp_config=GP, max_capture_frames=100)
+            ) as server:
+                result = await stream_capture_async(
+                    "127.0.0.1",
+                    server.port,
+                    capture_a,
+                    transport="isotp",
+                    batch_size=64,
+                )
+                return server, result
+
+        server, result = asyncio.run(run())
+        counters = service_counters(server)
+        assert counters["service.frames_dropped"] == len(capture_a.can_log) - 100
+        assert counters["service.frames_ingested"] == 100
+        assert result.report["n_frames"] == 100
+
     def test_concurrent_mixed_transport_sessions(self, capture_a, batch_a, kline_data):
         kline_capture, kline_bytes, kline_batch = kline_data
 
@@ -82,12 +141,18 @@ class TestEndToEnd:
             async with DiagnosticServer(ServiceConfig(gp_config=GP)) as server:
                 results = await asyncio.gather(
                     stream_capture_async(
-                        "127.0.0.1", server.port, capture_a,
-                        tenant="can-tenant", transport="isotp",
+                        "127.0.0.1",
+                        server.port,
+                        capture_a,
+                        tenant="can-tenant",
+                        transport="isotp",
                     ),
                     stream_capture_async(
-                        "127.0.0.1", server.port, kline_capture,
-                        tenant="kline-tenant", transport="kline",
+                        "127.0.0.1",
+                        server.port,
+                        kline_capture,
+                        tenant="kline-tenant",
+                        transport="kline",
                         kline_bytes=kline_bytes,
                     ),
                 )
@@ -203,8 +268,11 @@ class TestObservability:
                 await asyncio.gather(
                     *(
                         stream_capture_async(
-                            "127.0.0.1", server.port, capture_a,
-                            tenant=f"t{i}", transport="isotp",
+                            "127.0.0.1",
+                            server.port,
+                            capture_a,
+                            tenant=f"t{i}",
+                            transport="isotp",
                         )
                         for i in range(2)
                     )

@@ -53,11 +53,12 @@ def batch_reports(captures):
     }
 
 
-def stream_session(capture, transport="auto", kline_bytes=None, **kwargs):
+def stream_session(capture, transport="auto", kline_bytes=None, batch_size=0, **kwargs):
     """Feed a capture through a session the way the server would."""
     from repro.service.protocol import (
         click_from_wire,
         frame_from_wire,
+        frames_from_batch,
         kline_byte_from_wire,
         segment_from_wire,
         video_from_wire,
@@ -65,7 +66,7 @@ def stream_session(capture, transport="auto", kline_bytes=None, **kwargs):
 
     session = None
     for message in capture_to_wire(
-        capture, transport=transport, kline_bytes=kline_bytes
+        capture, transport=transport, kline_bytes=kline_bytes, batch_size=batch_size
     ):
         kind = message["type"]
         if kind == "hello":
@@ -78,6 +79,8 @@ def stream_session(capture, transport="auto", kline_bytes=None, **kwargs):
             )
         elif kind == "frame":
             session.ingest_frame(frame_from_wire(message))
+        elif kind == "frame-batch":
+            session.ingest_frames(frames_from_batch(message))
         elif kind == "kbyte":
             session.ingest_kline_byte(kline_byte_from_wire(message))
         elif kind == "video":
@@ -115,6 +118,31 @@ class TestStreamAssemblerMatchesBatch:
         messages, diag = assembler.finish()
         assert messages == batch_messages
         assert diag.to_dict() == batch_diag.to_dict()
+
+    @pytest.mark.parametrize("transport", ["isotp", "bmw"])
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_feed_chunk_identical_to_per_frame(self, captures, transport, noisy):
+        frames = list(captures[transport].can_log)
+        if noisy:
+            frames = apply_noise(frames, NoiseProfile.default(seed=5), FaultCounts())
+        per_frame = StreamAssembler(transport)
+        for frame in frames:
+            per_frame.feed(frame)
+        chunked = StreamAssembler(transport)
+        for start in range(0, len(frames), 113):
+            chunked.feed_chunk(frames[start : start + 113])
+        assert chunked.finish()[0] == per_frame.finish()[0]
+        assert chunked.diagnostics.to_dict() == per_frame.diagnostics.to_dict()
+
+    def test_feed_chunk_on_vwtp_falls_back_to_event_path(self, captures):
+        frames = list(captures["vwtp"].can_log)
+        per_frame = StreamAssembler("vwtp")
+        for frame in frames:
+            per_frame.feed(frame)
+        chunked = StreamAssembler("vwtp")
+        chunked.feed_chunk(frames)
+        assert chunked.finish()[0] == per_frame.finish()[0]
+        assert chunked.diagnostics.to_dict() == per_frame.diagnostics.to_dict()
 
     def test_finish_is_idempotent(self, captures):
         assembler = StreamAssembler("isotp")
@@ -163,6 +191,42 @@ class TestStreamedReportByteIdentity:
         session = stream_session(noisy, transport="isotp")
         assert session.finalize(make_reverser()).to_json() == batch
 
+    @pytest.mark.parametrize("transport", sorted(TRANSPORT_CARS))
+    def test_batched_wire_declared_transport(
+        self, captures, batch_reports, transport
+    ):
+        session = stream_session(
+            captures[transport], transport=transport, batch_size=256
+        )
+        report = session.finalize(make_reverser())
+        assert report.to_json() == batch_reports[transport]
+
+    @pytest.mark.parametrize("transport", sorted(TRANSPORT_CARS))
+    def test_batched_wire_auto_detected(self, captures, batch_reports, transport):
+        session = stream_session(captures[transport], transport="auto", batch_size=64)
+        report = session.finalize(make_reverser())
+        assert session.transport == transport
+        assert report.to_json() == batch_reports[transport]
+
+    def test_batched_wire_under_noise(self, captures):
+        clean = captures["isotp"]
+        noisy_frames = apply_noise(
+            list(clean.can_log), NoiseProfile.default(seed=11), FaultCounts()
+        )
+        noisy = Capture(
+            model=clean.model,
+            tool_name=clean.tool_name,
+            can_log=CanLog(noisy_frames),
+            video=clean.video,
+            clicks=clean.clicks,
+            segments=clean.segments,
+            tool_error_rate=clean.tool_error_rate,
+            camera_offset_s=clean.camera_offset_s,
+        )
+        batch = make_reverser().reverse_engineer(noisy).to_json()
+        session = stream_session(noisy, transport="isotp", batch_size=128)
+        assert session.finalize(make_reverser()).to_json() == batch
+
     def test_kline_declared_and_auto(self):
         vehicle = build_kline_vehicle()
         capture, messages = KLineDiagnosticSession(vehicle).collect(
@@ -173,11 +237,18 @@ class TestStreamedReportByteIdentity:
             reverser.analyze(capture, messages=messages)
         ).to_json()
         for transport in ("kline", "auto"):
-            session = stream_session(
-                capture, transport=transport, kline_bytes=vehicle.bus.capture
-            )
-            assert session.transport == "kline"
-            assert session.finalize(make_reverser()).to_json() == batch
+            # batch_size=64 exercises the fourth transport with batching
+            # enabled: K-Line bytes are never batched, so the wire (and
+            # the report) must come out identical.
+            for batch_size in (0, 64):
+                session = stream_session(
+                    capture,
+                    transport=transport,
+                    kline_bytes=vehicle.bus.capture,
+                    batch_size=batch_size,
+                )
+                assert session.transport == "kline"
+                assert session.finalize(make_reverser()).to_json() == batch
 
 
 class TestKLineEventDecoder:
@@ -231,6 +302,26 @@ class TestSessionGuards:
             session.ingest_frame(CanFrame(1, b"\x02\x01\x0c", float(i)))
         assert session.frames_received == 5
         assert session.frames_dropped == 4
+
+    def test_batched_retention_bound_drops_and_counts(self):
+        session = VehicleSession(0, transport="isotp", max_capture_frames=5)
+        frames = [CanFrame(1, b"\x02\x01\x0c", float(i)) for i in range(9)]
+        completed, dropped = session.ingest_frames(frames)
+        assert (session.frames_received, session.frames_dropped) == (5, 4)
+        assert dropped == 4
+        assert completed == session.messages_assembled == 5
+
+    def test_batched_counters_match_per_frame(self, captures):
+        capture = captures["isotp"]
+        per_frame = stream_session(capture, transport="auto")
+        batched = stream_session(capture, transport="auto", batch_size=100)
+        assert batched.status() == per_frame.status()
+
+    def test_ingest_frames_after_finalize_rejected(self):
+        session = VehicleSession(0, transport="isotp")
+        session.finalize(make_reverser())
+        with pytest.raises(SessionError, match="already finished"):
+            session.ingest_frames([CanFrame(1, b"\x02\x01\x0c", 0.0)])
 
     def test_status_counts(self, captures):
         session = stream_session(captures["isotp"], transport="isotp")
