@@ -1,0 +1,352 @@
+"""Attack/defense matrix: every TP-layer adversary vs both stacks.
+
+Each scenario runs one seeded attack from :mod:`repro.attacks` against the
+same victim traffic twice — once through the unhardened decoders and once
+with a :class:`~repro.transport.base.HardeningPolicy` attached — and scores
+*recovery*: the fraction of the victim's payloads that still come out
+intact.  The matrix is the PR's acceptance gate:
+
+* at least one attack must break the unhardened stack (recovery < 0.9);
+* the hardened stack must recover >= 0.9 under **every** attack
+  (``hardened_recovery``, the floor CI enforces via ``bench_compare``);
+* on a clean capture the hardened pipeline's report must be byte-identical
+  to the unhardened one.
+
+Everything is seeded and simulated-clocked, so recoveries are exact ratios
+and safe to diff as identity metrics.  Set ``ATTACK_SMOKE=1`` (the CI smoke
+mode) for a reduced victim count and a single clean-capture car.
+"""
+
+import os
+
+from repro.attacks import (
+    FcInjection,
+    FcSpoofAttacker,
+    KLineSlowloris,
+    ReassemblyExhaustion,
+    SequencePoisoning,
+    SessionStarvation,
+)
+from repro.can import CanFrame, SimulatedCanBus
+from repro.core import DPReverser, GpConfig, ReverserConfig
+from repro.core.assembly import StreamAssembler, assemble_with_diagnostics
+from repro.simtime import SimClock
+from repro.transport import (
+    DEFAULT_HARDENING,
+    HardeningPolicy,
+    IsoTpEndpoint,
+    TransportError,
+    segment,
+    segment_vwtp,
+)
+from repro.transport.bmw import segment_bmw
+from repro.transport.kline import KLineByte, KLineFrameParser, frame_message
+
+QUICK = bool(os.environ.get("ATTACK_SMOKE"))
+
+#: Victim transfers per offline scenario (payload diversity, not duration).
+TRANSFERS = 5 if QUICK else 25
+#: Clean-capture cars for the byte-identical check (one per transport family
+#: in full mode).
+IDENTITY_CARS = ["A"] if QUICK else ["A", "C", "E"]
+RECOVERY_FLOOR = 0.90
+
+#: Deliberately small budgets so the exhaustion scenario's memory axis is
+#: measurable with bench-sized captures; recovery scenarios use the default.
+EXHAUSTION_POLICY = HardeningPolicy(per_stream_budget=256, global_budget=1024)
+
+GP = GpConfig(seed=2)
+VICTIM_ID = 0x7E0
+
+BENCH_CONFIG = {
+    "quick": QUICK,
+    "transfers": TRANSFERS,
+    "identity_cars": IDENTITY_CARS,
+    "recovery_floor": RECOVERY_FLOOR,
+    "exhaustion_budget": EXHAUSTION_POLICY.global_budget,
+}
+
+
+def victim_payload(index, length=48):
+    return bytes((index + j) % 256 for j in range(length))
+
+
+def stamp(frames, start, step=0.001):
+    return [
+        CanFrame(f.can_id, f.data, timestamp=start + i * step)
+        for i, f in enumerate(frames)
+    ]
+
+
+def victim_capture(segmenter):
+    frames = []
+    for i in range(TRANSFERS):
+        frames.extend(stamp(segmenter(victim_payload(i)), start=float(i)))
+    return frames
+
+
+def recovery_of(messages):
+    """Fraction of the victim's payloads recovered intact."""
+    payloads = {m.payload if hasattr(m, "payload") else m for m in messages}
+    hit = sum(1 for i in range(TRANSFERS) if victim_payload(i) in payloads)
+    return hit / TRANSFERS
+
+
+def decode_recovery(frames, transport, hardening):
+    messages, __ = assemble_with_diagnostics(frames, transport, hardening=hardening)
+    return recovery_of(messages)
+
+
+# ------------------------------------------------------------ offline rows
+
+
+def run_starvation_isotp():
+    capture = victim_capture(lambda p: segment(p, VICTIM_ID))
+    return (
+        decode_recovery(SessionStarvation(seed=1).apply(capture), "isotp", None),
+        decode_recovery(
+            SessionStarvation(seed=1).apply(capture), "isotp", DEFAULT_HARDENING
+        ),
+    )
+
+
+def run_starvation_bmw():
+    capture = victim_capture(lambda p: segment_bmw(p, 0x612, 0xF1))
+    attack = SessionStarvation(seed=1, offset=1)
+    return (
+        decode_recovery(attack.apply(capture), "bmw", None),
+        decode_recovery(
+            SessionStarvation(seed=1, offset=1).apply(capture), "bmw", DEFAULT_HARDENING
+        ),
+    )
+
+
+def run_poisoning_isotp():
+    capture = victim_capture(lambda p: segment(p, VICTIM_ID))
+    return (
+        decode_recovery(SequencePoisoning(seed=2).apply(capture), "isotp", None),
+        decode_recovery(
+            SequencePoisoning(seed=2).apply(capture), "isotp", DEFAULT_HARDENING
+        ),
+    )
+
+
+def run_poisoning_vwtp():
+    frames = []
+    sequence = 0  # TP 2.0 numbering runs on across messages within a channel
+    for i in range(TRANSFERS):
+        segmented = segment_vwtp(victim_payload(i), 0x300, start_sequence=sequence)
+        transfer = stamp(segmented, start=float(i))
+        alien_seq = (sequence + 2 + 8) % 16  # 8 ahead of the stream position
+        alien = CanFrame(
+            0x300, bytes([0x20 | alien_seq]) + b"\xcc" * 7, timestamp=float(i) + 0.0015
+        )
+        frames.extend(transfer[:2] + [alien] + transfer[2:])
+        sequence = (sequence + len(segmented)) % 16
+    return (
+        decode_recovery(frames, "vwtp", None),
+        decode_recovery(frames, "vwtp", DEFAULT_HARDENING),
+    )
+
+
+def run_exhaustion():
+    """Recovery stays 1.0 on both stacks (the victim's ids are untouched);
+    the damage axis is buffered bytes, returned separately.  The capture is
+    sized independently of ``TRANSFERS`` so the hostile streams accumulate
+    enough bytes to trip the budget even in smoke mode."""
+    transfers = max(TRANSFERS, 40)
+    frames = []
+    for i in range(transfers):
+        frames.extend(stamp(segment(victim_payload(i), VICTIM_ID), start=float(i)))
+    attacked = ReassemblyExhaustion(seed=3, spoofed_ids=64, interval=1).apply(frames)
+    buffered = {}
+    recoveries = {}
+    for label, hardening in (("unhardened", None), ("hardened", EXHAUSTION_POLICY)):
+        assembler = StreamAssembler("isotp", hardening=hardening)
+        completed = []
+        for frame in attacked:
+            completed.extend(assembler.feed(frame))
+        buffered[label] = sum(
+            state.reassembler.buffered_bytes for state in assembler._streams.values()
+        )
+        payloads = {m.payload for m in completed}
+        recoveries[label] = (
+            sum(1 for i in range(transfers) if victim_payload(i) in payloads)
+            / transfers
+        )
+    return recoveries["unhardened"], recoveries["hardened"], buffered
+
+
+def run_fc_flood():
+    """Detection-only: offline decode screens FC, so both stacks recover;
+    the hardened one additionally counts the violations."""
+    capture = victim_capture(lambda p: segment(p, VICTIM_ID))
+    attacked = FcInjection(seed=4).apply(capture)
+    unhardened = decode_recovery(attacked, "isotp", None)
+    messages, diagnostics = assemble_with_diagnostics(
+        attacked, "isotp", hardening=DEFAULT_HARDENING
+    )
+    return unhardened, recovery_of(messages), diagnostics.stats.fc_violations
+
+
+def run_kline_slowloris():
+    capture = []
+    now = 0.0
+    for i in range(TRANSFERS):
+        for value in frame_message(victim_payload(i, length=12), target=0x33, source=0xF1):
+            capture.append(KLineByte(now, value))
+            now += 0.0005
+        now += 2.0
+    attacked = KLineSlowloris(seed=5, gap_s=0.5).apply(capture)
+    recoveries = []
+    for hardening in (None, DEFAULT_HARDENING):
+        parser = KLineFrameParser(hardening=hardening)
+        recovered = []
+        for byte in attacked:
+            message = parser.feed(byte.timestamp, byte.value)
+            if message is not None and message.checksum_ok:
+                recovered.append(message.payload)
+        hit = sum(
+            1 for i in range(TRANSFERS) if victim_payload(i, length=12) in recovered
+        )
+        recoveries.append(hit / TRANSFERS)
+    return tuple(recoveries)
+
+
+# --------------------------------------------------------------- live rows
+
+
+def live_send(mode, hardening):
+    """One multi-frame send per victim payload against an FC spoofer.
+
+    Returns (recovery, elapsed simulated seconds).  ``mode=None`` runs the
+    clean baseline used to normalise latency.
+    """
+    bus = SimulatedCanBus(SimClock())
+    received = []
+    IsoTpEndpoint(bus, "server", tx_id=0x7E8, rx_id=0x7E0, on_message=received.append)
+    client = IsoTpEndpoint(
+        bus, "client", tx_id=0x7E0, rx_id=0x7E8, hardening=hardening
+    )
+    if mode is not None:
+        FcSpoofAttacker(bus, watch_id=0x7E0, fc_id=0x7E8, mode=mode)
+    start = bus.clock.now()
+    delivered = 0
+    for i in range(TRANSFERS):
+        try:
+            client.send(victim_payload(i))
+            delivered += 1
+        except TransportError:
+            pass
+    return (
+        sum(1 for i in range(TRANSFERS) if victim_payload(i) in received) / TRANSFERS,
+        bus.clock.now() - start,
+    )
+
+
+def run_fc_spoof(mode):
+    __, clean_elapsed = live_send(None, None)
+    unhardened, __ = live_send(mode, None)
+    hardened, hardened_elapsed = live_send(mode, DEFAULT_HARDENING)
+    return unhardened, hardened, hardened_elapsed / clean_elapsed
+
+
+# ------------------------------------------------------------------- bench
+
+
+def test_attack_defense_matrix(report_file, bench_artifact):
+    rows = [
+        ("starvation/isotp", *run_starvation_isotp()),
+        ("starvation/bmw", *run_starvation_bmw()),
+        ("poisoning/isotp", *run_poisoning_isotp()),
+        ("poisoning/vwtp", *run_poisoning_vwtp()),
+        ("kline_slowloris", *run_kline_slowloris()),
+    ]
+    exh_unhardened, exh_hardened, buffered = run_exhaustion()
+    rows.append(("exhaustion/isotp", exh_unhardened, exh_hardened))
+    flood_unhardened, flood_hardened, fc_violations = run_fc_flood()
+    rows.append(("fc_flood/isotp", flood_unhardened, flood_hardened))
+    for mode in ("overflow", "strangle"):
+        unhardened, hardened, latency_x = run_fc_spoof(mode)
+        rows.append((f"fc_spoof/{mode}", unhardened, hardened))
+        if mode == "strangle":
+            strangle_latency_x = latency_x
+
+    report_file(
+        f"Attack/defense matrix ({TRANSFERS} victim transfers per scenario"
+        f"{', smoke mode' if QUICK else ''}):"
+    )
+    report_file(f"  {'scenario':<18} {'unhardened':>10} {'hardened':>9}")
+    metrics, units = {}, {}
+    for name, unhardened, hardened in rows:
+        report_file(f"  {name:<18} {unhardened:>10.2f} {hardened:>9.2f}")
+        tag = name.replace("/", "_")
+        metrics[f"{tag}_unhardened"] = round(unhardened, 4)
+        metrics[f"{tag}_hardened"] = round(hardened, 4)
+        units[f"{tag}_unhardened"] = "ratio"
+        units[f"{tag}_hardened"] = "ratio"
+
+    hardened_floor = min(hardened for __, __, hardened in rows)
+    broken = sum(1 for __, unhardened, __ in rows if unhardened < RECOVERY_FLOOR)
+    report_file(
+        f"  worst hardened recovery {hardened_floor:.2f} "
+        f"(floor {RECOVERY_FLOOR}); {broken} attacks break the unhardened stack"
+    )
+    report_file(
+        f"  exhaustion buffered bytes: unhardened {buffered['unhardened']}, "
+        f"hardened {buffered['hardened']} (budget {EXHAUSTION_POLICY.global_budget}); "
+        f"fc_flood violations flagged: {fc_violations}; "
+        f"strangle latency {strangle_latency_x:.2f}x clean"
+    )
+    metrics.update(
+        {
+            "hardened_recovery": round(hardened_floor, 4),
+            "attacks_breaking_unhardened": broken,
+            "exhaustion_buffered_unhardened": buffered["unhardened"],
+            "exhaustion_buffered_hardened": buffered["hardened"],
+            "fc_flood_violations": fc_violations,
+            "strangle_latency": round(strangle_latency_x, 4),
+        }
+    )
+    units.update(
+        {
+            "hardened_recovery": "ratio",
+            "attacks_breaking_unhardened": "count",
+            "exhaustion_buffered_unhardened": "count",
+            "exhaustion_buffered_hardened": "count",
+            "fc_flood_violations": "count",
+            "strangle_latency": "x",
+        }
+    )
+    bench_artifact(metrics, units, config=BENCH_CONFIG)
+
+    # The acceptance gate, local edition (CI re-checks via bench_compare).
+    assert broken >= 1, "no attack even dents the unhardened stack"
+    assert hardened_floor >= RECOVERY_FLOOR
+    assert buffered["unhardened"] > EXHAUSTION_POLICY.global_budget
+    assert buffered["hardened"] <= EXHAUSTION_POLICY.global_budget
+    assert fc_violations >= 1
+
+
+def test_clean_capture_reports_byte_identical(report_file, bench_artifact, fleet):
+    """Hardening on a clean capture is a no-op, to the byte."""
+    identical = 0
+    for key in IDENTITY_CARS:
+        __, capture = fleet.capture(key)
+        plain = DPReverser(ReverserConfig(gp_config=GP)).reverse_engineer(capture)
+        hardened = DPReverser(
+            ReverserConfig(gp_config=GP, hardening=DEFAULT_HARDENING)
+        ).reverse_engineer(capture)
+        assert plain.to_json() == hardened.to_json(), (
+            f"car {key}: hardened report diverged on a clean capture"
+        )
+        identical += 1
+    report_file(
+        f"Clean-capture byte-identity: {identical}/{len(IDENTITY_CARS)} cars "
+        "produce identical reports with hardening on"
+    )
+    bench_artifact(
+        {"clean_reports_identical": identical},
+        {"clean_reports_identical": "count"},
+        config=BENCH_CONFIG,
+    )

@@ -27,7 +27,7 @@ input agree byte for byte — the property the determinism tests assert.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .frame import CanFrame
@@ -200,6 +200,15 @@ class NoiseProfile:
     @classmethod
     def from_dict(cls, payload: dict) -> "NoiseProfile":
         payload = dict(payload)
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - valid)
+        if unknown:
+            # A typo'd key silently ignored here would make an attack or
+            # noise profile weaker than its author believes; fail loudly.
+            raise ValueError(
+                f"unknown noise profile key {unknown[0]!r}; "
+                f"valid keys: {sorted(valid)}"
+            )
         payload["foreign_ids"] = tuple(payload.get("foreign_ids", FOREIGN_IDS))
         return cls(**payload)
 

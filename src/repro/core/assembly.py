@@ -24,7 +24,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..can import CanFrame
 from ..observability.trace import get_active
 from ..transport.arrays import HAVE_NUMPY, FrameArrays, np
-from ..transport.base import EVENT_PAYLOAD, EVENT_RESYNC, DecoderStats
+from ..transport.base import (
+    EVENT_PAYLOAD,
+    EVENT_RESYNC,
+    DecoderStats,
+    HardeningPolicy,
+)
 from ..transport.bmw import BmwReassembler
 from ..transport.isotp import SF_MAX_PAYLOAD, IsoTpReassembler, PciType
 from ..transport.vwtp import VwTpReassembler
@@ -103,13 +108,15 @@ class DecodeDiagnostics:
 class _StreamState:
     """Per-CAN-id reassembly state."""
 
-    def __init__(self, transport: str) -> None:
+    def __init__(
+        self, transport: str, hardening: Optional[HardeningPolicy] = None
+    ) -> None:
         if transport == TRANSPORT_VWTP:
-            self.reassembler = VwTpReassembler(strict=False)
+            self.reassembler = VwTpReassembler(strict=False, hardening=hardening)
         elif transport == TRANSPORT_BMW:
-            self.reassembler = BmwReassembler(strict=False)
+            self.reassembler = BmwReassembler(strict=False, hardening=hardening)
         else:
-            self.reassembler = IsoTpReassembler(strict=False)
+            self.reassembler = IsoTpReassembler(strict=False, hardening=hardening)
         self.transport = transport
         self.t_first: Optional[float] = None
         self.n_frames = 0
@@ -161,13 +168,27 @@ class StreamAssembler:
     same ``(messages, diagnostics)`` pair as a batch pass over the same
     frame sequence — the invariant the service's byte-identical-report
     guarantee rests on.
+
+    A :class:`~repro.transport.base.HardeningPolicy` flows down to every
+    per-id decoder and additionally enforces the *global* byte budget
+    across streams: when the total buffered bytes exceed it, the least
+    recently active non-idle stream sheds its partial messages.  Hardened
+    assembly also classifies screened-out flow-control frames aimed at a
+    stream mid-reassembly as ``fc_violations`` — on a clean capture FC
+    only travels on the reverse direction's id, whose stream is idle, so
+    clean output stays byte-identical.
     """
 
-    def __init__(self, transport: str) -> None:
+    def __init__(
+        self, transport: str, hardening: Optional[HardeningPolicy] = None
+    ) -> None:
         self.transport = transport
+        self.hardening = hardening
         self.diagnostics = DecodeDiagnostics(transport=transport)
         self._streams: Dict[int, _StreamState] = {}
         self._messages: List[AssembledMessage] = []
+        self._activity: Dict[int, int] = {}
+        self._tick = 0
         self._finished = False
 
     @property
@@ -175,16 +196,74 @@ class StreamAssembler:
         """Every payload assembled so far, in completion order."""
         return self._messages
 
+    def anomaly_counts(self) -> Dict[str, int]:
+        """Current adversarial-shape counters summed across streams."""
+        if self._finished:
+            return self.diagnostics.stats.anomaly_counts()
+        totals = DecoderStats()
+        for state in self._streams.values():
+            totals.merge(state.reassembler.stats)
+        return totals.anomaly_counts()
+
+    def _classify_screened_out(self, frame: CanFrame) -> None:
+        """Hardened detection for frames the screen drops.
+
+        A flow-control frame landing on a CAN id that is mid-reassembly is
+        the offline fingerprint of live FC abuse (FC belongs on the
+        reverse direction's id, which never buffers data).
+        """
+        offset = 1 if self.transport == TRANSPORT_BMW else 0
+        if self.transport == TRANSPORT_VWTP or len(frame.data) <= offset:
+            return
+        if frame.data[offset] >> 4 != PciType.FLOW_CONTROL:
+            return
+        state = self._streams.get(frame.can_id)
+        if state is not None and not state.reassembler.idle:
+            state.reassembler.stats.fc_violations += 1
+
+    def _enforce_global_budget(self) -> None:
+        policy = self.hardening
+        total = sum(
+            state.reassembler.buffered_bytes for state in self._streams.values()
+        )
+        while total > policy.global_budget:
+            candidates = [
+                can_id
+                for can_id, state in self._streams.items()
+                if not state.reassembler.idle
+            ]
+            if not candidates:
+                break
+            victim = min(candidates, key=lambda cid: self._activity.get(cid, 0))
+            state = self._streams[victim]
+            freed = state.reassembler.evict_partial()
+            state.t_first = None
+            state.n_frames = 0
+            self.diagnostics.record_detail(
+                victim, EVENT_RESYNC, "stream evicted (global byte budget)"
+            )
+            if not freed:
+                break
+            total -= freed
+
     def feed(self, frame: CanFrame) -> List[AssembledMessage]:
         """Screen and decode one frame; return newly completed payloads."""
         if not frame_passes_screen(frame, self.transport):
+            if self.hardening is not None:
+                self._classify_screened_out(frame)
             return []
         self.diagnostics.frames += 1
         state = self._streams.get(frame.can_id)
         if state is None:
-            state = self._streams[frame.can_id] = _StreamState(self.transport)
+            state = self._streams[frame.can_id] = _StreamState(
+                self.transport, self.hardening
+            )
         completed = state.feed(frame, self.diagnostics)
         self._messages.extend(completed)
+        if self.hardening is not None:
+            self._tick += 1
+            self._activity[frame.can_id] = self._tick
+            self._enforce_global_budget()
         return completed
 
     def _stream_idle(self, can_id: int) -> bool:
@@ -234,7 +313,9 @@ class StreamAssembler:
         for can_id, count in Counter(id_list).items():
             state = self._streams.get(can_id)
             if state is None:
-                state = self._streams[can_id] = _StreamState(self.transport)
+                state = self._streams[can_id] = _StreamState(
+                    self.transport, self.hardening
+                )
             state.reassembler.stats.frames += count
             state.reassembler.stats.payloads += count
         if bmw:
@@ -266,9 +347,13 @@ class StreamAssembler:
         arrays = frames if isinstance(frames, FrameArrays) else None
         if arrays is None:
             frames = list(frames)
+        # Hardened assembly stays on the per-frame path: the columnar
+        # screen silently discards the very control frames hardened
+        # detection classifies, and safety beats slicing throughput here.
         if (
             self.transport not in (TRANSPORT_ISOTP, TRANSPORT_BMW)
             or not HAVE_NUMPY
+            or self.hardening is not None
             or len(frames) < MIN_CHUNK_FRAMES
         ):
             completed: List[AssembledMessage] = []
@@ -508,7 +593,9 @@ def bulk_assemble(
 
 
 def assemble_with_diagnostics(
-    frames: Iterable[CanFrame], transport: str = ""
+    frames: Iterable[CanFrame],
+    transport: str = "",
+    hardening: Optional[HardeningPolicy] = None,
 ) -> Tuple[List[AssembledMessage], DecodeDiagnostics]:
     """Screen and reassemble a capture, returning decode diagnostics too.
 
@@ -520,17 +607,22 @@ def assemble_with_diagnostics(
 
     Captures on vectorisable transports take :func:`bulk_assemble` (byte
     identical, no per-frame Python) unless tracing is active — per-stream
-    ``decode_stream`` spans only exist on the event path.
+    ``decode_stream`` spans only exist on the event path.  Hardened
+    assembly (``hardening`` set) always runs the event path: the bounded
+    speculative decoders and screened-frame classification only exist
+    there.
     """
     frames = list(frames)
     transport = transport or detect_transport(frames)
     tracer = get_active()
-    if not tracer.enabled:
+    if not tracer.enabled and hardening is None:
         bulk = bulk_assemble(frames, transport)
         if bulk is not None:
             return bulk
-    screened = screen(frames, transport)
-    assembler = StreamAssembler(transport)
+    # Hardened assembly sees the unscreened stream so the screened-out
+    # control frames can still be classified; feed() screens either way.
+    screened = screen(frames, transport) if hardening is None else frames
+    assembler = StreamAssembler(transport, hardening=hardening)
     with tracer.span("decode", transport=transport, frames=len(screened)):
         for frame in screened:
             assembler.feed(frame)

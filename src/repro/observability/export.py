@@ -32,6 +32,17 @@ from .trace import Tracer
 
 SNAPSHOT_SCHEMA_VERSION = 1
 
+#: :class:`~repro.transport.base.DecoderStats` fields exported under the
+#: ``transport.anomaly.`` prefix instead of plain ``transport.``.  Kept as
+#: a literal copy of :data:`repro.transport.base.ANOMALY_FIELDS` — importing
+#: it would cycle observability → transport → can → bus → observability.
+_ANOMALY_FIELDS = (
+    "fc_violations",
+    "stale_stream_evictions",
+    "sequence_poisonings",
+    "suspected_starvation",
+)
+
 
 def _merge_counters(target: Dict[str, int], source: Mapping[str, int], prefix: str) -> None:
     for name, value in source.items():
@@ -67,7 +78,12 @@ def build_snapshot(
         _merge_counters(counters, registry_dict["counters"], "")
         histograms.update(registry_dict["histograms"])
     if diagnostics is not None:
-        _merge_counters(counters, diagnostics.stats.to_dict(), "transport.")
+        stats = diagnostics.stats.to_dict()
+        anomalies = {
+            name: stats.pop(name) for name in _ANOMALY_FIELDS if name in stats
+        }
+        _merge_counters(counters, stats, "transport.")
+        _merge_counters(counters, anomalies, "transport.anomaly.")
     if fault_counts is not None:
         _merge_counters(counters, fault_counts.to_dict(), "noise.")
     if memo_stats is not None:

@@ -42,6 +42,7 @@ from ..observability.export import build_snapshot
 from ..observability.trace import NULL_TRACER, Tracer
 from ..runtime.metrics import MetricsRegistry
 from ..runtime.scheduler import WorkerPool
+from ..transport.base import HardeningPolicy
 from .protocol import (
     FRAME_BATCH,
     HELLO_TRANSPORTS,
@@ -121,6 +122,16 @@ class ServiceConfig:
     #: Echoed in every ``welcome`` so clients and tests can tell shards
     #: apart.
     shard_index: Optional[int] = None
+    #: Seconds a connected session may sit idle (no message) before it is
+    #: evicted — the service-slowloris defense: a client that handshakes
+    #: and then sends nothing cannot hold a session slot forever.
+    #: ``0`` disables eviction (legacy behaviour).
+    session_idle_timeout: float = 0.0
+    #: Transport hardening handed to every session's decoders
+    #: (:class:`~repro.transport.base.HardeningPolicy`); ``None`` keeps
+    #: the legacy stack.  Clean streams produce byte-identical reports
+    #: either way.
+    hardening: Optional[HardeningPolicy] = None
 
 
 @dataclass
@@ -353,6 +364,7 @@ class DiagnosticServer:
             detect_window=self.config.detect_window,
             max_capture_frames=self.config.max_capture_frames,
             tracer=Tracer() if self.tracer.enabled else None,
+            hardening=self.config.hardening,
         )
         conn = _Connection(session=session, last_refill=time.monotonic())
         if self.tracer.enabled:
@@ -380,8 +392,31 @@ class DiagnosticServer:
     ) -> None:
         session = conn.session
         ingest_hist = self.metrics.histogram("service.ingest_seconds")
+        idle_timeout = self.config.session_idle_timeout
         while True:
-            message = await read_message(reader, self.config.max_message_bytes)
+            if idle_timeout > 0:
+                try:
+                    message = await asyncio.wait_for(
+                        read_message(reader, self.config.max_message_bytes),
+                        idle_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    # Slowloris defense: an idle session frees its slot
+                    # instead of starving other tenants at max_sessions.
+                    self._count("service.sessions_evicted_idle")
+                    await self._send(
+                        writer,
+                        {
+                            "type": "error",
+                            "error": (
+                                f"session idle for {idle_timeout:g}s; evicted"
+                            ),
+                        },
+                        conn,
+                    )
+                    return
+            else:
+                message = await read_message(reader, self.config.max_message_bytes)
             if message is None:
                 return  # client went away without finish: drop silently
             kind = message["type"]
@@ -487,6 +522,12 @@ class DiagnosticServer:
             self.tracer.absorb(
                 session.tracer.export_payload(), tid=conn.spans_lane
             )
+        # Fold the session's adversarial-shape counters into the service
+        # metrics before its decoders are released: an attacked fleet
+        # lights up ``service.anomaly.*`` in the Prometheus export.
+        for name, value in session.anomaly_counts().items():
+            if value:
+                self._count(f"service.anomaly.{name}", value)
         session.release()
         self._connections.pop(session.session_id, None)
         self.sessions_active -= 1

@@ -87,6 +87,18 @@ class DecodeEvent:
         return cls(EVENT_RESYNC, detail=detail)
 
 
+#: :class:`DecoderStats` fields that classify *adversarial* stream shapes
+#: rather than plain capture loss.  The observability export surfaces them
+#: under the ``transport.anomaly.`` prefix so an attacked fleet lights up a
+#: dedicated dashboard row instead of blending into noise accounting.
+ANOMALY_FIELDS = (
+    "fc_violations",
+    "stale_stream_evictions",
+    "sequence_poisonings",
+    "suspected_starvation",
+)
+
+
 @dataclass
 class DecoderStats:
     """Per-decoder error accounting (one instance per reassembly stream)."""
@@ -98,6 +110,13 @@ class DecoderStats:
     messages_lost: int = 0  # in-progress messages abandoned by a resync
     bytes_discarded: int = 0  # buffered bytes thrown away on resync
     overflows: int = 0  # bounded-buffer overflows (subset of resyncs)
+    # Anomaly classification (see ANOMALY_FIELDS): pure detection counters,
+    # incremented by unhardened and hardened decoders alike — they never
+    # change events or control flow on their own.
+    fc_violations: int = 0  # flow control aimed at a busy/quiet stream
+    stale_stream_evictions: int = 0  # partial messages shed by budget/deadline
+    sequence_poisonings: int = 0  # implausible sequence jumps (not drops)
+    suspected_starvation: int = 0  # FF landed on a stream mid-reassembly
 
     def merge(self, other: "DecoderStats") -> None:
         self.frames += other.frames
@@ -107,6 +126,14 @@ class DecoderStats:
         self.messages_lost += other.messages_lost
         self.bytes_discarded += other.bytes_discarded
         self.overflows += other.overflows
+        self.fc_violations += other.fc_violations
+        self.stale_stream_evictions += other.stale_stream_evictions
+        self.sequence_poisonings += other.sequence_poisonings
+        self.suspected_starvation += other.suspected_starvation
+
+    def anomaly_counts(self) -> dict:
+        """The adversarial-shape counters alone (``transport.anomaly.*``)."""
+        return {name: getattr(self, name) for name in ANOMALY_FIELDS}
 
     def to_dict(self) -> dict:
         return {
@@ -117,7 +144,67 @@ class DecoderStats:
             "messages_lost": self.messages_lost,
             "bytes_discarded": self.bytes_discarded,
             "overflows": self.overflows,
+            "fc_violations": self.fc_violations,
+            "stale_stream_evictions": self.stale_stream_evictions,
+            "sequence_poisonings": self.sequence_poisonings,
+            "suspected_starvation": self.suspected_starvation,
         }
+
+
+@dataclass(frozen=True)
+class HardeningPolicy:
+    """Bounds an adversary has to beat, in one opt-in knob.
+
+    ``None`` everywhere a decoder accepts one of these means *unhardened*:
+    byte-identical behaviour to the stack before this policy existed, which
+    is what keeps noisy-capture baselines stable.  With a policy attached
+    the decoders trade the single-context abandon-on-interference strategy
+    for bounded speculative reassembly:
+
+    * ISO-TP / BMW keep up to :attr:`max_contexts_per_stream` concurrent
+      partial messages per stream, so a hostile first frame cannot abandon
+      a victim's transfer (session starvation) and an alien consecutive
+      frame is dropped instead of poisoning the buffer;
+    * every stream's buffered bytes are capped by :attr:`per_stream_budget`
+      and the whole assembler by :attr:`global_budget`, with
+      least-recently-active partial messages evicted first (reassembly
+      exhaustion);
+    * the K-Line parser evicts buffered bytes older than
+      :attr:`kline_deadline_s` (slowloris headers);
+    * live ISO-TP senders ignore conflicting flow-control grants, keep the
+      most permissive one, and clamp STmin to :attr:`max_st_min_ms`
+      (FC spoofing).
+    """
+
+    #: Concurrent partial messages kept per stream (ISO-TP/BMW contexts,
+    #: BMW peer addresses).  The least recently active is evicted beyond it.
+    max_contexts_per_stream: int = 4
+    #: Byte budget for one stream's buffered partial messages.
+    per_stream_budget: int = 4096
+    #: Byte budget across every stream of one assembler; least recently
+    #: active non-idle stream is shed first.
+    global_budget: int = 65536
+    #: K-Line bytes buffered longer than this are evicted (a header whose
+    #: announced length never arrives); real messages complete within
+    #: milliseconds at 10.4 kbaud.
+    kline_deadline_s: float = 1.0
+    #: Ceiling on the minimum-separation time a flow-control frame can
+    #: demand from a hardened sender (ISO 15765-2 caps STmin at 127 ms;
+    #: an attacker advertising it strangles throughput 100x).
+    max_st_min_ms: float = 20.0
+
+    def to_dict(self) -> dict:
+        return {
+            "max_contexts_per_stream": self.max_contexts_per_stream,
+            "per_stream_budget": self.per_stream_budget,
+            "global_budget": self.global_budget,
+            "kline_deadline_s": self.kline_deadline_s,
+            "max_st_min_ms": self.max_st_min_ms,
+        }
+
+
+#: The default policy callers opt in with (``--harden`` on the CLI).
+DEFAULT_HARDENING = HardeningPolicy()
 
 
 class TransportEncoder(abc.ABC):
@@ -162,6 +249,24 @@ class TransportDecoder(abc.ABC):
         override; the stateless default is idle.
         """
         return True
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held in partial-message buffers right now.
+
+        The quantity budget-based hardening accounts against; decoders
+        that buffer override, the stateless default holds nothing.
+        """
+        return 0
+
+    def evict_partial(self) -> int:
+        """Drop every partial message, charging the eviction counters.
+
+        The assembler's global byte budget calls this on the least
+        recently active stream; returns the bytes freed.  Decoders that
+        buffer override; the stateless default frees nothing.
+        """
+        return 0
 
     def feed_payloads(self, frame: CanFrame) -> Optional[bytes]:
         """Compatibility wrapper: one optional payload per frame.

@@ -33,7 +33,13 @@ from enum import IntEnum
 from typing import Dict, List, Optional
 
 from ..can import CanFrame, MAX_DATA_LENGTH
-from .base import DecodeEvent, TransportDecoder, TransportEncoder, TransportError
+from .base import (
+    DecodeEvent,
+    HardeningPolicy,
+    TransportDecoder,
+    TransportEncoder,
+    TransportError,
+)
 
 SF_MAX_PAYLOAD = 7
 FF_PAYLOAD = 6
@@ -139,6 +145,24 @@ def segment(
     return frames
 
 
+#: A capture drop of this many consecutive frames or fewer is plausible
+#: sniffer loss; a larger sequence jump mid-message is classified (and, in
+#: hardened mode, treated) as adversarial sequence poisoning.
+PLAUSIBLE_DROP_FRAMES = 3
+
+
+class _ReassemblyContext:
+    """One speculative partial message of a hardened ISO-TP stream."""
+
+    __slots__ = ("buffer", "expected_length", "next_sequence", "last_active")
+
+    def __init__(self, data: bytes, length: int, tick: int) -> None:
+        self.buffer = bytearray(data)
+        self.expected_length = length
+        self.next_sequence = 1
+        self.last_active = tick
+
+
 class IsoTpReassembler(TransportDecoder):
     """Stateful reassembly of one direction of an ISO-TP conversation.
 
@@ -156,26 +180,72 @@ class IsoTpReassembler(TransportDecoder):
       and the decoder re-locks on the next SF/FF;
     * a new first frame or a single frame arriving mid-message abandons the
       old message (``resync``) and processes the new frame normally.
+
+    With a :class:`~repro.transport.base.HardeningPolicy` attached the
+    single-context strategy above becomes *bounded speculative reassembly*:
+    up to ``max_contexts_per_stream`` partial messages are kept
+    concurrently, a first frame never abandons an in-flight transfer, each
+    consecutive frame extends every context expecting its sequence number
+    (so an attacker racing the victim with its own first frame cannot
+    steal the victim's consecutive frames), implausible sequence jumps are
+    dropped instead of poisoning the buffer, and the per-stream byte
+    budget evicts the least recently active context first.  On a clean
+    capture exactly one context ever exists, so hardened and unhardened
+    decode are byte-identical.
     """
 
     KIND = "isotp"
 
-    def __init__(self, strict: bool = True) -> None:
+    def __init__(
+        self, strict: bool = True, hardening: Optional[HardeningPolicy] = None
+    ) -> None:
         super().__init__(strict)
+        self.hardening = hardening
         self._buffer = bytearray()
         self._expected_length = 0
         self._next_sequence = 0
         self._in_progress = False
+        self._contexts: List[_ReassemblyContext] = []
+        self._tick = 0
 
     def reset(self) -> None:
         self._buffer.clear()
         self._expected_length = 0
         self._next_sequence = 0
         self._in_progress = False
+        self._contexts = []
 
     @property
     def idle(self) -> bool:
+        if self.hardening is not None:
+            return not self._contexts
         return not self._in_progress
+
+    @property
+    def buffered_bytes(self) -> int:
+        if self.hardening is not None:
+            return sum(len(context.buffer) for context in self._contexts)
+        return len(self._buffer)
+
+    def evict_partial(self) -> int:
+        freed = 0
+        if self.hardening is not None:
+            for context in self._contexts:
+                freed += len(context.buffer)
+                self.stats.resyncs += 1
+                self.stats.messages_lost += 1
+                self.stats.bytes_discarded += len(context.buffer)
+                self.stats.stale_stream_evictions += 1
+            self._contexts = []
+            return freed
+        if self._in_progress:
+            freed = len(self._buffer)
+            self.stats.resyncs += 1
+            self.stats.messages_lost += 1
+            self.stats.bytes_discarded += freed
+            self.stats.stale_stream_evictions += 1
+            self.reset()
+        return freed
 
     def _abandon(self, detail: str, overflow: bool = False) -> DecodeEvent:
         """Drop the in-progress message and account the loss."""
@@ -200,6 +270,8 @@ class IsoTpReassembler(TransportDecoder):
             return [self._error(str(exc))]
         if kind == PciType.FLOW_CONTROL:
             return []
+        if self.hardening is not None:
+            return self._feed_hardened(kind, data)
         events: List[DecodeEvent] = []
         if kind == PciType.SINGLE:
             length = data[0] & 0x0F
@@ -228,6 +300,10 @@ class IsoTpReassembler(TransportDecoder):
                     )
                 ]
             if self._in_progress:
+                # Detection: an FF landing on a busy stream is exactly the
+                # shape of a session-starvation attack (counter only; the
+                # abandon below is the historical behaviour either way).
+                self.stats.suspected_starvation += 1
                 events.append(
                     self._abandon("first frame interrupted a multi-frame message")
                 )
@@ -245,6 +321,10 @@ class IsoTpReassembler(TransportDecoder):
                 # The frame we just consumed, seen again: a duplicated
                 # capture, not a lost one.  Ignore it and keep the message.
                 return [self._error(f"duplicate consecutive frame {sequence}")]
+            # Detection: a short forward jump is plausible sniffer loss; a
+            # longer one is the shape of injected-CF sequence poisoning.
+            if (sequence - self._next_sequence) % 16 > PLAUSIBLE_DROP_FRAMES:
+                self.stats.sequence_poisonings += 1
             return [
                 self._abandon(
                     f"sequence gap: expected {self._next_sequence}, got {sequence}"
@@ -258,6 +338,98 @@ class IsoTpReassembler(TransportDecoder):
             self.stats.payloads += 1
             return [DecodeEvent.message(payload)]
         return []
+
+    # --------------------------------------------------- hardened reassembly
+
+    def _evict_context(
+        self, context: _ReassemblyContext, why: str, stale: bool = True
+    ) -> DecodeEvent:
+        self._contexts.remove(context)
+        self.stats.resyncs += 1
+        self.stats.messages_lost += 1
+        self.stats.bytes_discarded += len(context.buffer)
+        if stale:
+            self.stats.stale_stream_evictions += 1
+            return DecodeEvent.resync(f"stale partial message evicted ({why})")
+        return DecodeEvent.resync(why)
+
+    def _evict_lru(self, why: str) -> DecodeEvent:
+        oldest = min(self._contexts, key=lambda c: c.last_active)
+        return self._evict_context(oldest, why)
+
+    def _feed_hardened(self, kind: PciType, data: bytes) -> List[DecodeEvent]:
+        policy = self.hardening
+        self._tick += 1
+        events: List[DecodeEvent] = []
+        if kind == PciType.SINGLE:
+            length = data[0] & 0x0F
+            if length == 0 or length > SF_MAX_PAYLOAD or length > len(data) - 1:
+                return [self._error(f"bad single-frame length in {data.hex()}")]
+            # Unlike the unhardened path, an SF does not abandon partial
+            # messages: a hostile SF must not be able to kill a transfer.
+            self.stats.payloads += 1
+            return [DecodeEvent.message(bytes(data[1 : 1 + length]))]
+        if kind == PciType.FIRST:
+            if len(data) < 3:
+                return [self._error(f"truncated first frame {data.hex()}")]
+            length = ((data[0] & 0x0F) << 8) | data[1]
+            if length <= SF_MAX_PAYLOAD - 1:
+                return [
+                    self._error(
+                        f"first frame announces {length} bytes, "
+                        "which would fit a single frame"
+                    )
+                ]
+            if self._contexts:
+                self.stats.suspected_starvation += 1
+            self._contexts.append(_ReassemblyContext(data[2:], length, self._tick))
+            while len(self._contexts) > policy.max_contexts_per_stream:
+                events.append(self._evict_lru("context cap"))
+            while self.buffered_bytes > policy.per_stream_budget and self._contexts:
+                events.append(self._evict_lru("stream byte budget"))
+            return events
+        # Consecutive frame: extend *every* context expecting this sequence
+        # number (speculative reassembly — the real transfer keeps
+        # progressing even while a hostile first frame shadows it).
+        if not self._contexts:
+            return [self._error("consecutive frame without a first frame")]
+        sequence = data[0] & 0x0F
+        matched = [c for c in self._contexts if c.next_sequence == sequence]
+        if matched:
+            for context in matched:
+                context.next_sequence = (context.next_sequence + 1) % 16
+                context.buffer.extend(data[1:])
+                context.last_active = self._tick
+                if len(context.buffer) >= context.expected_length:
+                    self._contexts.remove(context)
+                    self.stats.payloads += 1
+                    events.append(
+                        DecodeEvent.message(bytes(context.buffer[: context.expected_length]))
+                    )
+            while self.buffered_bytes > policy.per_stream_budget and self._contexts:
+                events.append(self._evict_lru("stream byte budget"))
+            return events
+        recent = max(self._contexts, key=lambda c: c.last_active)
+        if sequence == (recent.next_sequence - 1) % 16:
+            return [self._error(f"duplicate consecutive frame {sequence}")]
+        oldest = min(self._contexts, key=lambda c: c.last_active)
+        if 1 <= (sequence - oldest.next_sequence) % 16 <= PLAUSIBLE_DROP_FRAMES:
+            # Plausible sniffer drop on the longest-waiting transfer: give
+            # up on it exactly as the unhardened decoder would.
+            return [
+                self._evict_context(
+                    oldest,
+                    f"sequence gap: expected {oldest.next_sequence}, got {sequence}",
+                    stale=False,
+                )
+            ]
+        self.stats.errors += 1
+        self.stats.sequence_poisonings += 1
+        return [
+            DecodeEvent.error(
+                f"alien consecutive frame {sequence} dropped (poisoning suspected)"
+            )
+        ]
 
 
 class IsoTpSegmenter(TransportEncoder):
@@ -290,6 +462,7 @@ class IsoTpEndpoint:
         st_min_ms: float = 0.0,
         padding: Optional[int] = 0x00,
         on_message=None,
+        hardening: Optional[HardeningPolicy] = None,
     ) -> None:
         from ..can import BusNode
 
@@ -299,14 +472,20 @@ class IsoTpEndpoint:
         self.st_min_ms = st_min_ms
         self.padding = padding
         self.on_message = on_message
-        self._reassembler = IsoTpReassembler()
+        self.hardening = hardening
+        self._reassembler = IsoTpReassembler(hardening=hardening)
         self._inbox: List[bytes] = []
         self._fc_window = 0  # frames the peer allowed us to send
         self._peer_st_min_ms = 0.0  # pacing the peer demanded
         self._awaiting_fc = False
         self._cf_since_fc = 0  # receiver side: CFs since our last FC
         self._receiving_multi = False
+        self._sending = False  # inside a multi-frame send() right now
+        self._fc_accepted = 0  # FC grants taken for the current send
         self.fc_sent = 0
+        #: Flow-control frames rejected as unsolicited or conflicting —
+        #: the live-endpoint face of ``DecoderStats.fc_violations``.
+        self.fc_rejected = 0
         self.node = BusNode(name, handler=self._on_frame)
         bus.attach(self.node)
 
@@ -318,6 +497,9 @@ class IsoTpEndpoint:
         kind = pci_type(frame.data)
         if kind == PciType.FLOW_CONTROL:
             control = FlowControl.decode(frame.data)
+            if self.hardening is not None:
+                self._accept_flow_control(control)
+                return
             if control.status == FlowStatus.CONTINUE:
                 self._fc_window = control.block_size or -1  # -1 = unlimited
                 self._peer_st_min_ms = control.st_min_ms
@@ -349,6 +531,42 @@ class IsoTpEndpoint:
             else:
                 self._inbox.append(payload)
 
+    def _accept_flow_control(self, control: FlowControl) -> None:
+        """Hardened FC intake: bounded trust in what the wire claims.
+
+        A grant is honoured only while a transfer is actually in flight;
+        when two grants race for the same first frame (the genuine peer
+        and a spoofer answering the same FF), the *most permissive* wins —
+        a denial-of-service spoof is by construction less permissive than
+        the real receiver, so the victim keeps its throughput while the
+        conflict is counted.  STmin is clamped to ``max_st_min_ms``.
+        """
+        if not (self._sending or self._awaiting_fc):
+            self.fc_rejected += 1
+            self._reassembler.stats.fc_violations += 1
+            return
+        if control.status == FlowStatus.WAIT:
+            return  # hold; the sender keeps waiting for a real grant
+        st_min = min(control.st_min_ms, self.hardening.max_st_min_ms)
+        window = 0
+        if control.status == FlowStatus.CONTINUE:
+            window = control.block_size or -1
+        self._fc_accepted += 1
+        if self._fc_accepted == 1 or self._fc_window == 0:
+            # First grant of this handshake, or the next-block grant after
+            # an exhausted window: taken at face value.
+            self._fc_window = window
+            self._peer_st_min_ms = st_min
+            self._awaiting_fc = False
+            return
+        # A second grant while a window is still open: someone is lying.
+        self.fc_rejected += 1
+        self._reassembler.stats.fc_violations += 1
+        if self._fc_window != -1 and (window == -1 or window > self._fc_window):
+            self._fc_window = window
+        self._peer_st_min_ms = min(self._peer_st_min_ms, st_min)
+        self._awaiting_fc = False
+
     def _send_flow_control(self) -> None:
         control = FlowControl(FlowStatus.CONTINUE, self.block_size, self.st_min_ms)
         data = control.encode()
@@ -373,27 +591,32 @@ class IsoTpEndpoint:
         if len(frames) == 1:
             sent.append(self.node.send(frames[0]))
             return sent
-        self._awaiting_fc = True
-        sent.append(self.node.send(frames[0]))  # FF; peer answers FC inline
-        if self._awaiting_fc:
-            raise TransportError(
-                f"no flow control received after first frame on {self.tx_id:#x}"
-            )
-        for frame in frames[1:]:
-            if self._fc_window == 0:
-                # The peer grants the next block with a fresh FC, which on
-                # the synchronous bus arrives nested inside the previous
-                # CF's delivery; reaching zero here means it never came.
-                raise TransportError("peer block size exhausted without new FC")
-            if self._fc_window > 0:
-                # Reserve the slot *before* sending: the block-completing
-                # CF's delivery carries the peer's next grant nested inside,
-                # which must not be consumed by this frame's accounting.
-                self._fc_window -= 1
-            if self._peer_st_min_ms:
-                # Honour the peer's minimum separation time between CFs.
-                self.node.bus.clock.advance(self._peer_st_min_ms / 1000.0)
-            sent.append(self.node.send(frame))
+        self._sending = True
+        self._fc_accepted = 0
+        try:
+            self._awaiting_fc = True
+            sent.append(self.node.send(frames[0]))  # FF; peer answers FC inline
+            if self._awaiting_fc:
+                raise TransportError(
+                    f"no flow control received after first frame on {self.tx_id:#x}"
+                )
+            for frame in frames[1:]:
+                if self._fc_window == 0:
+                    # The peer grants the next block with a fresh FC, which on
+                    # the synchronous bus arrives nested inside the previous
+                    # CF's delivery; reaching zero here means it never came.
+                    raise TransportError("peer block size exhausted without new FC")
+                if self._fc_window > 0:
+                    # Reserve the slot *before* sending: the block-completing
+                    # CF's delivery carries the peer's next grant nested inside,
+                    # which must not be consumed by this frame's accounting.
+                    self._fc_window -= 1
+                if self._peer_st_min_ms:
+                    # Honour the peer's minimum separation time between CFs.
+                    self.node.bus.clock.advance(self._peer_st_min_ms / 1000.0)
+                sent.append(self.node.send(frame))
+        finally:
+            self._sending = False
         return sent
 
 

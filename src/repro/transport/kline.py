@@ -24,7 +24,13 @@ from typing import Callable, List, Optional, Tuple
 
 from ..observability.trace import get_active
 from ..simtime import SimClock
-from .base import DecodeEvent, DecoderStats, TransportDecoder, TransportError
+from .base import (
+    DecodeEvent,
+    DecoderStats,
+    HardeningPolicy,
+    TransportDecoder,
+    TransportError,
+)
 
 DEFAULT_BAUD = 10400
 BITS_PER_BYTE = 10  # start + 8 data + stop
@@ -86,19 +92,41 @@ class KLineFrameParser:
     messages with a valid checksum, ``errors`` counts checksum failures,
     ``resyncs`` counts format-byte scans that dropped garbage, and
     ``overflows`` counts bounded-buffer evictions.
+
+    With a :class:`~repro.transport.base.HardeningPolicy`, buffered bytes
+    older than ``kline_deadline_s`` relative to the newest byte are evicted
+    before parsing — a slowloris header (announcing a payload that never
+    arrives) can hold at most one deadline's worth of real messages hostage
+    instead of swallowing them indefinitely.  Real K-Line messages complete
+    within milliseconds at 10.4 kbaud, so clean captures never age out.
     """
 
     KIND = "kline"
 
-    def __init__(self) -> None:
+    def __init__(self, hardening: Optional[HardeningPolicy] = None) -> None:
+        self.hardening = hardening
         self._buffer: List[Tuple[float, int]] = []
         self.stats = DecoderStats()
 
     def reset(self) -> None:
         self._buffer.clear()
 
+    def _evict_stale(self, now: float) -> None:
+        deadline = self.hardening.kline_deadline_s
+        stale = 0
+        while stale < len(self._buffer) and now - self._buffer[stale][0] > deadline:
+            stale += 1
+        if stale:
+            del self._buffer[:stale]
+            self.stats.bytes_discarded += stale
+            self.stats.stale_stream_evictions += 1
+            self.stats.resyncs += 1
+            self.stats.messages_lost += 1
+
     def feed(self, timestamp: float, byte: int) -> Optional[KLineMessage]:
         self.stats.frames += 1
+        if self.hardening is not None and self._buffer:
+            self._evict_stale(timestamp)
         self._buffer.append((timestamp, byte))
         if len(self._buffer) > MAX_BUFFERED_BYTES:
             # Corrupted header announced more bytes than any real message
@@ -175,18 +203,46 @@ class KLineEventDecoder(TransportDecoder):
 
     KIND = "kline"
 
-    def __init__(self, strict: bool = False) -> None:
+    def __init__(
+        self,
+        strict: bool = False,
+        hardening: Optional[HardeningPolicy] = None,
+    ) -> None:
         super().__init__(strict)
-        self._parser = KLineFrameParser()
+        self.hardening = hardening
+        self._parser = KLineFrameParser(hardening=hardening)
         self.stats = self._parser.stats  # one shared accounting object
         self.last_message: Optional[KLineMessage] = None
+
+    @property
+    def idle(self) -> bool:
+        return not self._parser._buffer
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._parser._buffer)
+
+    def evict_partial(self) -> int:
+        freed = len(self._parser._buffer)
+        if freed:
+            self.stats.bytes_discarded += freed
+            self.stats.messages_lost += 1
+            self.stats.resyncs += 1
+            self.stats.stale_stream_evictions += 1
+            self._parser.reset()
+        return freed
 
     def feed(self, frame) -> List[DecodeEvent]:
         events: List[DecodeEvent] = []
         for value in frame.data:
             resyncs_before = self.stats.resyncs
+            evictions_before = self.stats.stale_stream_evictions
             message = self._parser.feed(frame.timestamp, value)
-            if self.stats.resyncs > resyncs_before:
+            if self.stats.stale_stream_evictions > evictions_before:
+                events.append(
+                    DecodeEvent.resync("stale buffered bytes evicted (deadline)")
+                )
+            elif self.stats.resyncs > resyncs_before:
                 events.append(DecodeEvent.resync("format-byte scan dropped garbage"))
             if message is None:
                 continue

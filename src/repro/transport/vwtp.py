@@ -30,7 +30,7 @@ from enum import Enum
 from typing import List, Optional
 
 from ..can import CanFrame, MAX_DATA_LENGTH
-from .base import DecodeEvent, TransportDecoder, TransportError
+from .base import DecodeEvent, HardeningPolicy, TransportDecoder, TransportError
 
 BROADCAST_ID_BASE = 0x200
 SETUP_REQUEST_OPCODE = 0xC0
@@ -136,18 +136,48 @@ class VwTpReassembler(TransportDecoder):
       the only way to re-lock;
     * exceeding :data:`MAX_BUFFERED_BYTES` (a lost last-packet opcode)
       abandons the buffer with a ``resync`` marked as an overflow.
+
+    With a :class:`~repro.transport.base.HardeningPolicy` attached, a
+    sequence jump too large to be sniffer loss (more than
+    :data:`~repro.transport.isotp.PLAUSIBLE_DROP_FRAMES` frames) is judged
+    an injected data frame and *dropped* — the buffered message keeps its
+    sequence lock and completes when the genuine frames arrive — instead
+    of abandoning the victim's buffer the way a plausible drop does.  On a
+    clean capture no such jump exists, so hardened decode is
+    byte-identical.
     """
 
     KIND = "vwtp"
 
-    def __init__(self, strict: bool = True) -> None:
+    def __init__(
+        self, strict: bool = True, hardening: Optional[HardeningPolicy] = None
+    ) -> None:
         super().__init__(strict)
+        self.hardening = hardening
         self._buffer = bytearray()
         self._next_sequence: Optional[int] = None
 
     def reset(self) -> None:
         self._buffer.clear()
         self._next_sequence = None
+
+    @property
+    def idle(self) -> bool:
+        return not self._buffer and self._next_sequence is None
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def evict_partial(self) -> int:
+        freed = len(self._buffer)
+        if freed or self._next_sequence is not None:
+            self.stats.resyncs += 1
+            self.stats.messages_lost += 1
+            self.stats.bytes_discarded += freed
+            self.stats.stale_stream_evictions += 1
+            self.reset()
+        return freed
 
     def _abandon(self, detail: str, overflow: bool = False) -> DecodeEvent:
         self.stats.resyncs += 1
@@ -159,6 +189,8 @@ class VwTpReassembler(TransportDecoder):
         return DecodeEvent.resync(detail)
 
     def feed(self, frame: CanFrame) -> List[DecodeEvent]:
+        from .isotp import PLAUSIBLE_DROP_FRAMES
+
         self.stats.frames += 1
         kind = classify_vwtp_frame(frame)
         if kind != VwTpFrameKind.DATA:
@@ -170,6 +202,23 @@ class VwTpReassembler(TransportDecoder):
                 # The frame we just consumed, captured twice.
                 self.stats.errors += 1
                 return [DecodeEvent.error(f"duplicate TP 2.0 data frame {sequence}")]
+            implausible = (
+                sequence - self._next_sequence
+            ) % 16 > PLAUSIBLE_DROP_FRAMES
+            if implausible:
+                # Detection: too far ahead to be sniffer loss — the shape
+                # of an injected data frame.
+                self.stats.sequence_poisonings += 1
+                if self.hardening is not None:
+                    # Hardened: drop the alien frame, keep the buffer; the
+                    # genuine stream still holds the sequence lock.
+                    self.stats.errors += 1
+                    return [
+                        DecodeEvent.error(
+                            f"alien TP 2.0 data frame {sequence} dropped "
+                            "(poisoning suspected)"
+                        )
+                    ]
             events.append(
                 self._abandon(
                     f"TP 2.0 sequence gap: expected {self._next_sequence}, "

@@ -53,6 +53,13 @@ class TestNoiseProfile:
         profile = NoiseProfile.default(seed=3).scaled(0.5)
         assert NoiseProfile.from_dict(profile.to_dict()) == profile
 
+    def test_from_dict_unknown_key_named_and_valid_listed(self):
+        with pytest.raises(ValueError) as excinfo:
+            NoiseProfile.from_dict({"p_drop": 0.1, "p_garble": 0.5})
+        message = str(excinfo.value)
+        assert "'p_garble'" in message
+        assert "p_drop" in message  # the valid keys are listed
+
     def test_is_null(self):
         assert NoiseProfile().is_null
         assert not NoiseProfile.default().is_null

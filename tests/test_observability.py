@@ -222,6 +222,25 @@ class TestExport:
         snapshot = build_snapshot(tracer=NULL_TRACER)
         assert snapshot["spans"] == {}
 
+    def test_snapshot_splits_anomaly_counters(self):
+        from repro.core.assembly import assemble_with_diagnostics
+        from repro.transport import DEFAULT_HARDENING, segment
+
+        from repro.attacks import SessionStarvation
+
+        frames = SessionStarvation(seed=1).apply(segment(bytes(range(48)), 0x7E0))
+        __, diagnostics = assemble_with_diagnostics(
+            frames, "isotp", hardening=DEFAULT_HARDENING
+        )
+        snapshot = build_snapshot(diagnostics=diagnostics)
+        counters = snapshot["counters"]
+        # Detection counters live under their own prefix...
+        assert counters["transport.anomaly.suspected_starvation"] >= 1
+        assert "transport.anomaly.fc_violations" in counters
+        # ...and are not duplicated under the plain transport stats.
+        assert "transport.suspected_starvation" not in counters
+        assert counters["transport.payloads"] == 1
+
     def test_profile_table_lists_span_names(self):
         tracer = Tracer()
         with tracer.span("assemble"):

@@ -341,3 +341,62 @@ class TestServeCli:
             process.kill()
         snapshot = json.loads(metrics_path.read_text())
         assert snapshot["counters"]["service.sessions_completed"] == 1
+
+
+class TestAdversarialDefenses:
+    """Session-level DoS defenses: idle eviction and anomaly surfacing."""
+
+    def test_idle_session_evicted(self):
+        async def run():
+            async with DiagnosticServer(
+                ServiceConfig(gp_config=GP, session_idle_timeout=0.05)
+            ) as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(
+                    encode_message(
+                        {"type": "hello", "version": PROTOCOL_VERSION,
+                         "tenant": "slowloris", "transport": "isotp", "meta": {}}
+                    )
+                )
+                await writer.drain()
+                welcome = await read_message(reader)
+                assert welcome["type"] == "welcome"
+                # Hold the connection open without sending anything.
+                reply = await asyncio.wait_for(read_message(reader), timeout=5.0)
+                writer.close()
+                await writer.wait_closed()
+                return server, reply
+
+        server, reply = asyncio.run(run())
+        assert reply["type"] == "error"
+        assert "idle" in reply["error"]
+        assert service_counters(server)["service.sessions_evicted_idle"] == 1
+
+    def test_idle_timeout_off_by_default(self):
+        assert ServiceConfig(gp_config=GP).session_idle_timeout == 0.0
+
+    def test_hardened_session_surfaces_anomaly_counters(self, capture_a):
+        from dataclasses import replace
+
+        from repro.attacks import SessionStarvation
+        from repro.can import CanLog
+        from repro.transport import DEFAULT_HARDENING
+
+        attacked = replace(
+            capture_a,
+            can_log=CanLog(SessionStarvation(seed=9).apply(capture_a.can_log)),
+        )
+
+        async def run():
+            async with DiagnosticServer(
+                ServiceConfig(gp_config=GP, hardening=DEFAULT_HARDENING)
+            ) as server:
+                result = await stream_capture_async(
+                    "127.0.0.1", server.port, attacked, transport="isotp"
+                )
+                return server, result
+
+        server, result = asyncio.run(run())
+        counters = service_counters(server)
+        assert counters["service.anomaly.suspected_starvation"] >= 1
+        assert result.report["n_frames"] > 0  # the session still produced a report
